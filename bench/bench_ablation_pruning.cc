@@ -1,0 +1,97 @@
+// AB1 -- Ablation: context pruning. Three aspects of Section 3.1/3.2:
+//   (1) how much of a real context pruning removes (Q2's ancestor step and
+//       a deliberately nested descendant context),
+//   (2) fused (on-the-fly) pruning vs a separate pruning pass,
+//   (3) the footnote-5 variant: exact subtree sizes (stored level) vs the
+//       paper's 0<=level<=h estimate for ancestor-axis skip distances.
+
+#include <algorithm>
+#include <iterator>
+#include <tuple>
+
+#include "bench_util.h"
+
+namespace sj::bench {
+namespace {
+
+double JoinMs(const Workload& w, const NodeSequence& ctx, Axis axis,
+              const StaircaseOptions& opt) {
+  return BestOfMillis(BenchReps(), [&] {
+    auto r = StaircaseJoin(*w.doc, ctx, axis, opt);
+    if (!r.ok()) std::abort();
+  });
+}
+
+void Run() {
+  PrintHeader("AB1 (ablation)", "pruning variants and skip estimators");
+  TablePrinter prune({"doc size", "step", "context", "after pruning",
+                      "pruned away"});
+  TablePrinter timing({"doc size", "step", "fused pruning [ms]",
+                       "separate pass [ms]", "anc skip h-bound [ms]",
+                       "anc skip exact level [ms]"});
+  for (double mb : BenchSizes()) {
+    Workload w = MakeWorkload(mb);
+    const DocTable& doc = *w.doc;
+
+    // Q2 ancestor step: increase contexts are disjoint leaves (nothing to
+    // prune); a descendant-or-self-heavy context shows the other extreme.
+    const NodeSequence& increases = w.Nodes("increase");
+    NodeSequence nested;  // open_auction plus everything below: ~9 levels
+    {
+      const NodeSequence& auctions = w.Nodes("open_auction");
+      const NodeSequence& bidders = w.Nodes("bidder");
+      const NodeSequence& incs = w.Nodes("increase");
+      nested.reserve(auctions.size() + bidders.size() + incs.size());
+      std::merge(auctions.begin(), auctions.end(), bidders.begin(),
+                 bidders.end(), std::back_inserter(nested));
+      NodeSequence tmp;
+      std::merge(nested.begin(), nested.end(), incs.begin(), incs.end(),
+                 std::back_inserter(tmp));
+      nested = std::move(tmp);
+    }
+
+    for (auto& [name, ctx, axis] :
+         {std::tuple<const char*, const NodeSequence*, Axis>{
+              "anc(increase)", &increases, Axis::kAncestor},
+          {"desc(nested auction ctx)", &nested, Axis::kDescendant}}) {
+      NodeSequence kept = PruneContext(doc, *ctx, axis);
+      prune.AddRow({SizeLabel(mb), name, TablePrinter::Count(ctx->size()),
+                    TablePrinter::Count(kept.size()),
+                    TablePrinter::Fixed(
+                        100.0 * static_cast<double>(ctx->size() -
+                                                    kept.size()) /
+                            static_cast<double>(ctx->size()),
+                        1) + " %"});
+
+      StaircaseOptions fused, separate, hbound, exact;
+      separate.prune_on_the_fly = false;
+      hbound.use_exact_level = false;
+      exact.use_exact_level = true;
+      timing.AddRow(
+          {SizeLabel(mb), name,
+           TablePrinter::Fixed(JoinMs(w, *ctx, axis, fused), 3),
+           TablePrinter::Fixed(JoinMs(w, *ctx, axis, separate), 3),
+           axis == Axis::kAncestor
+               ? TablePrinter::Fixed(JoinMs(w, *ctx, axis, hbound), 3)
+               : std::string("-"),
+           axis == Axis::kAncestor
+               ? TablePrinter::Fixed(JoinMs(w, *ctx, axis, exact), 3)
+               : std::string("-")});
+    }
+  }
+  std::printf("\npruning effectiveness:\n");
+  prune.Print();
+  std::printf("\ntiming:\n");
+  timing.Print();
+  std::printf("paper: pruning turns nested contexts into proper staircases "
+              "(Fig. 6); fusing saves the separate context scan; exact "
+              "sizes change skip distances by at most h\n");
+}
+
+}  // namespace
+}  // namespace sj::bench
+
+int main() {
+  sj::bench::Run();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// F11b -- Paper Fig. 11(b): staircase join performance for Q2 as a
+// function of document size. The single sequential pass per step makes
+// execution time linear in the document size; early name tests improve the
+// constant. The table reports ms and ms-per-MB (flat == linear).
+
+#include "bench_util.h"
+
+namespace sj::bench {
+namespace {
+
+/// Q2 with the name tests applied after each join (late).
+double Q2Late(const Workload& w) {
+  return BestOfMillis(BenchReps(), [&] {
+    const DocTable& doc = *w.doc;
+    NodeSequence s1 =
+        StaircaseJoin(doc, {doc.root()}, Axis::kDescendant).value();
+    // name test ::increase
+    NodeSequence increases;
+    TagId increase = w.Tag("increase");
+    for (NodeId v : s1) {
+      if (doc.tag(v) == increase && doc.kind(v) == NodeKind::kElement) {
+        increases.push_back(v);
+      }
+    }
+    NodeSequence s2 = StaircaseJoin(doc, increases, Axis::kAncestor).value();
+    NodeSequence bidders;
+    TagId bidder = w.Tag("bidder");
+    for (NodeId v : s2) {
+      if (doc.tag(v) == bidder && doc.kind(v) == NodeKind::kElement) {
+        bidders.push_back(v);
+      }
+    }
+    if (bidders.empty()) std::abort();  // keep the work observable
+  });
+}
+
+/// Q2 with name tests pushed into the joins (early, over tag fragments).
+double Q2Early(const Workload& w) {
+  return BestOfMillis(BenchReps(), [&] {
+    const DocTable& doc = *w.doc;
+    NodeSequence increases =
+        StaircaseJoinView(doc, w.index->view(w.Tag("increase")),
+                          {doc.root()}, Axis::kDescendant)
+            .value();
+    NodeSequence bidders =
+        StaircaseJoinView(doc, w.index->view(w.Tag("bidder")), increases,
+                          Axis::kAncestor)
+            .value();
+    if (bidders.empty()) std::abort();
+  });
+}
+
+void Run() {
+  PrintHeader("F11b (Fig. 11b)",
+              "Q2 staircase join execution time vs document size (linear)");
+  TablePrinter t({"doc size", "nodes", "scj [ms]", "scj [ms/MB]",
+                  "scj early nametest [ms]", "early [ms/MB]"});
+  for (double mb : BenchSizes()) {
+    Workload w = MakeWorkload(mb);
+    double late = Q2Late(w);
+    double early = Q2Early(w);
+    t.AddRow({SizeLabel(mb), TablePrinter::Count(w.doc->size()),
+              TablePrinter::Fixed(late, 2), TablePrinter::Fixed(late / mb, 3),
+              TablePrinter::Fixed(early, 2),
+              TablePrinter::Fixed(early / mb, 3)});
+  }
+  t.Print();
+  std::printf("paper: both series are straight lines on the log-log plot "
+              "(time linear in document size)\n");
+}
+
+}  // namespace
+}  // namespace sj::bench
+
+int main() {
+  sj::bench::Run();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// F11d -- Paper Fig. 11(d): effectiveness of skipping, measured in
+// execution time for Q1's descendant step. Paper: skipping roughly halves
+// the time at larger sizes; estimation-based skipping (the branch-free
+// copy phase of Section 4.2) gains another ~20%.
+
+#include "bench_util.h"
+
+namespace sj::bench {
+namespace {
+
+double StepMs(const Workload& w, const NodeSequence& ctx, SkipMode mode) {
+  StaircaseOptions opt;
+  opt.skip_mode = mode;
+  return BestOfMillis(BenchReps(), [&] {
+    auto r = StaircaseJoin(*w.doc, ctx, Axis::kDescendant, opt);
+    if (!r.ok()) std::abort();
+  });
+}
+
+void Run() {
+  PrintHeader("F11d (Fig. 11d)",
+              "execution time of Q1's descendant step: no skipping vs "
+              "skipping vs estimation-based skipping");
+  TablePrinter t({"doc size", "no skipping [ms]", "skipping [ms]",
+                  "skipping (estimated) [ms]", "skip/none", "est/skip"});
+  for (double mb : BenchSizes()) {
+    Workload w = MakeWorkload(mb);
+    const NodeSequence& profiles = w.Nodes("profile");
+    double none = StepMs(w, profiles, SkipMode::kNone);
+    double skip = StepMs(w, profiles, SkipMode::kSkip);
+    double est = StepMs(w, profiles, SkipMode::kEstimated);
+    t.AddRow({SizeLabel(mb), TablePrinter::Fixed(none, 3),
+              TablePrinter::Fixed(skip, 3), TablePrinter::Fixed(est, 3),
+              TablePrinter::Fixed(skip / none, 2),
+              TablePrinter::Fixed(est / skip, 2)});
+  }
+  t.Print();
+  std::printf("paper: skipping cuts time roughly in half at the larger "
+              "sizes; estimation-based skipping ~20%% on top\n");
+}
+
+}  // namespace
+}  // namespace sj::bench
+
+int main() {
+  sj::bench::Run();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// FR1 -- Paper Section 6 (Future Research): fragmentation by tag name.
+// "...the execution time of Q1 could be brought down from 345 ms to 39 ms."
+// TagIndex materializes one pre/post fragment per element tag at load
+// time; both Q1 steps then run over fragments only.
+
+#include "bench_util.h"
+
+namespace sj::bench {
+namespace {
+
+double Q1FullDoc(const Workload& w) {
+  return BestOfMillis(BenchReps(), [&] {
+    const DocTable& doc = *w.doc;
+    NodeSequence s1 =
+        StaircaseJoin(doc, {doc.root()}, Axis::kDescendant).value();
+    NodeSequence profiles;
+    TagId profile = w.Tag("profile");
+    for (NodeId v : s1) {
+      if (doc.tag(v) == profile && doc.kind(v) == NodeKind::kElement) {
+        profiles.push_back(v);
+      }
+    }
+    NodeSequence s2 = StaircaseJoin(doc, profiles, Axis::kDescendant).value();
+    NodeSequence educations;
+    TagId education = w.Tag("education");
+    for (NodeId v : s2) {
+      if (doc.tag(v) == education && doc.kind(v) == NodeKind::kElement) {
+        educations.push_back(v);
+      }
+    }
+    if (educations.empty()) std::abort();
+  });
+}
+
+double Q1Fragments(const Workload& w) {
+  return BestOfMillis(BenchReps(), [&] {
+    const DocTable& doc = *w.doc;
+    NodeSequence profiles =
+        StaircaseJoinView(doc, w.index->view(w.Tag("profile")), {doc.root()},
+                          Axis::kDescendant)
+            .value();
+    NodeSequence educations =
+        StaircaseJoinView(doc, w.index->view(w.Tag("education")), profiles,
+                          Axis::kDescendant)
+            .value();
+    if (educations.empty()) std::abort();
+  });
+}
+
+void Run() {
+  PrintHeader("FR1 (Section 6)",
+              "fragmentation by tag name: Q1 over the full plane vs over "
+              "per-tag fragments");
+  TablePrinter t({"doc size", "Q1 full doc [ms]", "Q1 fragments [ms]",
+                  "speedup", "fragment build [ms]", "fragment mem [MB]"});
+  for (double mb : BenchSizes()) {
+    Workload w = MakeWorkload(mb, /*with_index=*/false);
+    double full = Q1FullDoc(w);
+
+    Timer build;
+    w.index = std::make_unique<TagIndex>(*w.doc);
+    double build_ms = build.ElapsedMillis();
+    double frag = Q1Fragments(w);
+
+    t.AddRow({SizeLabel(mb), TablePrinter::Fixed(full, 2),
+              TablePrinter::Fixed(frag, 2),
+              TablePrinter::Fixed(full / frag, 1) + "x",
+              TablePrinter::Fixed(build_ms, 0),
+              TablePrinter::Fixed(
+                  static_cast<double>(w.index->memory_bytes()) / 1048576.0,
+                  1)});
+  }
+  t.Print();
+  std::printf("paper: 345 ms -> 39 ms for Q1 on the 1 GB instance (~9x); "
+              "the one-off fragmentation cost amortizes at load time\n");
+}
+
+}  // namespace
+}  // namespace sj::bench
+
+int main() {
+  sj::bench::Run();
+  return 0;
+}

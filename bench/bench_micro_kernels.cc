@@ -1,0 +1,121 @@
+// S42 -- Paper Section 4.2 micro benchmarks (google-benchmark): per-node
+// cost of the scan and copy loops, branch-prediction friendliness, pruning
+// throughput, and B+-tree seek cost. The paper's numbers: ~17 cycles per
+// scan iteration, ~5 cycles per copy iteration on a 2.2 GHz P4.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iterator>
+
+#include "baselines/sql_plan.h"
+#include "bench_util.h"
+#include "core/kernels.h"
+
+namespace sj::bench {
+namespace {
+
+/// One cached 11 MB-equivalent workload for all micro benches.
+const Workload& SharedWorkload() {
+  static Workload w = MakeWorkload(11.0);
+  return w;
+}
+
+void BM_ScanPartitionDescBasic(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  const DocTable& doc = *w.doc;
+  NodeSequence result;
+  result.reserve(doc.size());
+  for (auto _ : state) {
+    result.clear();
+    internal::Scan s{doc.posts().data(), doc.kinds().data(),
+                     doc.levels().data(), false, false, &result, JoinStats{}};
+    internal::ScanPartitionDescBasic(s, 1, doc.size() - 1,
+                                     doc.post(doc.root()));
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_ScanPartitionDescBasic);
+
+void BM_ScanPartitionDescCopyPhase(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  const DocTable& doc = *w.doc;
+  NodeSequence result;
+  result.reserve(doc.size());
+  for (auto _ : state) {
+    result.clear();
+    internal::Scan s{doc.posts().data(), doc.kinds().data(),
+                     doc.levels().data(), false, false, &result, JoinStats{}};
+    internal::ScanPartitionDescEstimated(s, 1, doc.size() - 1,
+                                         doc.post(doc.root()));
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_ScanPartitionDescCopyPhase);
+
+void BM_ScanPartitionDescWithAttributeFilter(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  const DocTable& doc = *w.doc;
+  NodeSequence result;
+  result.reserve(doc.size());
+  for (auto _ : state) {
+    result.clear();
+    internal::Scan s{doc.posts().data(), doc.kinds().data(),
+                     doc.levels().data(), true, false, &result, JoinStats{}};
+    internal::ScanPartitionDescEstimated(s, 1, doc.size() - 1,
+                                         doc.post(doc.root()));
+    benchmark::DoNotOptimize(result.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(doc.size()));
+}
+BENCHMARK(BM_ScanPartitionDescWithAttributeFilter);
+
+void BM_PruneContextDescendant(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  // Everything under open_auctions: heavily nested context.
+  NodeSequence ctx;
+  const NodeSequence& auctions = w.Nodes("open_auction");
+  const NodeSequence& bidders = w.Nodes("bidder");
+  std::merge(auctions.begin(), auctions.end(), bidders.begin(), bidders.end(),
+             std::back_inserter(ctx));
+  for (auto _ : state) {
+    NodeSequence kept = PruneContext(*w.doc, ctx, Axis::kDescendant);
+    benchmark::DoNotOptimize(kept.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ctx.size()));
+}
+BENCHMARK(BM_PruneContextDescendant);
+
+void BM_StaircaseJoinAncIncrease(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  const NodeSequence& increases = w.Nodes("increase");
+  for (auto _ : state) {
+    auto r = StaircaseJoin(*w.doc, increases, Axis::kAncestor);
+    benchmark::DoNotOptimize(r.value().data());
+  }
+}
+BENCHMARK(BM_StaircaseJoinAncIncrease);
+
+void BM_BPlusTreeSeek(benchmark::State& state) {
+  const Workload& w = SharedWorkload();
+  static SqlPlanEvaluator* sql = new SqlPlanEvaluator(*w.doc);
+  uint32_t pre = 0;
+  const uint32_t n = static_cast<uint32_t>(w.doc->size());
+  for (auto _ : state) {
+    auto it = sql->index().Seek({pre, 0, 0});
+    benchmark::DoNotOptimize(it.Valid());
+    pre = (pre + 7919) % n;
+  }
+}
+BENCHMARK(BM_BPlusTreeSeek);
+
+}  // namespace
+}  // namespace sj::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// AB2 -- Ablation: parallel partitioned staircase join (Section 3.2's
+// observation that the staircase partitions "naturally lead to a parallel
+// XPath execution strategy"). Sweeps worker counts on the largest
+// workload's descendant and ancestor steps.
+
+#include <thread>
+
+#include "bench_util.h"
+#include "core/parallel.h"
+
+namespace sj::bench {
+namespace {
+
+void Run() {
+  PrintHeader("AB2 (ablation)",
+              "parallel partitioned staircase join, worker sweep");
+  double mb = BenchSizes().back();
+  Workload w = MakeWorkload(mb);
+  std::printf("hardware threads available: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  struct StepSpec {
+    const char* name;
+    const NodeSequence* ctx;
+    Axis axis;
+  };
+  const NodeSequence& profiles = w.Nodes("profile");
+  const NodeSequence& increases = w.Nodes("increase");
+  StepSpec steps[] = {
+      {"desc(profile)", &profiles, Axis::kDescendant},
+      {"anc(increase)", &increases, Axis::kAncestor},
+  };
+
+  TablePrinter t({"step", "workers", "time [ms]", "speedup"});
+  for (const StepSpec& step : steps) {
+    double base_ms = 0;
+    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+      double ms = BestOfMillis(BenchReps(), [&] {
+        auto r = ParallelStaircaseJoin(*w.doc, *step.ctx, step.axis, {},
+                                       workers);
+        if (!r.ok()) std::abort();
+      });
+      if (workers == 1) base_ms = ms;
+      t.AddRow({step.name, std::to_string(workers),
+                TablePrinter::Fixed(ms, 3),
+                TablePrinter::Fixed(base_ms / ms, 2) + "x"});
+    }
+  }
+  t.Print();
+  std::printf("note: with estimation-based skipping these steps are memory-"
+              "bound; speedups saturate at the machine's bandwidth\n");
+}
+
+}  // namespace
+}  // namespace sj::bench
+
+int main() {
+  sj::bench::Run();
+  return 0;
+}

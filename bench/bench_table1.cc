@@ -1,0 +1,79 @@
+// T1 -- Paper Table 1: number of nodes in intermediary results for
+//   Q1: /descendant::profile/descendant::education
+//   Q2: /descendant::increase/ancestor::bidder
+// Paper values at 1111 MB (50,844,982 nodes):
+//   Q1: 47,015,212 | 127,984 | 1,849,360 |  63,793
+//   Q2: 47,015,212 | 597,777 | 706,193   | 597,777
+// The harness prints measured counts next to the paper's values scaled by
+// document size (the generator is calibrated, not identical; see DESIGN.md).
+
+#include "bench_util.h"
+
+namespace sj::bench {
+namespace {
+
+struct PaperRow {
+  double per_mb[4];  // paper value / 1111 for each of the four columns
+};
+
+// Paper values divided by 1111 MB.
+const PaperRow kPaperQ1 = {{42318.0, 115.2, 1664.6, 57.4}};
+const PaperRow kPaperQ2 = {{42318.0, 538.1, 635.6, 538.1}};
+
+void Run() {
+  PrintHeader("T1 (Table 1)", "intermediary result sizes for Q1 and Q2");
+  for (double mb : BenchSizes()) {
+    Workload w = MakeWorkload(mb);
+    const DocTable& doc = *w.doc;
+
+    // Step s1: /descendant from the root (attributes filtered, fn. 6).
+    JoinStats s1_stats;
+    NodeSequence s1 =
+        StaircaseJoin(doc, {doc.root()}, Axis::kDescendant, {}, &s1_stats)
+            .value();
+
+    // Q1: name test profile, then descendant step, then education test.
+    const NodeSequence& profiles = w.Nodes("profile");
+    NodeSequence q1_s2 =
+        StaircaseJoin(doc, profiles, Axis::kDescendant).value();
+    NodeSequence educations = StaircaseJoinView(
+        doc, w.index->view(w.Tag("education")), profiles, Axis::kDescendant)
+                                  .value();
+
+    // Q2: increase context, ancestor step, bidder test.
+    const NodeSequence& increases = w.Nodes("increase");
+    NodeSequence q2_s2 =
+        StaircaseJoin(doc, increases, Axis::kAncestor).value();
+    NodeSequence bidders = StaircaseJoinView(
+        doc, w.index->view(w.Tag("bidder")), increases, Axis::kAncestor)
+                               .value();
+
+    std::printf("\ndocument %s: %s nodes (paper @1111 MB: 50,844,982)\n",
+                SizeLabel(mb).c_str(),
+                TablePrinter::Count(doc.size()).c_str());
+    TablePrinter t({"query", "step", "measured", "paper (scaled)"});
+    auto row = [&](const char* q, const char* step, uint64_t measured,
+                   double paper_per_mb) {
+      t.AddRow({q, step, TablePrinter::Count(measured),
+                TablePrinter::Count(
+                    static_cast<uint64_t>(paper_per_mb * mb))});
+    };
+    row("Q1", "/descendant", s1.size(), kPaperQ1.per_mb[0]);
+    row("Q1", "::profile", profiles.size(), kPaperQ1.per_mb[1]);
+    row("Q1", "/descendant (from profile)", q1_s2.size(), kPaperQ1.per_mb[2]);
+    row("Q1", "::education", educations.size(), kPaperQ1.per_mb[3]);
+    row("Q2", "/descendant", s1.size(), kPaperQ2.per_mb[0]);
+    row("Q2", "::increase", increases.size(), kPaperQ2.per_mb[1]);
+    row("Q2", "/ancestor (from increase)", q2_s2.size(), kPaperQ2.per_mb[2]);
+    row("Q2", "::bidder", bidders.size(), kPaperQ2.per_mb[3]);
+    t.Print();
+  }
+}
+
+}  // namespace
+}  // namespace sj::bench
+
+int main() {
+  sj::bench::Run();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Shared benchmark harness: document-size sweeps matching the paper's
+// x-axis (1.1 / 11 / 111 / 1111 MB), cached workload construction, and
+// paper-vs-measured table output.
+//
+// Environment:
+//   SJ_BENCH_SCALE=small  -> sizes {1.1, 11}
+//   (default)             -> sizes {1.1, 11, 111}
+//   SJ_BENCH_SCALE=xl     -> sizes {1.1, 11, 111, 1111}  (the paper's full
+//                            sweep; needs ~2 GB RAM)
+//   SJ_BENCH_REPS=N       -> timing repetitions (default 3, best-of)
+
+#ifndef STAIRJOIN_BENCH_BENCH_UTIL_H_
+#define STAIRJOIN_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/staircase_join.h"
+#include "core/tag_view.h"
+#include "encoding/doc_table.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "xmlgen/xmark.h"
+
+namespace sj::bench {
+
+/// One generated workload instance.
+struct Workload {
+  double size_mb = 0;
+  std::unique_ptr<DocTable> doc;
+  std::unique_ptr<TagIndex> index;
+
+  TagId Tag(const char* name) const { return doc->tags().Lookup(name); }
+
+  /// All element nodes with the given tag, in document order.
+  const NodeSequence& Nodes(const char* name) const {
+    return index->view(Tag(name)).pre;
+  }
+};
+
+/// Document sizes for the sweep (see header comment).
+inline std::vector<double> BenchSizes() {
+  const char* scale = std::getenv("SJ_BENCH_SCALE");
+  if (scale != nullptr && std::string(scale) == "small") return {1.1, 11.0};
+  if (scale != nullptr && std::string(scale) == "xl") {
+    return {1.1, 11.0, 111.0, 1111.0};
+  }
+  return {1.1, 11.0, 111.0};
+}
+
+/// Timing repetitions (best-of-N).
+inline int BenchReps() {
+  const char* reps = std::getenv("SJ_BENCH_REPS");
+  int n = reps != nullptr ? std::atoi(reps) : 3;
+  return n > 0 ? n : 3;
+}
+
+/// Generates (and fragments) one workload instance; prints progress.
+inline Workload MakeWorkload(double size_mb, bool with_index = true) {
+  Workload w;
+  w.size_mb = size_mb;
+  xmlgen::XMarkOptions gen;
+  gen.size_mb = size_mb;
+  gen.rich_text = false;
+  BuildOptions build;
+  build.store_values = false;
+  Timer t;
+  auto doc = xmlgen::GenerateXMarkDocument(gen, build);
+  if (!doc.ok()) {
+    std::fprintf(stderr, "workload generation failed: %s\n",
+                 doc.status().ToString().c_str());
+    std::abort();
+  }
+  w.doc = std::move(doc).value();
+  if (with_index) w.index = std::make_unique<TagIndex>(*w.doc);
+  std::fprintf(stderr, "[workload] %.1f MB-equivalent: %zu nodes (%.0f ms)\n",
+               size_mb, w.doc->size(), t.ElapsedMillis());
+  return w;
+}
+
+/// Formats a document size like the paper's x-axis labels.
+inline std::string SizeLabel(double mb) {
+  return TablePrinter::Fixed(mb, 1) + " MB";
+}
+
+/// Prints the standard bench header.
+inline void PrintHeader(const char* experiment_id, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment_id, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace sj::bench
+
+#endif  // STAIRJOIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,89 @@
+// Quickstart: load an XML document, run XPath queries through the
+// staircase join, and inspect results.
+//
+//   $ ./build/examples/quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "core/tag_view.h"
+#include "encoding/loader.h"
+#include "xpath/evaluator.h"
+
+namespace {
+
+constexpr const char* kCatalog = R"(<catalog>
+  <book id="b1" year="1994"><title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <price>65.95</price></book>
+  <book id="b2" year="2003"><title>XQuery from the Experts</title>
+    <author><last>Katz</last><first>Howard</first></author>
+    <price>39.95</price></book>
+  <book id="b3" year="2000"><title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <price>34.95</price></book>
+</catalog>)";
+
+}  // namespace
+
+int main() {
+  // 1. Parse and encode the document into the pre/post plane.
+  auto doc_result = sj::LoadDocument(kCatalog);
+  if (!doc_result.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 doc_result.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<sj::DocTable> doc = std::move(doc_result).value();
+  std::printf("encoded %zu nodes, height %u, %llu attributes\n\n",
+              doc->size(), doc->height(),
+              static_cast<unsigned long long>(doc->attribute_count()));
+
+  // 2. Build tag fragments once; they enable name-test pushdown.
+  sj::TagIndex index(*doc);
+
+  // 3. Evaluate XPath queries.
+  sj::xpath::EvalOptions options;
+  options.tag_index = &index;
+  sj::xpath::Evaluator evaluator(*doc, options);
+
+  const char* queries[] = {
+      "/descendant::title",
+      "/descendant::author/child::last",
+      "/descendant::last/ancestor::book",
+      "/descendant::book[descendant::last]/attribute::id",
+      "//book/price",
+  };
+  for (const char* query : queries) {
+    auto result = evaluator.EvaluateString(query);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s -> %s\n", query,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", query);
+    for (sj::NodeId v : result.value()) {
+      // Print the node plus its text content (first text child / value).
+      std::string text;
+      if (doc->kind(v) == sj::NodeKind::kAttribute) {
+        text = std::string(doc->value(v));
+      } else {
+        for (sj::NodeId u = v + 1;
+             u < doc->size() && doc->IsDescendant(u, v); ++u) {
+          if (doc->kind(u) == sj::NodeKind::kText) {
+            text = std::string(doc->value(u));
+            break;
+          }
+        }
+      }
+      std::printf("  %-44s %s\n", doc->DebugString(v).c_str(), text.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 4. EXPLAIN the last query plan.
+  std::printf("plan of the last query:\n%s",
+              evaluator.ExplainLastQuery().c_str());
+  return 0;
+}

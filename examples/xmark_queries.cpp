@@ -1,0 +1,99 @@
+// The paper's workload end-to-end: generate an XMark-style instance, run
+// Q1 and Q2 with different execution strategies, and print intermediate
+// result sizes (compare with paper Table 1) and timings.
+//
+//   $ ./build/examples/xmark_queries [size_mb]     (default 11)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/tag_view.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+#include "xmlgen/xmark.h"
+#include "xpath/evaluator.h"
+
+int main(int argc, char** argv) {
+  double size_mb = argc > 1 ? std::atof(argv[1]) : 11.0;
+  if (size_mb <= 0) {
+    std::fprintf(stderr, "usage: %s [size_mb]\n", argv[0]);
+    return 1;
+  }
+
+  sj::xmlgen::XMarkOptions gen;
+  gen.size_mb = size_mb;
+  gen.rich_text = false;  // join benches only need structure
+  sj::BuildOptions build;
+  build.store_values = false;
+
+  sj::Timer load_timer;
+  auto doc_result = sj::xmlgen::GenerateXMarkDocument(gen, build);
+  if (!doc_result.ok()) {
+    std::fprintf(stderr, "%s\n", doc_result.status().ToString().c_str());
+    return 1;
+  }
+  auto doc = std::move(doc_result).value();
+  std::printf("generated %.1f MB-equivalent: %zu nodes (height %u) in %.0f ms\n",
+              size_mb, doc->size(), doc->height(), load_timer.ElapsedMillis());
+
+  sj::Timer frag_timer;
+  sj::TagIndex index(*doc);
+  std::printf("fragmented by tag name: %zu tags, %.1f MB, %.0f ms\n\n",
+              doc->tags().size(),
+              static_cast<double>(index.memory_bytes()) / 1048576.0,
+              frag_timer.ElapsedMillis());
+
+  struct Strategy {
+    const char* name;
+    sj::xpath::EvalOptions options;
+  };
+  sj::xpath::EvalOptions base;
+  base.tag_index = &index;
+  Strategy strategies[] = {
+      {"staircase join", [&] {
+         auto o = base;
+         o.pushdown = sj::xpath::PushdownMode::kNever;
+         return o;
+       }()},
+      {"scj + name-test pushdown", [&] {
+         auto o = base;
+         o.pushdown = sj::xpath::PushdownMode::kAlways;
+         return o;
+       }()},
+      {"scj parallel (4 workers)", [&] {
+         auto o = base;
+         o.pushdown = sj::xpath::PushdownMode::kNever;
+         o.num_threads = 4;
+         return o;
+       }()},
+      {"naive per-context", [&] {
+         auto o = base;
+         o.engine = sj::xpath::EngineMode::kNaive;
+         return o;
+       }()},
+  };
+
+  for (const char* query : {sj::xmlgen::kQ1, sj::xmlgen::kQ2}) {
+    std::printf("query: %s\n", query);
+    sj::TablePrinter table({"strategy", "result", "time [ms]"});
+    for (const Strategy& strategy : strategies) {
+      sj::xpath::Evaluator ev(*doc, strategy.options);
+      sj::Timer t;
+      auto r = ev.EvaluateString(query);
+      double ms = t.ElapsedMillis();
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      table.AddRow({strategy.name, sj::TablePrinter::Count(r.value().size()),
+                    sj::TablePrinter::Fixed(ms, 2)});
+    }
+    table.Print();
+
+    // Show the executed plan of the default strategy.
+    sj::xpath::Evaluator ev(*doc, base);
+    (void)ev.EvaluateString(query);
+    std::printf("%s\n", ev.ExplainLastQuery().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+#include "baselines/mpmgjn.h"
+
+#include <algorithm>
+
+#include "bat/operators.h"
+
+namespace sj {
+
+JoinList MakeJoinList(const DocTable& doc, const NodeSequence& nodes) {
+  JoinList list;
+  list.pre.reserve(nodes.size());
+  list.post.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    list.pre.push_back(v);
+    list.post.push_back(doc.post(v));
+  }
+  return list;
+}
+
+namespace {
+
+Status Validate(const JoinList& list) {
+  if (!std::is_sorted(list.pre.begin(), list.pre.end())) {
+    return Status::InvalidArgument("MPMGJN input not sorted by pre rank");
+  }
+  if (list.pre.size() != list.post.size()) {
+    return Status::InvalidArgument("MPMGJN input columns differ in length");
+  }
+  return Status::OK();
+}
+
+/// Runs the merge producing (a, d) matches; `emit` receives the list
+/// positions. The outer cursor over `descendants` only moves forward, but
+/// each ancestor candidate re-scans the descendant entries inside its
+/// containment interval -- nested candidates therefore re-test the same
+/// entries, which is the tree-unaware behaviour the staircase join removes.
+template <typename Emit>
+void Merge(const JoinList& ancestors, const JoinList& descendants,
+           uint32_t height, JoinStats* stats, Emit emit) {
+  size_t start = 0;  // first descendant candidate for the current ancestor
+  for (size_t i = 0; i < ancestors.size(); ++i) {
+    const uint32_t a_pre = ancestors.pre[i];
+    const uint32_t a_post = ancestors.post[i];
+    // Ancestor candidates are pre-sorted, so matches for this candidate
+    // start at or after `start`.
+    while (start < descendants.size() && descendants.pre[start] <= a_pre) {
+      ++start;
+    }
+    const uint64_t interval_end = static_cast<uint64_t>(a_post) + height;
+    for (size_t j = start;
+         j < descendants.size() && descendants.pre[j] <= interval_end; ++j) {
+      if (stats != nullptr) ++stats->nodes_scanned;
+      if (descendants.post[j] < a_post) emit(i, j);
+    }
+  }
+}
+
+}  // namespace
+
+Result<NodeSequence> MpmgjnDescendants(const JoinList& ancestors,
+                                       const JoinList& descendants,
+                                       uint32_t height, JoinStats* stats) {
+  SJ_RETURN_NOT_OK(Validate(ancestors));
+  SJ_RETURN_NOT_OK(Validate(descendants));
+  if (stats != nullptr) {
+    *stats = JoinStats{};
+    stats->context_size = ancestors.size();
+  }
+  NodeSequence matches;
+  Merge(ancestors, descendants, height, stats,
+        [&](size_t, size_t j) { matches.push_back(descendants.pre[j]); });
+  uint64_t produced = matches.size();
+  NodeSequence result = bat::SortUnique(std::move(matches));
+  if (stats != nullptr) {
+    stats->candidates_produced = produced;
+    stats->duplicates_removed = produced - result.size();
+    stats->result_size = result.size();
+  }
+  return result;
+}
+
+Result<NodeSequence> MpmgjnAncestors(const JoinList& ancestors,
+                                     const JoinList& descendants,
+                                     uint32_t height, JoinStats* stats) {
+  SJ_RETURN_NOT_OK(Validate(ancestors));
+  SJ_RETURN_NOT_OK(Validate(descendants));
+  if (stats != nullptr) {
+    *stats = JoinStats{};
+    stats->context_size = descendants.size();
+  }
+  NodeSequence matches;
+  Merge(ancestors, descendants, height, stats,
+        [&](size_t i, size_t) { matches.push_back(ancestors.pre[i]); });
+  uint64_t produced = matches.size();
+  NodeSequence result = bat::SortUnique(std::move(matches));
+  if (stats != nullptr) {
+    stats->candidates_produced = produced;
+    stats->duplicates_removed = produced - result.size();
+    stats->result_size = result.size();
+  }
+  return result;
+}
+
+}  // namespace sj

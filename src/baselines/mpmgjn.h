@@ -1,0 +1,54 @@
+// Multi-predicate merge join (MPMGJN, Zhang et al. [17]).
+//
+// The structural-join comparator of the paper's related-work section: a
+// merge join over two pre-sorted node lists with the interval containment
+// predicate (pre(a) < pre(d) AND post(d) < post(a)). MPMGJN exploits
+// hierarchical interval containment but lacks the staircase join's pruning
+// and skipping: nested ancestor candidates re-scan the same descendant
+// range, so it touches and tests more nodes (Section 5).
+
+#ifndef STAIRJOIN_BASELINES_MPMGJN_H_
+#define STAIRJOIN_BASELINES_MPMGJN_H_
+
+#include <vector>
+
+#include "core/stats.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// \brief A join input: nodes sorted by pre rank with their post ranks.
+struct JoinList {
+  std::vector<NodeId> pre;
+  std::vector<uint32_t> post;
+
+  size_t size() const { return pre.size(); }
+};
+
+/// Builds a JoinList from a document-order node sequence.
+JoinList MakeJoinList(const DocTable& doc, const NodeSequence& nodes);
+
+/// \brief MPMGJN returning the distinct descendant-side matches
+/// (the `ancestors/descendant::...` step semantics).
+///
+/// `height` bounds the pre-rank extent of a subtree via Eq. (1)
+/// (pre <= post + h), exactly the containment-interval end the original
+/// algorithm derives from its (start, end) encoding. Duplicate matches from
+/// nested ancestor candidates are produced first and eliminated by a final
+/// sort + unique (counted in stats).
+Result<NodeSequence> MpmgjnDescendants(const JoinList& ancestors,
+                                       const JoinList& descendants,
+                                       uint32_t height,
+                                       JoinStats* stats = nullptr);
+
+/// \brief MPMGJN returning the distinct ancestor-side matches
+/// (the `descendants/ancestor::...` step semantics).
+Result<NodeSequence> MpmgjnAncestors(const JoinList& ancestors,
+                                     const JoinList& descendants,
+                                     uint32_t height,
+                                     JoinStats* stats = nullptr);
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_BASELINES_MPMGJN_H_

@@ -1,0 +1,211 @@
+#include "baselines/naive.h"
+
+#include <algorithm>
+
+#include "bat/operators.h"
+
+namespace sj {
+namespace {
+
+bool IsAttr(const DocTable& doc, NodeId v) {
+  return doc.kind(v) == NodeKind::kAttribute;
+}
+
+/// Appends the per-context result of `axis` for node c (duplicates across
+/// context nodes intended -- that is the point of this baseline).
+void AppendPerContext(const DocTable& doc, NodeId c, Axis axis,
+                      bool keep_attributes, NodeSequence* out) {
+  const uint64_t n = doc.size();
+  auto emit = [&](uint64_t v) {
+    if (keep_attributes || !IsAttr(doc, static_cast<NodeId>(v))) {
+      out->push_back(static_cast<NodeId>(v));
+    }
+  };
+  switch (axis) {
+    case Axis::kSelf:
+      out->push_back(c);  // self is never attribute-filtered
+      break;
+    case Axis::kParent:
+      if (doc.parent(c) != kNilNode) out->push_back(doc.parent(c));
+      break;
+    case Axis::kDescendantOrSelf:
+      out->push_back(c);
+      [[fallthrough]];
+    case Axis::kDescendant: {
+      uint64_t end = static_cast<uint64_t>(c) + doc.subtree_size(c);
+      for (uint64_t v = static_cast<uint64_t>(c) + 1; v <= end; ++v) emit(v);
+      break;
+    }
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      if (axis == Axis::kAncestorOrSelf) out->push_back(c);
+      NodeSequence chain;
+      for (NodeId p = doc.parent(c); p != kNilNode; p = doc.parent(p)) {
+        chain.push_back(p);
+      }
+      // Parent-chain walks root-last; results must be in document order.
+      std::reverse(chain.begin(), chain.end());
+      size_t insert_at = out->size() -
+                         (axis == Axis::kAncestorOrSelf ? 1 : 0);
+      out->insert(out->begin() + static_cast<ptrdiff_t>(insert_at),
+                  chain.begin(), chain.end());
+      break;
+    }
+    case Axis::kFollowing: {
+      for (uint64_t v = static_cast<uint64_t>(c) + doc.subtree_size(c) + 1;
+           v < n; ++v) {
+        emit(v);
+      }
+      break;
+    }
+    case Axis::kPreceding: {
+      for (uint64_t v = 0; v < c; ++v) {
+        if (doc.post(static_cast<NodeId>(v)) < doc.post(c)) emit(v);
+      }
+      break;
+    }
+    case Axis::kChild: {
+      uint64_t end = static_cast<uint64_t>(c) + doc.subtree_size(c);
+      uint64_t v = static_cast<uint64_t>(c) + 1;
+      while (v <= end) {
+        if (IsAttr(doc, static_cast<NodeId>(v))) {
+          ++v;  // attribute nodes are not children in the XPath data model
+          continue;
+        }
+        out->push_back(static_cast<NodeId>(v));
+        v += doc.subtree_size(static_cast<NodeId>(v)) + 1;
+      }
+      break;
+    }
+    case Axis::kAttribute: {
+      for (uint64_t v = static_cast<uint64_t>(c) + 1;
+           v < n && IsAttr(doc, static_cast<NodeId>(v)) &&
+           doc.parent(static_cast<NodeId>(v)) == c;
+           ++v) {
+        out->push_back(static_cast<NodeId>(v));
+      }
+      break;
+    }
+    case Axis::kFollowingSibling: {
+      if (doc.parent(c) == kNilNode || IsAttr(doc, c)) break;
+      NodeId p = doc.parent(c);
+      uint64_t end = static_cast<uint64_t>(p) + doc.subtree_size(p);
+      uint64_t v = static_cast<uint64_t>(c) + doc.subtree_size(c) + 1;
+      while (v <= end) {
+        out->push_back(static_cast<NodeId>(v));
+        v += doc.subtree_size(static_cast<NodeId>(v)) + 1;
+      }
+      break;
+    }
+    case Axis::kPrecedingSibling: {
+      if (doc.parent(c) == kNilNode || IsAttr(doc, c)) break;
+      NodeId p = doc.parent(c);
+      uint64_t v = static_cast<uint64_t>(p) + 1;
+      while (v < c) {
+        if (IsAttr(doc, static_cast<NodeId>(v))) {
+          ++v;
+          continue;
+        }
+        out->push_back(static_cast<NodeId>(v));
+        v += doc.subtree_size(static_cast<NodeId>(v)) + 1;
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Result<NodeSequence> NaiveAxisStep(const DocTable& doc,
+                                   const NodeSequence& context, Axis axis,
+                                   JoinStats* stats, bool keep_attributes) {
+  if (!context.empty() && context.back() >= doc.size()) {
+    return Status::InvalidArgument("context node out of range");
+  }
+  if (!IsDocumentOrder(context)) {
+    return Status::InvalidArgument(
+        "context must be duplicate-free and in document order");
+  }
+  NodeSequence candidates;
+  for (NodeId c : context) {
+    AppendPerContext(doc, c, axis, keep_attributes, &candidates);
+  }
+  uint64_t produced = candidates.size();
+  NodeSequence result = bat::SortUnique(std::move(candidates));
+  if (stats != nullptr) {
+    *stats = JoinStats{};
+    stats->context_size = context.size();
+    stats->candidates_produced = produced;
+    stats->duplicates_removed = produced - result.size();
+    stats->result_size = result.size();
+    stats->nodes_scanned = produced;
+  }
+  return result;
+}
+
+uint64_t NaiveCandidateCount(const DocTable& doc, const NodeSequence& context,
+                             Axis axis, bool keep_attributes) {
+  // Attribute-aware counting needs the number of attribute nodes in a pre
+  // range; one prefix-sum pass provides it.
+  std::vector<uint64_t> attr_prefix;
+  auto attrs_in = [&](uint64_t lo, uint64_t hi) -> uint64_t {  // [lo, hi)
+    if (keep_attributes) return 0;
+    if (attr_prefix.empty()) {
+      attr_prefix.resize(doc.size() + 1, 0);
+      const auto kinds = doc.kinds();
+      for (size_t i = 0; i < doc.size(); ++i) {
+        attr_prefix[i + 1] =
+            attr_prefix[i] +
+            (kinds[i] == static_cast<uint8_t>(NodeKind::kAttribute) ? 1 : 0);
+      }
+    }
+    return attr_prefix[hi] - attr_prefix[lo];
+  };
+
+  uint64_t total = 0;
+  const uint64_t n = doc.size();
+  for (NodeId c : context) {
+    switch (axis) {
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        uint64_t sub = doc.subtree_size(c);
+        total += sub - attrs_in(c + 1, c + sub + 1);
+        if (axis == Axis::kDescendantOrSelf) ++total;
+        break;
+      }
+      case Axis::kAncestor:
+        total += doc.level(c);
+        break;
+      case Axis::kAncestorOrSelf:
+        total += doc.level(c) + 1;
+        break;
+      case Axis::kFollowing: {
+        uint64_t first = static_cast<uint64_t>(c) + doc.subtree_size(c) + 1;
+        total += (n - first) - attrs_in(first, n);
+        break;
+      }
+      case Axis::kPreceding: {
+        // preceding(c) = pre(c) - level(c) - attributes among them.
+        uint64_t prec_and_anc = c;
+        total += prec_and_anc - doc.level(c) - attrs_in(0, c);
+        break;
+      }
+      case Axis::kSelf:
+        ++total;
+        break;
+      case Axis::kParent:
+        total += doc.parent(c) != kNilNode ? 1u : 0u;
+        break;
+      default: {
+        // Remaining axes: count by materialization (small results).
+        NodeSequence tmp;
+        AppendPerContext(doc, c, axis, keep_attributes, &tmp);
+        total += tmp.size();
+        break;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace sj

@@ -1,0 +1,43 @@
+// Naive axis-step evaluation (paper Section 3.1 / Experiment 1).
+//
+// "The naive way of evaluating an axis step for a context node sequence
+// would be to evaluate the step for each context node independently and
+// construct the end result from these intermediary results" -- producing
+// duplicate nodes that a final sort + unique pass has to remove. This
+// oracle also backs the correctness property tests.
+
+#ifndef STAIRJOIN_BASELINES_NAIVE_H_
+#define STAIRJOIN_BASELINES_NAIVE_H_
+
+#include "core/axis.h"
+#include "core/stats.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// \brief Evaluates `axis` independently per context node, concatenates,
+/// then sorts and deduplicates (the XPath post-processing the staircase
+/// join avoids).
+///
+/// stats->candidates_produced counts nodes before duplicate elimination,
+/// stats->duplicates_removed the nodes the unique operator dropped --
+/// the two series of paper Fig. 11(a).
+///
+/// All staircase axes plus self/parent/child/attribute/siblings are
+/// supported; the context must be in document order and duplicate free.
+Result<NodeSequence> NaiveAxisStep(const DocTable& doc,
+                                   const NodeSequence& context, Axis axis,
+                                   JoinStats* stats = nullptr,
+                                   bool keep_attributes = false);
+
+/// \brief Per-context result sizes summed analytically in O(|context|)
+/// (no materialization): what the naive plan *would* produce. Used by the
+/// large-scale duplicates bench; NaiveAxisStep reports the same number in
+/// candidates_produced.
+uint64_t NaiveCandidateCount(const DocTable& doc, const NodeSequence& context,
+                             Axis axis, bool keep_attributes = false);
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_BASELINES_NAIVE_H_

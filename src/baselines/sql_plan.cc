@@ -1,0 +1,246 @@
+#include "baselines/sql_plan.h"
+
+#include <algorithm>
+
+#include "bat/operators.h"
+
+namespace sj {
+namespace {
+
+/// Tag code stored in the index for nodes without a name.
+constexpr uint32_t kUntagged = 0xFFFFFFFFu;
+
+}  // namespace
+
+SqlPlanEvaluator::SqlPlanEvaluator(const DocTable& doc) : doc_(doc) {
+  std::vector<btree::IndexKey> keys;
+  keys.reserve(doc.size());
+  const auto kinds = doc.kinds();
+  const auto posts = doc.posts();
+  const auto tags = doc.tags_column();
+  for (size_t i = 0; i < doc.size(); ++i) {
+    if (kinds[i] == static_cast<uint8_t>(NodeKind::kAttribute)) continue;
+    keys.push_back(btree::IndexKey{static_cast<uint32_t>(i), posts[i],
+                                   tags[i] == kNoTag ? kUntagged : tags[i]});
+  }
+  // Keys arrive pre-sorted (ascending pre ranks).
+  Status st = index_.BulkLoad(keys);
+  (void)st;  // cannot fail: keys strictly ascending, tree empty
+}
+
+Result<NodeSequence> SqlPlanEvaluator::AxisStep(const NodeSequence& context,
+                                                Axis axis, TagId tag,
+                                                const SqlPlanOptions& options,
+                                                JoinStats* stats) const {
+  if (!context.empty() && context.back() >= doc_.size()) {
+    return Status::InvalidArgument("context node out of range");
+  }
+  if (!IsDocumentOrder(context)) {
+    return Status::InvalidArgument(
+        "context must be duplicate-free and in document order");
+  }
+  const uint64_t n = doc_.size();
+  const uint32_t h = doc_.height();
+  btree::ScanStats scan_stats;
+  NodeSequence candidates;
+
+  auto match_tag = [&](const btree::IndexKey& k) {
+    return tag == kNoTag || k.tag == tag;
+  };
+
+  for (NodeId c : context) {
+    const uint32_t post_c = doc_.post(c);
+    switch (axis) {
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        if (axis == Axis::kDescendantOrSelf &&
+            doc_.kind(c) != NodeKind::kAttribute &&
+            (tag == kNoTag || doc_.tag(c) == tag)) {
+          candidates.push_back(c);
+        }
+        // Index range scan: pre in (pre(c), limit]; predicate post < post(c)
+        // (and the early name test) evaluated per scanned entry.
+        uint64_t limit =
+            options.window_predicate
+                ? std::min<uint64_t>(n - 1, static_cast<uint64_t>(post_c) + h)
+                : n - 1;
+        for (auto it = index_.Seek({c + 1, 0, 0}, &scan_stats);
+             it.Valid() && it.key().pre <= limit; it.Next()) {
+          if (it.key().post < post_c && match_tag(it.key())) {
+            candidates.push_back(it.key().pre);
+          }
+        }
+        break;
+      }
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        // No pre-rank window exists for ancestors without tree knowledge
+        // (the root is always a candidate): scan the full prefix.
+        for (auto it = index_.Seek({0, 0, 0}, &scan_stats);
+             it.Valid() && it.key().pre < c; it.Next()) {
+          if (it.key().post > post_c && match_tag(it.key())) {
+            candidates.push_back(it.key().pre);
+          }
+        }
+        if (axis == Axis::kAncestorOrSelf &&
+            doc_.kind(c) != NodeKind::kAttribute &&
+            (tag == kNoTag || doc_.tag(c) == tag)) {
+          candidates.push_back(c);
+        }
+        break;
+      }
+      case Axis::kFollowing: {
+        for (auto it = index_.Seek({c + 1, 0, 0}, &scan_stats); it.Valid();
+             it.Next()) {
+          if (it.key().post > post_c && match_tag(it.key())) {
+            candidates.push_back(it.key().pre);
+          }
+        }
+        break;
+      }
+      case Axis::kPreceding: {
+        for (auto it = index_.Seek({0, 0, 0}, &scan_stats);
+             it.Valid() && it.key().pre < c; it.Next()) {
+          if (it.key().post < post_c && match_tag(it.key())) {
+            candidates.push_back(it.key().pre);
+          }
+        }
+        break;
+      }
+      default:
+        return Status::Unsupported(
+            std::string("SQL baseline does not evaluate axis ") +
+            std::string(AxisName(axis)));
+    }
+  }
+
+  uint64_t produced = candidates.size();
+  NodeSequence result = bat::SortUnique(std::move(candidates));
+  if (stats != nullptr) {
+    *stats = JoinStats{};
+    stats->context_size = context.size();
+    stats->candidates_produced = produced;
+    stats->duplicates_removed = produced - result.size();
+    stats->result_size = result.size();
+    stats->index_entries_scanned = scan_stats.entries_scanned;
+    stats->nodes_scanned = scan_stats.entries_scanned;
+  }
+  return result;
+}
+
+Result<NodeSequence> SqlPlanEvaluator::SemijoinStep(
+    const NodeSequence& context, Axis axis, TagId tag,
+    JoinStats* stats) const {
+  if (!context.empty() && context.back() >= doc_.size()) {
+    return Status::InvalidArgument("context node out of range");
+  }
+  if (!IsDocumentOrder(context)) {
+    return Status::InvalidArgument(
+        "context must be duplicate-free and in document order");
+  }
+  const bool desc =
+      axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf;
+  const bool anc = axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
+  if (!desc && !anc) {
+    return Status::Unsupported(
+        std::string("SemijoinStep does not evaluate axis ") +
+        std::string(AxisName(axis)));
+  }
+  const bool or_self =
+      axis == Axis::kDescendantOrSelf || axis == Axis::kAncestorOrSelf;
+
+  btree::ScanStats scan_stats;
+  JoinStats local;
+  local.context_size = context.size();
+  NodeSequence result;
+  // Outer: full index scan in pre order with the early name test evaluated
+  // per entry (the concatenated key carries the tag). Inner: ascending
+  // probe over the context rows for a region witness, exiting at the first
+  // hit -- exactly the left semijoin of Fig. 3, producing its output in
+  // pre-sorted order.
+  for (auto it = index_.Seek({0, 0, 0}, &scan_stats); it.Valid(); it.Next()) {
+    const btree::IndexKey& v2 = it.key();
+    if (tag != kNoTag && v2.tag != tag) continue;
+    bool witness = false;
+    if (desc) {
+      // Witness c with pre(c) < pre(v2) and post(c) > post(v2)
+      // (plus equality for -or-self).
+      for (NodeId c : context) {
+        if (c > v2.pre || (!or_self && c == v2.pre)) break;
+        ++local.nodes_scanned;
+        if (c == v2.pre || doc_.post(c) > v2.post) {
+          witness = true;
+          break;
+        }
+      }
+    } else {
+      // Witness c with pre(c) > pre(v2) and post(c) < post(v2). The range
+      // delimiter pre >= pre(v2) is a B-tree seek; without Eq. (1) the
+      // probe cannot stop early on a miss.
+      size_t lo = static_cast<size_t>(
+          std::lower_bound(context.begin(), context.end(), v2.pre) -
+          context.begin());
+      for (size_t k = lo; k < context.size(); ++k) {
+        NodeId c = context[k];
+        ++local.nodes_scanned;
+        if (c == v2.pre) {
+          if (or_self) {
+            witness = true;
+            break;
+          }
+          continue;
+        }
+        if (doc_.post(c) < v2.post) {
+          witness = true;
+          break;
+        }
+      }
+    }
+    if (witness) result.push_back(v2.pre);
+  }
+  // The final unique operator of the plan; a semijoin leaves nothing to do.
+  uint64_t produced = result.size();
+  result = bat::UniqueSorted(std::move(result));
+  local.candidates_produced = produced;
+  local.duplicates_removed = produced - result.size();
+  local.result_size = result.size();
+  local.index_entries_scanned = scan_stats.entries_scanned;
+  if (stats != nullptr) *stats = local;
+  return result;
+}
+
+Result<NodeSequence> SqlPlanEvaluator::FilterHasDescendant(
+    const NodeSequence& context, TagId tag, const SqlPlanOptions& options,
+    JoinStats* stats) const {
+  if (!context.empty() && context.back() >= doc_.size()) {
+    return Status::InvalidArgument("context node out of range");
+  }
+  const uint64_t n = doc_.size();
+  const uint32_t h = doc_.height();
+  btree::ScanStats scan_stats;
+  NodeSequence result;
+  for (NodeId c : context) {
+    const uint32_t post_c = doc_.post(c);
+    uint64_t limit =
+        options.window_predicate
+            ? std::min<uint64_t>(n - 1, static_cast<uint64_t>(post_c) + h)
+            : n - 1;
+    for (auto it = index_.Seek({c + 1, 0, 0}, &scan_stats);
+         it.Valid() && it.key().pre <= limit; it.Next()) {
+      if (it.key().post < post_c && (tag == kNoTag || it.key().tag == tag)) {
+        result.push_back(c);  // existence established: stop scanning
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = JoinStats{};
+    stats->context_size = context.size();
+    stats->result_size = result.size();
+    stats->index_entries_scanned = scan_stats.entries_scanned;
+    stats->nodes_scanned = scan_stats.entries_scanned;
+  }
+  return result;
+}
+
+}  // namespace sj

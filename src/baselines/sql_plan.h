@@ -1,0 +1,85 @@
+// The tree-unaware SQL baseline ("IBM DB2"-style plan, paper Fig. 3).
+//
+// A conventional RDBMS evaluates a region query per context node through a
+// B+-tree over concatenated (pre, post, tag) keys: an index range scan
+// delimited by pre-rank bounds, with the remaining region predicates (and
+// an "early name test") evaluated against the scanned entries. Across a
+// context *sequence* the plan produces duplicates and relies on a final
+// unique operator. Section 2.1's optional window predicate (Eq. (1):
+// pre(v2) <= post(v1) + h) delimits the descendant scan by the actual
+// subtree size; without it the scan runs to the end of the document.
+//
+// The original system is closed source; this module implements the plan
+// the paper shows DB2 chose, which preserves the behaviour Experiment 3
+// contrasts against (see DESIGN.md, substitutions).
+
+#ifndef STAIRJOIN_BASELINES_SQL_PLAN_H_
+#define STAIRJOIN_BASELINES_SQL_PLAN_H_
+
+#include <memory>
+
+#include "btree/bplus_tree.h"
+#include "core/axis.h"
+#include "core/stats.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// Plan configuration.
+struct SqlPlanOptions {
+  /// Apply the Section 2.1 "line 7" window predicate (descendant scans
+  /// delimited to pre <= post(c) + h instead of running to the table end).
+  bool window_predicate = true;
+};
+
+/// \brief Query evaluator mimicking the Fig. 3 index-scan plan.
+class SqlPlanEvaluator {
+ public:
+  /// Builds the (pre, post, tag) B+-tree over the document's non-attribute
+  /// nodes (the paper's doc table keeps attributes out of axis results).
+  explicit SqlPlanEvaluator(const DocTable& doc);
+
+  /// \brief One axis step for a context sequence.
+  ///
+  /// Supported axes: descendant(-or-self), ancestor(-or-self), following,
+  /// preceding. `tag` != kNoTag applies the name test inside the index scan
+  /// (the "early name test" DB2 performs via the concatenated key).
+  /// The per-context scans produce duplicates; a final sort + unique pass
+  /// (counted in stats) restores the XPath semantics.
+  Result<NodeSequence> AxisStep(const NodeSequence& context, Axis axis,
+                                TagId tag, const SqlPlanOptions& options = {},
+                                JoinStats* stats = nullptr) const;
+
+  /// \brief Existence-predicate semijoin: keeps the context nodes that have
+  /// at least one descendant with `tag` (the manual Q2 rewrite
+  /// /descendant::bidder[descendant::increase] needs this).
+  Result<NodeSequence> FilterHasDescendant(const NodeSequence& context,
+                                           TagId tag,
+                                           const SqlPlanOptions& options = {},
+                                           JoinStats* stats = nullptr) const;
+
+  /// \brief The actual Fig. 3 DB2 plan shape: the *outer* index scan
+  /// enumerates candidate result nodes in pre order (evaluating the early
+  /// name test against the concatenated key), and for each candidate the
+  /// inner input is probed for a context witness in the axis region (a
+  /// left semijoin). No Eq. (1) tree knowledge is used anywhere.
+  ///
+  /// Supported axes: descendant(-or-self) and ancestor(-or-self).
+  /// stats->index_entries_scanned counts the outer scan,
+  /// stats->nodes_scanned the inner probe touches.
+  Result<NodeSequence> SemijoinStep(const NodeSequence& context, Axis axis,
+                                    TagId tag,
+                                    JoinStats* stats = nullptr) const;
+
+  /// The underlying index (exposed for tests/benches).
+  const btree::BPlusTree& index() const { return index_; }
+
+ private:
+  const DocTable& doc_;
+  btree::BPlusTree index_;
+};
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_BASELINES_SQL_PLAN_H_

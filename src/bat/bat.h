@@ -1,0 +1,100 @@
+// Monet-style binary tables (BATs) with virtual-oid (void) heads.
+//
+// The paper (Section 4.1) stores the pre/post document encoding in Monet
+// BATs whose head column has the special type `void`: a contiguous sequence
+// of object identifiers o, o+1, o+2, ... for which only the offset o (the
+// "seqbase") is stored. All lookups against such a column are positional.
+// This module reproduces that storage layer: a Bat<T> is a void head plus a
+// dense, typed tail array. The staircase join kernels scan tails directly;
+// the relational operators the query plans need live in bat/operators.h.
+
+#ifndef STAIRJOIN_BAT_BAT_H_
+#define STAIRJOIN_BAT_BAT_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sj::bat {
+
+/// Object identifier: the value domain of void head columns.
+using Oid = uint32_t;
+
+/// Nil oid, used e.g. for the parent of the document root.
+inline constexpr Oid kNilOid = 0xFFFFFFFFu;
+
+/// \brief Binary table with a void (virtual oid) head and a typed tail.
+///
+/// The head column is the contiguous oid sequence
+/// `seqbase, seqbase+1, ..., seqbase+size()-1`; nothing but `seqbase` is
+/// stored for it. The tail is a dense array of T. BUN i associates head oid
+/// `seqbase+i` with tail value `tail()[i]`.
+template <typename T>
+class Bat {
+ public:
+  /// Creates an empty BAT whose head sequence starts at `seqbase`.
+  explicit Bat(Oid seqbase = 0) : seqbase_(seqbase) {}
+
+  /// Creates a BAT adopting `tail` as its tail column.
+  Bat(Oid seqbase, std::vector<T> tail)
+      : seqbase_(seqbase), tail_(std::move(tail)) {}
+
+  /// Pre-allocates capacity for `n` BUNs.
+  void Reserve(size_t n) { tail_.reserve(n); }
+
+  /// Appends one BUN; its head oid is implicit (seqbase + old size).
+  void Append(T value) { tail_.push_back(std::move(value)); }
+
+  /// Number of BUNs.
+  size_t size() const { return tail_.size(); }
+  bool empty() const { return tail_.empty(); }
+
+  /// First head oid of the void column.
+  Oid seqbase() const { return seqbase_; }
+
+  /// Head oid of BUN `pos`.
+  Oid HeadAt(size_t pos) const {
+    assert(pos < size());
+    return seqbase_ + static_cast<Oid>(pos);
+  }
+
+  /// Positional tail access (BUN position, not oid).
+  const T& operator[](size_t pos) const {
+    assert(pos < size());
+    return tail_[pos];
+  }
+  T& operator[](size_t pos) {
+    assert(pos < size());
+    return tail_[pos];
+  }
+
+  /// Tail access via head oid; the positional lookup void heads enable.
+  const T& AtOid(Oid oid) const {
+    assert(oid >= seqbase_ && oid - seqbase_ < size());
+    return tail_[oid - seqbase_];
+  }
+  T& AtOid(Oid oid) {
+    assert(oid >= seqbase_ && oid - seqbase_ < size());
+    return tail_[oid - seqbase_];
+  }
+
+  /// True iff `oid` falls into the head sequence.
+  bool ContainsOid(Oid oid) const {
+    return oid >= seqbase_ && oid - seqbase_ < size();
+  }
+
+  /// The whole tail as a contiguous read-only view.
+  std::span<const T> tail() const { return tail_; }
+
+  /// Raw tail pointer (the scan kernels iterate this directly).
+  const T* tail_data() const { return tail_.data(); }
+
+ private:
+  Oid seqbase_;
+  std::vector<T> tail_;
+};
+
+}  // namespace sj::bat
+
+#endif  // STAIRJOIN_BAT_BAT_H_

@@ -1,0 +1,84 @@
+// Relational operators over BATs.
+//
+// Only the operators the reproduced query plans actually use are provided;
+// all of them exploit the void head (results are oid lists or positional
+// slices, never materialized pairs).
+
+#ifndef STAIRJOIN_BAT_OPERATORS_H_
+#define STAIRJOIN_BAT_OPERATORS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "bat/bat.h"
+
+namespace sj::bat {
+
+/// \brief Head oids of all BUNs whose tail equals `value`.
+template <typename T>
+std::vector<Oid> SelectEq(const Bat<T>& b, const T& value) {
+  std::vector<Oid> out;
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (b[i] == value) out.push_back(b.HeadAt(i));
+  }
+  return out;
+}
+
+/// \brief Head oids of all BUNs whose tail lies in [lo, hi] (inclusive).
+template <typename T>
+std::vector<Oid> SelectRange(const Bat<T>& b, const T& lo, const T& hi) {
+  std::vector<Oid> out;
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (!(b[i] < lo) && !(hi < b[i])) out.push_back(b.HeadAt(i));
+  }
+  return out;
+}
+
+/// \brief Tail values at the given head oids (positional fetch join).
+template <typename T>
+std::vector<T> Gather(const Bat<T>& b, const std::vector<Oid>& oids) {
+  std::vector<T> out;
+  out.reserve(oids.size());
+  for (Oid o : oids) out.push_back(b.AtOid(o));
+  return out;
+}
+
+/// \brief Restricts an oid list to those whose tail in `b` equals `value`
+/// (the positional variant of a semijoin with a selection).
+template <typename T>
+std::vector<Oid> FilterEq(const Bat<T>& b, const std::vector<Oid>& oids,
+                          const T& value) {
+  std::vector<Oid> out;
+  for (Oid o : oids) {
+    if (b.AtOid(o) == value) out.push_back(o);
+  }
+  return out;
+}
+
+/// \brief True iff the tail is non-decreasing.
+template <typename T>
+bool TailSorted(const Bat<T>& b) {
+  return std::is_sorted(b.tail().begin(), b.tail().end());
+}
+
+/// \brief Removes adjacent duplicates from a sorted oid list (the `unique`
+/// operator of the Fig. 3 plan; input must be sorted).
+inline std::vector<Oid> UniqueSorted(std::vector<Oid> oids) {
+  oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
+  return oids;
+}
+
+/// \brief Sorts an oid list ascending (document order for pre ranks).
+inline std::vector<Oid> Sort(std::vector<Oid> oids) {
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+/// \brief Sorts and deduplicates (the naive plan's post-processing).
+inline std::vector<Oid> SortUnique(std::vector<Oid> oids) {
+  return UniqueSorted(Sort(std::move(oids)));
+}
+
+}  // namespace sj::bat
+
+#endif  // STAIRJOIN_BAT_OPERATORS_H_

@@ -1,0 +1,274 @@
+#include "btree/bplus_tree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sj::btree {
+
+struct BPlusTree::Node {
+  bool is_leaf;
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+  virtual ~Node() = default;
+};
+
+struct BPlusTree::Leaf : BPlusTree::Node {
+  Leaf() : Node(true) {}
+  std::vector<IndexKey> keys;
+  Leaf* next = nullptr;
+};
+
+struct BPlusTree::Internal : BPlusTree::Node {
+  Internal() : Node(false) {}
+  // children.size() == seps.size() + 1; subtree i holds keys < seps[i],
+  // subtree i+1 keys >= seps[i].
+  std::vector<IndexKey> seps;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+BPlusTree::BPlusTree() = default;
+BPlusTree::~BPlusTree() = default;
+
+BPlusTree::Leaf* BPlusTree::FindLeaf(const IndexKey& key) const {
+  if (!root_) return nullptr;
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* in = static_cast<Internal*>(node);
+    size_t i = static_cast<size_t>(
+        std::upper_bound(in->seps.begin(), in->seps.end(), key) -
+        in->seps.begin());
+    node = in->children[i].get();
+  }
+  return static_cast<Leaf*>(node);
+}
+
+Status BPlusTree::Insert(const IndexKey& key) {
+  if (!root_) {
+    auto leaf = std::make_unique<Leaf>();
+    leaf->keys.push_back(key);
+    first_leaf_ = leaf.get();
+    root_ = std::move(leaf);
+    size_ = 1;
+    height_ = 1;
+    return Status::OK();
+  }
+
+  // Descend remembering the path for splits on the way back up.
+  std::vector<Internal*> path;
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* in = static_cast<Internal*>(node);
+    path.push_back(in);
+    size_t i = static_cast<size_t>(
+        std::upper_bound(in->seps.begin(), in->seps.end(), key) -
+        in->seps.begin());
+    node = in->children[i].get();
+  }
+  auto* leaf = static_cast<Leaf*>(node);
+
+  auto pos = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (pos != leaf->keys.end() && *pos == key) {
+    return Status::InvalidArgument("BPlusTree: duplicate key");
+  }
+  leaf->keys.insert(pos, key);
+  ++size_;
+  if (leaf->keys.size() <= kLeafCapacity) return Status::OK();
+
+  // Split the leaf; `sep` separates the two halves, new right sibling
+  // `carry` bubbles up.
+  auto right = std::make_unique<Leaf>();
+  size_t half = leaf->keys.size() / 2;
+  right->keys.assign(leaf->keys.begin() + static_cast<ptrdiff_t>(half),
+                     leaf->keys.end());
+  leaf->keys.resize(half);
+  right->next = leaf->next;
+  leaf->next = right.get();
+  IndexKey sep = right->keys.front();
+  std::unique_ptr<Node> carry = std::move(right);
+
+  // Propagate splits upward.
+  Node* child = leaf;
+  while (!path.empty()) {
+    Internal* parent = path.back();
+    path.pop_back();
+    // Find child's slot (by pointer).
+    size_t i = 0;
+    while (parent->children[i].get() != child) ++i;
+    parent->seps.insert(parent->seps.begin() + static_cast<ptrdiff_t>(i),
+                        sep);
+    parent->children.insert(
+        parent->children.begin() + static_cast<ptrdiff_t>(i) + 1,
+        std::move(carry));
+    if (parent->seps.size() <= kInternalCapacity) return Status::OK();
+
+    auto new_right = std::make_unique<Internal>();
+    size_t mid = parent->seps.size() / 2;
+    sep = parent->seps[mid];
+    new_right->seps.assign(
+        parent->seps.begin() + static_cast<ptrdiff_t>(mid) + 1,
+        parent->seps.end());
+    for (size_t k = mid + 1; k < parent->children.size(); ++k) {
+      new_right->children.push_back(std::move(parent->children[k]));
+    }
+    parent->seps.resize(mid);
+    parent->children.resize(mid + 1);
+    carry = std::move(new_right);
+    child = parent;
+  }
+
+  // The root itself split: grow the tree by one level.
+  auto new_root = std::make_unique<Internal>();
+  new_root->seps.push_back(sep);
+  new_root->children.push_back(std::move(root_));
+  new_root->children.push_back(std::move(carry));
+  root_ = std::move(new_root);
+  ++height_;
+  return Status::OK();
+}
+
+Status BPlusTree::BulkLoad(const std::vector<IndexKey>& sorted_keys) {
+  if (root_) return Status::InvalidArgument("BulkLoad into non-empty tree");
+  for (size_t i = 1; i < sorted_keys.size(); ++i) {
+    if (!(sorted_keys[i - 1] < sorted_keys[i])) {
+      return Status::InvalidArgument("BulkLoad: keys not strictly ascending");
+    }
+  }
+  if (sorted_keys.empty()) return Status::OK();
+
+  // Fill leaves to ~90%.
+  const size_t per_leaf = kLeafCapacity * 9 / 10;
+  std::vector<std::unique_ptr<Node>> level;
+  std::vector<IndexKey> level_mins;
+  Leaf* prev = nullptr;
+  for (size_t i = 0; i < sorted_keys.size(); i += per_leaf) {
+    auto leaf = std::make_unique<Leaf>();
+    size_t end = std::min(sorted_keys.size(), i + per_leaf);
+    leaf->keys.assign(sorted_keys.begin() + static_cast<ptrdiff_t>(i),
+                      sorted_keys.begin() + static_cast<ptrdiff_t>(end));
+    if (prev != nullptr) prev->next = leaf.get();
+    if (first_leaf_ == nullptr) first_leaf_ = leaf.get();
+    prev = leaf.get();
+    level_mins.push_back(leaf->keys.front());
+    level.push_back(std::move(leaf));
+  }
+  height_ = 1;
+
+  // Build internal levels bottom-up.
+  const size_t per_internal = kInternalCapacity * 9 / 10 + 1;  // children
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> upper;
+    std::vector<IndexKey> upper_mins;
+    for (size_t i = 0; i < level.size(); i += per_internal) {
+      auto in = std::make_unique<Internal>();
+      size_t end = std::min(level.size(), i + per_internal);
+      upper_mins.push_back(level_mins[i]);
+      for (size_t k = i; k < end; ++k) {
+        if (k > i) in->seps.push_back(level_mins[k]);
+        in->children.push_back(std::move(level[k]));
+      }
+      upper.push_back(std::move(in));
+    }
+    level = std::move(upper);
+    level_mins = std::move(upper_mins);
+    ++height_;
+  }
+  root_ = std::move(level.front());
+  size_ = sorted_keys.size();
+  return Status::OK();
+}
+
+bool BPlusTree::Contains(const IndexKey& key) const {
+  Leaf* leaf = FindLeaf(key);
+  if (leaf == nullptr) return false;
+  return std::binary_search(leaf->keys.begin(), leaf->keys.end(), key);
+}
+
+const IndexKey& BPlusTree::Iterator::key() const {
+  assert(Valid());
+  return static_cast<const Leaf*>(leaf_)->keys[pos_];
+}
+
+void BPlusTree::Iterator::Next() {
+  assert(Valid());
+  const auto* leaf = static_cast<const Leaf*>(leaf_);
+  if (stats_ != nullptr) ++stats_->entries_scanned;
+  ++pos_;
+  if (pos_ >= leaf->keys.size()) {
+    leaf_ = leaf->next;
+    pos_ = 0;
+    if (stats_ != nullptr && leaf_ != nullptr) ++stats_->leaves_visited;
+  }
+}
+
+BPlusTree::Iterator BPlusTree::Seek(const IndexKey& lower,
+                                    ScanStats* stats) const {
+  Leaf* leaf = FindLeaf(lower);
+  if (leaf == nullptr) return Iterator(nullptr, 0, stats);
+  if (stats != nullptr) ++stats->leaves_visited;
+  size_t pos = static_cast<size_t>(
+      std::lower_bound(leaf->keys.begin(), leaf->keys.end(), lower) -
+      leaf->keys.begin());
+  if (pos >= leaf->keys.size()) {
+    leaf = leaf->next;
+    pos = 0;
+    if (stats != nullptr && leaf != nullptr) ++stats->leaves_visited;
+  }
+  return Iterator(leaf, pos, stats);
+}
+
+Status BPlusTree::CheckInvariants() const {
+  if (!root_) {
+    if (size_ != 0 || first_leaf_ != nullptr) {
+      return Status::Internal("empty tree with stale metadata");
+    }
+    return Status::OK();
+  }
+  SJ_RETURN_NOT_OK(CheckNodeRec(root_.get(), nullptr, nullptr, 1));
+  // The leaf chain must enumerate exactly size_ keys in ascending order.
+  uint64_t count = 0;
+  const IndexKey* prev = nullptr;
+  for (const Leaf* leaf = first_leaf_; leaf != nullptr; leaf = leaf->next) {
+    for (const IndexKey& k : leaf->keys) {
+      if (prev != nullptr && !(*prev < k)) {
+        return Status::Internal("leaf chain out of order");
+      }
+      prev = &k;
+      ++count;
+    }
+  }
+  if (count != size_) return Status::Internal("leaf chain misses keys");
+  return Status::OK();
+}
+
+Status BPlusTree::CheckNodeRec(const Node* node_base, const IndexKey* lo,
+                               const IndexKey* hi, uint32_t depth) const {
+  // Keys in this subtree must lie in [lo, hi).
+  if (node_base->is_leaf) {
+    if (depth != height_) return Status::Internal("leaf at wrong depth");
+    const auto* leaf = static_cast<const Leaf*>(node_base);
+    if (!std::is_sorted(leaf->keys.begin(), leaf->keys.end())) {
+      return Status::Internal("unsorted leaf");
+    }
+    for (const IndexKey& k : leaf->keys) {
+      if ((lo != nullptr && k < *lo) || (hi != nullptr && !(k < *hi))) {
+        return Status::Internal("leaf key outside separator range");
+      }
+    }
+    return Status::OK();
+  }
+  const auto* in = static_cast<const Internal*>(node_base);
+  if (in->children.size() != in->seps.size() + 1) {
+    return Status::Internal("internal node fan-out mismatch");
+  }
+  if (!std::is_sorted(in->seps.begin(), in->seps.end())) {
+    return Status::Internal("unsorted separators");
+  }
+  for (size_t i = 0; i < in->children.size(); ++i) {
+    const IndexKey* child_lo = i == 0 ? lo : &in->seps[i - 1];
+    const IndexKey* child_hi = i == in->seps.size() ? hi : &in->seps[i];
+    SJ_RETURN_NOT_OK(
+        CheckNodeRec(in->children[i].get(), child_lo, child_hi, depth + 1));
+  }
+  return Status::OK();
+}
+
+}  // namespace sj::btree

@@ -1,0 +1,112 @@
+// In-memory B+-tree over concatenated (pre, post, tag) keys.
+//
+// This is the index the tree-unaware SQL baseline uses (paper Section 2.1:
+// "the RDBMS maintains a B-tree using concatenated (pre, post) keys", and
+// Section 4.4: "the B-tree index actually uses concatenated (pre, post,
+// tag name) keys"). The staircase join itself needs no such index -- that
+// contrast is the point of Experiment 3.
+
+#ifndef STAIRJOIN_BTREE_BPLUS_TREE_H_
+#define STAIRJOIN_BTREE_BPLUS_TREE_H_
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sj::btree {
+
+/// Concatenated index key: (pre, post, tag), ordered lexicographically.
+struct IndexKey {
+  uint32_t pre = 0;
+  uint32_t post = 0;
+  uint32_t tag = 0;
+
+  friend auto operator<=>(const IndexKey&, const IndexKey&) = default;
+};
+
+/// Counters an index scan fills (the SQL baseline reports these).
+struct ScanStats {
+  uint64_t leaves_visited = 0;
+  uint64_t entries_scanned = 0;
+};
+
+/// \brief B+-tree with linked leaves; supports point inserts and bulk load.
+///
+/// Fan-out is fixed (kLeafCapacity/kInternalCapacity keys per node), keys
+/// are unique (duplicate inserts are rejected). Scans start at Seek() and
+/// advance through the leaf chain.
+class BPlusTree {
+ public:
+  static constexpr size_t kLeafCapacity = 64;
+  static constexpr size_t kInternalCapacity = 64;
+
+  BPlusTree();
+  ~BPlusTree();
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Inserts one key; InvalidArgument on duplicates.
+  Status Insert(const IndexKey& key);
+
+  /// Bulk-loads from a strictly ascending key sequence into a tree with
+  /// ~90% full leaves; InvalidArgument if unsorted/duplicated, or if the
+  /// tree is non-empty.
+  Status BulkLoad(const std::vector<IndexKey>& sorted_keys);
+
+  /// True iff `key` is present.
+  bool Contains(const IndexKey& key) const;
+
+  /// Number of keys.
+  uint64_t size() const { return size_; }
+
+  /// Tree height in node levels (0 for the empty tree, 1 = root is a leaf).
+  uint32_t height() const { return height_; }
+
+  /// \brief Forward scan positioned at the first key >= the seek key.
+  class Iterator {
+   public:
+    /// True while the iterator points at a key.
+    bool Valid() const { return leaf_ != nullptr; }
+    /// Current key; requires Valid().
+    const IndexKey& key() const;
+    /// Advances to the next key in order.
+    void Next();
+
+   private:
+    friend class BPlusTree;
+    Iterator(const void* leaf, size_t pos, ScanStats* stats)
+        : leaf_(leaf), pos_(pos), stats_(stats) {}
+    const void* leaf_;
+    size_t pos_;
+    ScanStats* stats_;
+  };
+
+  /// Positions at the first key >= `lower`; `stats` (optional) accumulates
+  /// leaf/entry touch counts while the iterator advances.
+  Iterator Seek(const IndexKey& lower, ScanStats* stats = nullptr) const;
+
+  /// Checks the B+-tree invariants (sortedness, fill, separator sanity,
+  /// leaf chain completeness); Internal status describing any violation.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Leaf;
+  struct Internal;
+
+  Leaf* FindLeaf(const IndexKey& key) const;
+  Status CheckNodeRec(const Node* node, const IndexKey* lo,
+                      const IndexKey* hi, uint32_t depth) const;
+
+  std::unique_ptr<Node> root_;
+  Leaf* first_leaf_ = nullptr;
+  uint64_t size_ = 0;
+  uint32_t height_ = 0;
+};
+
+}  // namespace sj::btree
+
+#endif  // STAIRJOIN_BTREE_BPLUS_TREE_H_

@@ -1,0 +1,78 @@
+#include "core/algebra.h"
+
+namespace sj::algebra {
+
+NodeSequence root(const DocTable& doc) {
+  return doc.empty() ? NodeSequence{} : NodeSequence{doc.root()};
+}
+
+NodeSequence nametest(const DocTable& doc, const NodeSequence& nodes,
+                      std::string_view tag) {
+  NodeSequence out;
+  TagId id = doc.tags().Lookup(tag);
+  if (id == kNoTag) return out;
+  out.reserve(nodes.size());
+  for (NodeId v : nodes) {
+    if (doc.kind(v) == NodeKind::kElement && doc.tag(v) == id) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+TagView nametest(const DocTable& doc, std::string_view tag) {
+  TagId id = doc.tags().Lookup(tag);
+  if (id == kNoTag) {
+    TagView empty;
+    return empty;
+  }
+  return BuildTagView(doc, id);
+}
+
+Result<NodeSequence> staircasejoin_desc(const DocTable& doc,
+                                        const NodeSequence& context,
+                                        const StaircaseOptions& options,
+                                        JoinStats* stats) {
+  return StaircaseJoin(doc, context, Axis::kDescendant, options, stats);
+}
+
+Result<NodeSequence> staircasejoin_anc(const DocTable& doc,
+                                       const NodeSequence& context,
+                                       const StaircaseOptions& options,
+                                       JoinStats* stats) {
+  return StaircaseJoin(doc, context, Axis::kAncestor, options, stats);
+}
+
+Result<NodeSequence> staircasejoin_foll(const DocTable& doc,
+                                        const NodeSequence& context,
+                                        const StaircaseOptions& options,
+                                        JoinStats* stats) {
+  return StaircaseJoin(doc, context, Axis::kFollowing, options, stats);
+}
+
+Result<NodeSequence> staircasejoin_prec(const DocTable& doc,
+                                        const NodeSequence& context,
+                                        const StaircaseOptions& options,
+                                        JoinStats* stats) {
+  return StaircaseJoin(doc, context, Axis::kPreceding, options, stats);
+}
+
+Result<NodeSequence> staircasejoin_desc(const DocTable& doc,
+                                        const TagView& view,
+                                        const NodeSequence& context,
+                                        const StaircaseOptions& options,
+                                        JoinStats* stats) {
+  return StaircaseJoinView(doc, view, context, Axis::kDescendant, options,
+                           stats);
+}
+
+Result<NodeSequence> staircasejoin_anc(const DocTable& doc,
+                                       const TagView& view,
+                                       const NodeSequence& context,
+                                       const StaircaseOptions& options,
+                                       JoinStats* stats) {
+  return StaircaseJoinView(doc, view, context, Axis::kAncestor, options,
+                           stats);
+}
+
+}  // namespace sj::algebra

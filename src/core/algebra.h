@@ -1,0 +1,77 @@
+// The paper's algebra surface (Section 4.4):
+//
+//   r  = root(doc)
+//   s1 = nametest(staircasejoin_desc(doc, r), "increase")
+//   s2 = nametest(staircasejoin_anc(doc, s1), "bidder")
+//
+// This header provides exactly that vocabulary as thin, checked wrappers
+// over the core operators, so code written against the paper reads
+// one-to-one. The staircasejoin_* functions abort-free propagate Status
+// like the rest of the library.
+
+#ifndef STAIRJOIN_CORE_ALGEBRA_H_
+#define STAIRJOIN_CORE_ALGEBRA_H_
+
+#include <string_view>
+
+#include "core/staircase_join.h"
+#include "core/tag_view.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+
+namespace sj::algebra {
+
+/// root(doc): the singleton context holding the document element.
+NodeSequence root(const DocTable& doc);
+
+/// nametest(nodes, "tag"): keeps the element nodes named `tag`.
+NodeSequence nametest(const DocTable& doc, const NodeSequence& nodes,
+                      std::string_view tag);
+
+/// nametest(doc, "tag"): the whole document filtered by tag -- the form
+/// the name-test pushdown rewrites into (Section 4.4):
+///   staircasejoin_anc(nametest(doc, n), cs).
+/// Materializes a TagView; prefer a cached TagIndex for repeated use.
+TagView nametest(const DocTable& doc, std::string_view tag);
+
+/// staircasejoin_desc(doc, context): the descendant-axis staircase join.
+Result<NodeSequence> staircasejoin_desc(const DocTable& doc,
+                                        const NodeSequence& context,
+                                        const StaircaseOptions& options = {},
+                                        JoinStats* stats = nullptr);
+
+/// staircasejoin_anc(doc, context): the ancestor-axis staircase join.
+Result<NodeSequence> staircasejoin_anc(const DocTable& doc,
+                                       const NodeSequence& context,
+                                       const StaircaseOptions& options = {},
+                                       JoinStats* stats = nullptr);
+
+/// staircasejoin_foll(doc, context): the following-axis region query.
+Result<NodeSequence> staircasejoin_foll(const DocTable& doc,
+                                        const NodeSequence& context,
+                                        const StaircaseOptions& options = {},
+                                        JoinStats* stats = nullptr);
+
+/// staircasejoin_prec(doc, context): the preceding-axis region query.
+Result<NodeSequence> staircasejoin_prec(const DocTable& doc,
+                                        const NodeSequence& context,
+                                        const StaircaseOptions& options = {},
+                                        JoinStats* stats = nullptr);
+
+/// staircasejoin_desc over a tag fragment (the pushdown form).
+Result<NodeSequence> staircasejoin_desc(const DocTable& doc,
+                                        const TagView& view,
+                                        const NodeSequence& context,
+                                        const StaircaseOptions& options = {},
+                                        JoinStats* stats = nullptr);
+
+/// staircasejoin_anc over a tag fragment (the pushdown form).
+Result<NodeSequence> staircasejoin_anc(const DocTable& doc,
+                                       const TagView& view,
+                                       const NodeSequence& context,
+                                       const StaircaseOptions& options = {},
+                                       JoinStats* stats = nullptr);
+
+}  // namespace sj::algebra
+
+#endif  // STAIRJOIN_CORE_ALGEBRA_H_

@@ -1,0 +1,35 @@
+#include "core/axis.h"
+
+namespace sj {
+
+std::string_view AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kAttribute:
+      return "attribute";
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kFollowing:
+      return "following";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kPreceding:
+      return "preceding";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+    case Axis::kSelf:
+      return "self";
+  }
+  return "unknown";
+}
+
+}  // namespace sj

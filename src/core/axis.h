@@ -1,0 +1,50 @@
+// XPath axes.
+
+#ifndef STAIRJOIN_CORE_AXIS_H_
+#define STAIRJOIN_CORE_AXIS_H_
+
+#include <string_view>
+
+namespace sj {
+
+/// All XPath axes of the accelerator (paper Section 2). The staircase join
+/// itself evaluates the four partitioning axes (+ their -or-self variants);
+/// the remaining axes are derived in the xpath module.
+enum class Axis : uint8_t {
+  kAncestor,
+  kAncestorOrSelf,
+  kAttribute,
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kFollowing,
+  kFollowingSibling,
+  kParent,
+  kPreceding,
+  kPrecedingSibling,
+  kSelf,
+  // The namespace axis is not supported (no namespace processing).
+};
+
+/// XPath spelling of an axis, e.g. "ancestor-or-self".
+std::string_view AxisName(Axis axis);
+
+/// True for the four partitioning axes and their -or-self variants, i.e.
+/// the axes the staircase join evaluates directly.
+constexpr bool IsStaircaseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kFollowing:
+    case Axis::kPreceding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_CORE_AXIS_H_

@@ -1,0 +1,31 @@
+// Parallel partitioned staircase join.
+//
+// Section 3.2 of the paper observes that the staircase partitions of the
+// pre/post plane are disjoint and jointly cover all candidate nodes, which
+// "naturally leads to a parallel XPath execution strategy": each worker
+// scans a contiguous run of partitions and the per-worker results
+// concatenate -- still duplicate-free and in document order.
+
+#ifndef STAIRJOIN_CORE_PARALLEL_H_
+#define STAIRJOIN_CORE_PARALLEL_H_
+
+#include "core/staircase_join.h"
+
+namespace sj {
+
+/// \brief StaircaseJoin distributed over `num_threads` workers.
+///
+/// Semantics and result are identical to StaircaseJoin (same options
+/// contract). Supported for the descendant/ancestor (+ -or-self) axes;
+/// following/preceding degenerate to one region query after pruning and are
+/// delegated to the serial join. num_threads < 2 also delegates.
+Result<NodeSequence> ParallelStaircaseJoin(const DocTable& doc,
+                                           const NodeSequence& context,
+                                           Axis axis,
+                                           const StaircaseOptions& options,
+                                           unsigned num_threads,
+                                           JoinStats* stats = nullptr);
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_CORE_PARALLEL_H_

@@ -1,0 +1,91 @@
+// The staircase join (paper Section 3/4).
+//
+// A staircase join evaluates an XPath axis step for an entire context node
+// sequence with ONE sequential scan of (the relevant part of) the document
+// table and one scan of the context:
+//
+//   * the context is pruned to a proper staircase (Section 3.1),
+//   * each staircase partition is scanned with a dynamic range predicate
+//     against its context node's postorder rank (Section 3.2, Algorithm 2),
+//   * empty-region analysis ends partition scans early -- "skipping"
+//     (Section 3.3, Algorithm 3), touching no more than
+//     |result| + |context| nodes for descendant,
+//   * Eq. (1) splits descendant partitions into a comparison-free copy
+//     phase and a <= h node scan phase -- "estimation-based skipping"
+//     (Section 4.2, Algorithm 4).
+//
+// Results are always duplicate-free and in document order; no post-
+// processing is needed to meet the XPath semantics.
+
+#ifndef STAIRJOIN_CORE_STAIRCASE_JOIN_H_
+#define STAIRJOIN_CORE_STAIRCASE_JOIN_H_
+
+#include "core/axis.h"
+#include "core/stats.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// How aggressively the partition scans exploit empty regions.
+enum class SkipMode : uint8_t {
+  /// Algorithm 2: scan every node of every partition.
+  kNone,
+  /// Algorithm 3: stop a partition at the first node outside the boundary
+  /// (descendant), or jump over the subtree of an out-of-boundary node
+  /// (ancestor).
+  kSkip,
+  /// Algorithm 4: like kSkip, plus the Eq. (1)-based comparison-free copy
+  /// phase for descendant partitions. (For ancestor this equals kSkip; the
+  /// paper defines the copy phase for descendant only.)
+  kEstimated,
+};
+
+/// Staircase join configuration.
+struct StaircaseOptions {
+  SkipMode skip_mode = SkipMode::kEstimated;
+  /// Prune the context during the join (Section 3.2: "staircase join is
+  /// easily adapted to do pruning on-the-fly, thus saving a separate scan
+  /// over the context table"). When false, a separate pruning pass runs
+  /// first (the two are observationally equivalent; see the ablation bench).
+  bool prune_on_the_fly = true;
+  /// Keep attribute nodes in the result. XPath axis semantics exclude them
+  /// (the library default); region queries over the raw plane keep them.
+  bool keep_attributes = false;
+  /// Use the exact node level when estimating subtree sizes instead of the
+  /// paper's 0 <= level <= h bounds (the footnote 5 alternative encoding).
+  /// Affects only ancestor-axis skip distances; results are identical.
+  bool use_exact_level = false;
+};
+
+/// \brief Removes context nodes whose axis region is covered by another
+/// context node's region (paper Algorithm 1 and Section 3.1).
+///
+/// `context` must be duplicate-free and in document order. For kDescendant/
+/// kDescendantOrSelf the outermost nodes survive; for kAncestor/
+/// kAncestorOrSelf the innermost; kFollowing keeps only the node with the
+/// minimum postorder rank; kPreceding only the maximum preorder rank.
+/// After pruning, surviving nodes pairwise relate on preceding/following
+/// (descendant case) resp. ancestor/descendant (following/preceding case).
+NodeSequence PruneContext(const DocTable& doc, const NodeSequence& context,
+                          Axis axis);
+
+/// \brief Evaluates an axis step for a context sequence via staircase join.
+///
+/// \param doc      the encoded document
+/// \param context  node sequence in document order, duplicate free
+/// \param axis     one of the staircase axes (IsStaircaseAxis)
+/// \param options  skipping / pruning configuration
+/// \param stats    optional operator counters (may be null)
+/// \returns the step result in document order, duplicate free
+///
+/// Errors: InvalidArgument for unsorted/duplicated context or node ids out
+/// of range; Unsupported for non-staircase axes.
+Result<NodeSequence> StaircaseJoin(const DocTable& doc,
+                                   const NodeSequence& context, Axis axis,
+                                   const StaircaseOptions& options = {},
+                                   JoinStats* stats = nullptr);
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_CORE_STAIRCASE_JOIN_H_

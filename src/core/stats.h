@@ -1,0 +1,55 @@
+// Operator statistics.
+//
+// Three of the six panels of paper Fig. 11 plot counters rather than time
+// (duplicates avoided, nodes scanned, result sizes), so every join/baseline
+// operator in this library reports a JoinStats.
+
+#ifndef STAIRJOIN_CORE_STATS_H_
+#define STAIRJOIN_CORE_STATS_H_
+
+#include <cstdint>
+
+namespace sj {
+
+/// \brief Counters filled by staircase join and the baseline operators.
+struct JoinStats {
+  /// Context sequence length before pruning.
+  uint64_t context_size = 0;
+  /// Context nodes remaining after pruning (== partitions scanned).
+  uint64_t pruned_context_size = 0;
+  /// Nodes touched with a postorder comparison (scan phases).
+  uint64_t nodes_scanned = 0;
+  /// Nodes copied without comparison (estimation-based copy phase).
+  uint64_t nodes_copied = 0;
+  /// Nodes never touched thanks to skipping (pre positions jumped over).
+  uint64_t nodes_skipped = 0;
+  /// Result sequence length.
+  uint64_t result_size = 0;
+  /// Candidate tuples produced before duplicate elimination (naive / SQL /
+  /// MPMGJN baselines; staircase join never produces duplicates).
+  uint64_t candidates_produced = 0;
+  /// Duplicates removed by the final unique operator (baselines only).
+  uint64_t duplicates_removed = 0;
+  /// B+-tree index entries touched (SQL baseline only).
+  uint64_t index_entries_scanned = 0;
+
+  /// Total nodes accessed (the y-axis of paper Fig. 11(c)).
+  uint64_t nodes_accessed() const { return nodes_scanned + nodes_copied; }
+
+  /// Merges counters (used by the parallel join).
+  void MergeFrom(const JoinStats& other) {
+    context_size += other.context_size;
+    pruned_context_size += other.pruned_context_size;
+    nodes_scanned += other.nodes_scanned;
+    nodes_copied += other.nodes_copied;
+    nodes_skipped += other.nodes_skipped;
+    result_size += other.result_size;
+    candidates_produced += other.candidates_produced;
+    duplicates_removed += other.duplicates_removed;
+    index_entries_scanned += other.index_entries_scanned;
+  }
+};
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_CORE_STATS_H_

@@ -1,0 +1,126 @@
+#include "encoding/builder.h"
+
+#include <algorithm>
+
+namespace sj {
+
+DocTableBuilder::DocTableBuilder(BuildOptions options)
+    : options_(options), table_(std::make_unique<DocTable>()) {
+  if (options_.expected_nodes > 0) {
+    table_->post_.Reserve(options_.expected_nodes);
+    table_->level_.Reserve(options_.expected_nodes);
+    table_->kind_.Reserve(options_.expected_nodes);
+    table_->tag_.Reserve(options_.expected_nodes);
+    table_->parent_.Reserve(options_.expected_nodes);
+    if (options_.store_values) {
+      table_->value_offset_.reserve(options_.expected_nodes);
+      table_->value_length_.reserve(options_.expected_nodes);
+    }
+  }
+}
+
+DocTableBuilder::~DocTableBuilder() = default;
+
+Status DocTableBuilder::StartDocument() { return Status::OK(); }
+
+Status DocTableBuilder::EndDocument() { return Status::OK(); }
+
+NodeId DocTableBuilder::AddNode(NodeKind kind, TagId tag,
+                                std::string_view value) {
+  NodeId pre = static_cast<NodeId>(table_->post_.size());
+  NodeId parent = stack_.empty() ? kNilNode : stack_.back();
+  uint32_t level =
+      stack_.empty() ? 0 : table_->level_.AtOid(parent) + 1;
+  table_->height_ = std::max(table_->height_, level);
+  // post is patched when the node closes; leaves close immediately.
+  table_->post_.Append(0);
+  table_->level_.Append(static_cast<uint8_t>(level));
+  table_->kind_.Append(static_cast<uint8_t>(kind));
+  table_->tag_.Append(tag);
+  table_->parent_.Append(parent);
+  if (options_.store_values) {
+    table_->value_offset_.push_back(
+        static_cast<uint32_t>(table_->heap_.size()));
+    table_->value_length_.push_back(static_cast<uint32_t>(value.size()));
+    table_->heap_.append(value);
+  }
+  if (kind != NodeKind::kElement) {
+    // Leaf in the traversal: closes now.
+    table_->post_.AtOid(pre) = next_post_++;
+  }
+  return pre;
+}
+
+Status DocTableBuilder::StartElement(std::string_view name) {
+  if (stack_.empty() && !table_->post_.empty()) {
+    return Status::ParseError("multiple document elements");
+  }
+  if (stack_.size() >= 255) {
+    return Status::Unsupported("document deeper than 255 levels");
+  }
+  NodeId pre = AddNode(NodeKind::kElement, table_->dict_.Intern(name), {});
+  stack_.push_back(pre);
+  return Status::OK();
+}
+
+Status DocTableBuilder::EndElement(std::string_view name) {
+  (void)name;  // the parser has already verified tag balance
+  if (stack_.empty()) {
+    return Status::Internal("DocTableBuilder: unbalanced EndElement");
+  }
+  table_->post_.AtOid(stack_.back()) = next_post_++;
+  stack_.pop_back();
+  return Status::OK();
+}
+
+Status DocTableBuilder::Attribute(std::string_view name,
+                                  std::string_view value) {
+  if (stack_.empty()) {
+    return Status::Internal("DocTableBuilder: attribute outside element");
+  }
+  ++table_->attribute_count_;
+  AddNode(NodeKind::kAttribute, table_->dict_.Intern(name), value);
+  return Status::OK();
+}
+
+Status DocTableBuilder::Text(std::string_view data) {
+  if (stack_.empty()) {
+    return Status::Internal("DocTableBuilder: text outside element");
+  }
+  AddNode(NodeKind::kText, kNoTag, data);
+  return Status::OK();
+}
+
+Status DocTableBuilder::Comment(std::string_view data) {
+  if (stack_.empty()) {
+    // Comments outside the document element are not encoded (the paper's
+    // doc table holds one rooted tree).
+    return Status::OK();
+  }
+  AddNode(NodeKind::kComment, kNoTag, data);
+  return Status::OK();
+}
+
+Status DocTableBuilder::ProcessingInstruction(std::string_view target,
+                                              std::string_view data) {
+  if (stack_.empty()) return Status::OK();
+  AddNode(NodeKind::kProcessingInstruction, table_->dict_.Intern(target),
+          data);
+  return Status::OK();
+}
+
+Result<std::unique_ptr<DocTable>> DocTableBuilder::Finish() {
+  if (finished_) {
+    return Status::Internal("DocTableBuilder::Finish called twice");
+  }
+  if (!stack_.empty()) {
+    return Status::InvalidArgument("Finish with unclosed elements");
+  }
+  if (table_->post_.empty()) {
+    return Status::InvalidArgument("empty document");
+  }
+  finished_ = true;
+  return std::move(table_);
+}
+
+}  // namespace sj

@@ -1,0 +1,60 @@
+// Builds the pre/post DocTable from SAX-style events, in one pass.
+//
+// Preorder ranks are assigned in event arrival order (elements on
+// StartElement, attributes on Attribute — directly after their owner, text/
+// comment/PI nodes on their events). Postorder ranks are assigned in node
+// *closing* order: leaves close immediately, elements close at EndElement.
+// One counter each suffices; no second pass over the document is needed.
+
+#ifndef STAIRJOIN_ENCODING_BUILDER_H_
+#define STAIRJOIN_ENCODING_BUILDER_H_
+
+#include <memory>
+#include <vector>
+
+#include "encoding/doc_table.h"
+#include "xml/event_handler.h"
+
+namespace sj {
+
+/// DocTable construction options.
+struct BuildOptions {
+  /// Retain text/attribute/comment/PI values in a string heap. Costs ~8
+  /// bytes per node plus the text itself; the join benches switch it off.
+  bool store_values = true;
+  /// Reserve capacity for this many nodes up front (0 = grow on demand).
+  size_t expected_nodes = 0;
+};
+
+/// \brief xml::EventHandler that produces an immutable DocTable.
+class DocTableBuilder : public xml::EventHandler {
+ public:
+  explicit DocTableBuilder(BuildOptions options = {});
+  ~DocTableBuilder() override;
+
+  Status StartDocument() override;
+  Status EndDocument() override;
+  Status StartElement(std::string_view name) override;
+  Status EndElement(std::string_view name) override;
+  Status Attribute(std::string_view name, std::string_view value) override;
+  Status Text(std::string_view data) override;
+  Status Comment(std::string_view data) override;
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override;
+
+  /// Yields the finished table; call once, after a successful event stream.
+  Result<std::unique_ptr<DocTable>> Finish();
+
+ private:
+  NodeId AddNode(NodeKind kind, TagId tag, std::string_view value);
+
+  BuildOptions options_;
+  std::unique_ptr<DocTable> table_;
+  std::vector<NodeId> stack_;  // open elements (pre ranks)
+  uint32_t next_post_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_ENCODING_BUILDER_H_

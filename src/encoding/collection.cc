@@ -1,0 +1,109 @@
+#include "encoding/collection.h"
+
+#include <algorithm>
+
+#include "xml/parser.h"
+
+namespace sj {
+
+/// Forwards node events into the shared builder, absorbing the nested
+/// document's Start/EndDocument and recording its document element.
+class CollectionBuilder::Absorber : public xml::EventHandler {
+ public:
+  Absorber(DocTableBuilder* builder, NodeSequence* roots, size_t* node_count)
+      : builder_(builder), roots_(roots), node_count_(node_count) {}
+
+  Status StartDocument() override { return Status::OK(); }
+  Status EndDocument() override { return Status::OK(); }
+
+  Status StartElement(std::string_view name) override {
+    if (depth_++ == 0) {
+      roots_->push_back(static_cast<NodeId>(*node_count_));
+    }
+    ++*node_count_;
+    return builder_->StartElement(name);
+  }
+  Status EndElement(std::string_view name) override {
+    --depth_;
+    return builder_->EndElement(name);
+  }
+  Status Attribute(std::string_view name, std::string_view value) override {
+    ++*node_count_;
+    return builder_->Attribute(name, value);
+  }
+  Status Text(std::string_view data) override {
+    ++*node_count_;
+    return builder_->Text(data);
+  }
+  Status Comment(std::string_view data) override {
+    ++*node_count_;
+    return builder_->Comment(data);
+  }
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override {
+    ++*node_count_;
+    return builder_->ProcessingInstruction(target, data);
+  }
+
+ private:
+  DocTableBuilder* builder_;
+  NodeSequence* roots_;
+  size_t* node_count_;
+  int depth_ = 0;
+};
+
+CollectionBuilder::CollectionBuilder(BuildOptions options,
+                                     std::string root_tag)
+    : root_tag_(std::move(root_tag)), builder_(options) {}
+
+Status CollectionBuilder::EnsureOpen() {
+  if (finished_) {
+    return Status::InvalidArgument("collection already finished");
+  }
+  if (!open_) {
+    SJ_RETURN_NOT_OK(builder_.StartDocument());
+    SJ_RETURN_NOT_OK(builder_.StartElement(root_tag_));
+    node_count_ = 1;
+    open_ = true;
+  }
+  return Status::OK();
+}
+
+Status CollectionBuilder::AddDocumentText(std::string_view xml) {
+  return AddDocumentEvents([xml](xml::EventHandler* handler) {
+    return xml::Parse(xml, handler);
+  });
+}
+
+Status CollectionBuilder::AddDocumentEvents(
+    const std::function<Status(xml::EventHandler*)>& emit) {
+  SJ_RETURN_NOT_OK(EnsureOpen());
+  Absorber absorber(&builder_, &roots_, &node_count_);
+  return emit(&absorber);
+}
+
+Result<std::unique_ptr<DocTable>> CollectionBuilder::Finish() {
+  if (finished_) return Status::InvalidArgument("Finish called twice");
+  if (roots_.empty()) {
+    return Status::InvalidArgument("collection without documents");
+  }
+  SJ_RETURN_NOT_OK(builder_.EndElement(root_tag_));
+  SJ_RETURN_NOT_OK(builder_.EndDocument());
+  finished_ = true;
+  return builder_.Finish();
+}
+
+size_t DocumentOf(const NodeSequence& document_roots, const DocTable& doc,
+                  NodeId v) {
+  // The owning document root is the last root r with r <= v and
+  // v inside r's subtree.
+  auto it = std::upper_bound(document_roots.begin(), document_roots.end(), v);
+  if (it == document_roots.begin()) return document_roots.size();
+  NodeId r = *(it - 1);
+  if (v == r || doc.IsDescendant(v, r)) {
+    return static_cast<size_t>(it - document_roots.begin()) - 1;
+  }
+  return document_roots.size();
+}
+
+}  // namespace sj

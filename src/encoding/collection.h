@@ -1,0 +1,71 @@
+// Multi-document databases (paper footnote 1): "... by introduction of
+// document identifiers or a new virtual root node under which several
+// documents may be gathered."
+//
+// CollectionBuilder gathers documents under a synthetic root element; the
+// result is an ordinary DocTable, so every join/baseline/query works on it
+// unchanged. Document boundaries (the pre ranks of the gathered document
+// elements) are retained so results can be attributed to their source.
+
+#ifndef STAIRJOIN_ENCODING_COLLECTION_H_
+#define STAIRJOIN_ENCODING_COLLECTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "encoding/builder.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// \brief Encodes several documents under one virtual root.
+class CollectionBuilder {
+ public:
+  /// `root_tag` names the virtual root element.
+  explicit CollectionBuilder(BuildOptions options = {},
+                             std::string root_tag = "collection");
+
+  /// Parses and appends one XML document.
+  Status AddDocumentText(std::string_view xml);
+
+  /// Appends a document produced by an event source (e.g. the XMark
+  /// generator): `emit` must stream exactly one document into the handler
+  /// it receives; its Start/EndDocument events are absorbed.
+  Status AddDocumentEvents(
+      const std::function<Status(xml::EventHandler*)>& emit);
+
+  /// Number of documents added so far.
+  size_t document_count() const { return roots_.size(); }
+
+  /// Finishes the encoding; fails if no document was added.
+  Result<std::unique_ptr<DocTable>> Finish();
+
+  /// Pre ranks of the gathered document elements (valid after Finish).
+  const NodeSequence& document_roots() const { return roots_; }
+
+ private:
+  class Absorber;
+
+  Status EnsureOpen();
+
+  std::string root_tag_;
+  DocTableBuilder builder_;
+  NodeSequence roots_;
+  size_t node_count_ = 0;  ///< nodes encoded so far (next pre rank)
+  bool open_ = false;
+  bool finished_ = false;
+};
+
+/// \brief Index of the document containing `v`, given the collection's
+/// document_roots(). The virtual root itself belongs to no document
+/// (returns documents.size()).
+size_t DocumentOf(const NodeSequence& document_roots, const DocTable& doc,
+                  NodeId v);
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_ENCODING_COLLECTION_H_

@@ -1,0 +1,58 @@
+#include "encoding/doc_table.h"
+
+#include <algorithm>
+
+namespace sj {
+
+TagId TagDictionary::Intern(std::string_view name) {
+  auto it = codes_.find(std::string(name));
+  if (it != codes_.end()) return it->second;
+  TagId id = static_cast<TagId>(names_.size());
+  names_.emplace_back(name);
+  codes_.emplace(names_.back(), id);
+  return id;
+}
+
+TagId TagDictionary::Lookup(std::string_view name) const {
+  auto it = codes_.find(std::string(name));
+  return it == codes_.end() ? kNoTag : it->second;
+}
+
+bool IsDocumentOrder(const NodeSequence& seq) {
+  for (size_t i = 1; i < seq.size(); ++i) {
+    if (seq[i - 1] >= seq[i]) return false;
+  }
+  return true;
+}
+
+std::string_view DocTable::value(NodeId v) const {
+  if (value_offset_.empty() || v >= value_offset_.size()) return {};
+  return std::string_view(heap_).substr(value_offset_[v], value_length_[v]);
+}
+
+std::string DocTable::DebugString(NodeId v) const {
+  std::string out = "<pre=" + std::to_string(v) +
+                    ", post=" + std::to_string(post(v)) +
+                    ", level=" + std::to_string(level(v)) + ", ";
+  switch (kind(v)) {
+    case NodeKind::kElement:
+      out += "element " + dict_.Name(tag(v));
+      break;
+    case NodeKind::kAttribute:
+      out += "attribute @" + dict_.Name(tag(v));
+      break;
+    case NodeKind::kText:
+      out += "text";
+      break;
+    case NodeKind::kComment:
+      out += "comment";
+      break;
+    case NodeKind::kProcessingInstruction:
+      out += "pi " + dict_.Name(tag(v));
+      break;
+  }
+  out += ">";
+  return out;
+}
+
+}  // namespace sj

@@ -1,0 +1,28 @@
+#include "encoding/loader.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "xml/parser.h"
+
+namespace sj {
+
+Result<std::unique_ptr<DocTable>> LoadDocument(std::string_view xml_text,
+                                               BuildOptions options) {
+  DocTableBuilder builder(options);
+  Status st = xml::Parse(xml_text, &builder);
+  if (!st.ok()) return st;
+  return builder.Finish();
+}
+
+Result<std::unique_ptr<DocTable>> LoadDocumentFile(const std::string& path,
+                                                   BuildOptions options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!in.good() && !in.eof()) return Status::IoError("cannot read " + path);
+  return LoadDocument(buffer.str(), options);
+}
+
+}  // namespace sj

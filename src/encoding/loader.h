@@ -1,0 +1,25 @@
+// Convenience entry points: XML text (or file) -> DocTable.
+
+#ifndef STAIRJOIN_ENCODING_LOADER_H_
+#define STAIRJOIN_ENCODING_LOADER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "encoding/builder.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+
+namespace sj {
+
+/// \brief Parses XML text and encodes it as a DocTable.
+Result<std::unique_ptr<DocTable>> LoadDocument(std::string_view xml_text,
+                                               BuildOptions options = {});
+
+/// \brief Reads a file and encodes its contents as a DocTable.
+Result<std::unique_ptr<DocTable>> LoadDocumentFile(const std::string& path,
+                                                   BuildOptions options = {});
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_ENCODING_LOADER_H_

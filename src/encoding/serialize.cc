@@ -1,0 +1,100 @@
+#include "encoding/serialize.h"
+
+#include <vector>
+
+#include "xml/writer.h"
+
+namespace sj {
+
+Status EmitSubtree(const DocTable& doc, NodeId v,
+                   xml::EventHandler* handler) {
+  SJ_RETURN_NOT_OK(doc.CheckNode(v));
+  if (handler == nullptr) {
+    return Status::InvalidArgument("EmitSubtree: handler must not be null");
+  }
+  // The subtree occupies the contiguous pre range [v, v + size]; elements
+  // close when the walk reaches a node outside their descendant region,
+  // tracked by a stack of (pre, post) frames.
+  const uint64_t end = static_cast<uint64_t>(v) + doc.subtree_size(v);
+  std::vector<NodeId> open;  // element stack
+  auto close_until = [&](uint64_t next_pre) -> Status {
+    while (!open.empty()) {
+      NodeId top = open.back();
+      // top stays open while the next node is its descendant.
+      if (next_pre <= end && next_pre < doc.size() &&
+          doc.IsDescendant(static_cast<NodeId>(next_pre), top)) {
+        break;
+      }
+      SJ_RETURN_NOT_OK(
+          handler->EndElement(doc.tags().Name(doc.tag(top))));
+      open.pop_back();
+    }
+    return Status::OK();
+  };
+
+  for (uint64_t i = v; i <= end; ++i) {
+    NodeId node = static_cast<NodeId>(i);
+    switch (doc.kind(node)) {
+      case NodeKind::kElement:
+        SJ_RETURN_NOT_OK(
+            handler->StartElement(doc.tags().Name(doc.tag(node))));
+        open.push_back(node);
+        break;
+      case NodeKind::kAttribute:
+        SJ_RETURN_NOT_OK(handler->Attribute(doc.tags().Name(doc.tag(node)),
+                                            doc.value(node)));
+        break;
+      case NodeKind::kText:
+        SJ_RETURN_NOT_OK(handler->Text(doc.value(node)));
+        break;
+      case NodeKind::kComment:
+        SJ_RETURN_NOT_OK(handler->Comment(doc.value(node)));
+        break;
+      case NodeKind::kProcessingInstruction:
+        SJ_RETURN_NOT_OK(handler->ProcessingInstruction(
+            doc.tags().Name(doc.tag(node)), doc.value(node)));
+        break;
+    }
+    SJ_RETURN_NOT_OK(close_until(i + 1));
+  }
+  return Status::OK();
+}
+
+Result<std::string> SerializeSubtree(const DocTable& doc, NodeId v) {
+  SJ_RETURN_NOT_OK(doc.CheckNode(v));
+  if (!doc.has_values()) {
+    return Status::InvalidArgument(
+        "SerializeSubtree: table built without store_values");
+  }
+  if (doc.kind(v) == NodeKind::kAttribute) {
+    return Status::InvalidArgument(
+        "SerializeSubtree: attribute nodes serialize within their element");
+  }
+  std::string out;
+  xml::TextWriter writer(&out);
+  SJ_RETURN_NOT_OK(EmitSubtree(doc, v, &writer));
+  return out;
+}
+
+Result<std::string> SerializeSequence(const DocTable& doc,
+                                      const NodeSequence& nodes) {
+  std::string out;
+  xml::TextWriter writer(&out);
+  for (NodeId v : nodes) {
+    SJ_RETURN_NOT_OK(doc.CheckNode(v));
+    if (!doc.has_values()) {
+      return Status::InvalidArgument(
+          "SerializeSequence: table built without store_values");
+    }
+    if (doc.kind(v) == NodeKind::kAttribute) {
+      // Attributes in a sequence serialize as their value, the closest
+      // analogue of the XQuery serialization rules.
+      SJ_RETURN_NOT_OK(writer.Text(doc.value(v)));
+      continue;
+    }
+    SJ_RETURN_NOT_OK(EmitSubtree(doc, v, &writer));
+  }
+  return out;
+}
+
+}  // namespace sj

@@ -1,0 +1,39 @@
+// Re-serializing encoded nodes back to XML text.
+//
+// Completes the pipeline text -> DocTable -> query -> text: a result node's
+// subtree is emitted straight from the columnar encoding (pre-order walk
+// over the contiguous pre range, closing elements by postorder rank).
+// Requires a table built with BuildOptions::store_values.
+
+#ifndef STAIRJOIN_ENCODING_SERIALIZE_H_
+#define STAIRJOIN_ENCODING_SERIALIZE_H_
+
+#include <string>
+
+#include "encoding/doc_table.h"
+#include "util/result.h"
+#include "xml/event_handler.h"
+
+namespace sj {
+
+/// \brief Streams the subtree rooted at `v` (attributes included) as
+/// events into `handler`, without Start/EndDocument framing.
+Status EmitSubtree(const DocTable& doc, NodeId v, xml::EventHandler* handler);
+
+/// \brief Serializes the subtree rooted at `v` to XML text.
+///
+/// Errors: OutOfRange for bad ids; InvalidArgument when the table was
+/// built without values (text content would be lost silently otherwise)
+/// or when `v` is an attribute node (attributes have no XML serialization
+/// of their own; the value is returned for text nodes).
+Result<std::string> SerializeSubtree(const DocTable& doc, NodeId v);
+
+/// \brief Serializes a whole result sequence: each node's subtree
+/// concatenated in document order (nested results are emitted once per
+/// occurrence, like an XQuery serializer would).
+Result<std::string> SerializeSequence(const DocTable& doc,
+                                      const NodeSequence& nodes);
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_ENCODING_SERIALIZE_H_

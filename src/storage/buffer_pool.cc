@@ -1,0 +1,91 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+namespace sj::storage {
+
+PageId SimulatedDisk::Allocate() {
+  pages_.push_back(std::make_unique<Page>());
+  std::memset(pages_.back()->bytes, 0, kPageSize);
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status SimulatedDisk::Read(PageId id, Page* out) const {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("disk read past end: page " +
+                              std::to_string(id));
+  }
+  ++reads_;
+  std::memcpy(out->bytes, pages_[id]->bytes, kPageSize);
+  return Status::OK();
+}
+
+Status SimulatedDisk::Write(PageId id, const Page& in) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("disk write past end: page " +
+                              std::to_string(id));
+  }
+  std::memcpy(pages_[id]->bytes, in.bytes, kPageSize);
+  return Status::OK();
+}
+
+BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages > 0 ? capacity_pages : 1) {}
+
+Status BufferPool::EvictOne() {
+  if (lru_.empty()) {
+    return Status::Internal("buffer pool exhausted: all frames pinned");
+  }
+  PageId victim = lru_.front();
+  lru_.pop_front();
+  ++stats_.evictions;
+  frames_.erase(victim);
+  return Status::OK();
+}
+
+Result<const uint8_t*> BufferPool::Pin(PageId id) {
+  ++stats_.pins;
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame* frame = it->second.get();
+    if (frame->pin_count == 0 && frame->in_lru) {
+      lru_.erase(frame->lru_pos);
+      frame->in_lru = false;
+    }
+    ++frame->pin_count;
+    return static_cast<const uint8_t*>(frame->page.bytes);
+  }
+
+  ++stats_.faults;
+  while (frames_.size() >= capacity_) {
+    SJ_RETURN_NOT_OK(EvictOne());
+  }
+  auto frame = std::make_unique<Frame>();
+  SJ_RETURN_NOT_OK(disk_->Read(id, &frame->page));
+  frame->pin_count = 1;
+  const uint8_t* bytes = frame->page.bytes;
+  frames_.emplace(id, std::move(frame));
+  return bytes;
+}
+
+Status BufferPool::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end() || it->second->pin_count == 0) {
+    return Status::InvalidArgument("Unpin of page that is not pinned");
+  }
+  Frame* frame = it->second.get();
+  --frame->pin_count;
+  if (frame->pin_count == 0) {
+    frame->lru_pos = lru_.insert(lru_.end(), id);
+    frame->in_lru = true;
+  }
+  return Status::OK();
+}
+
+void BufferPool::FlushAll() {
+  for (PageId id : lru_) frames_.erase(id);
+  lru_.clear();
+}
+
+}  // namespace sj::storage

@@ -1,0 +1,118 @@
+// Paged storage substrate: simulated disk + LRU buffer pool.
+//
+// The paper's future-work section asks how staircase join behaves in a
+// *disk-based* RDBMS. This module provides the substrate to study that on
+// a laptop: fixed-size pages on a simulated disk (a RAM image with fault
+// accounting -- see DESIGN.md substitutions) behind a pinning LRU buffer
+// pool. The paged staircase join (storage/paged_doc.h) runs the Section 3
+// algorithms against it; skipping then saves page *faults*, not just CPU.
+
+#ifndef STAIRJOIN_STORAGE_BUFFER_POOL_H_
+#define STAIRJOIN_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace sj::storage {
+
+/// Page size in bytes (2048 x 4-byte ranks per page).
+inline constexpr size_t kPageSize = 8192;
+
+/// Page identifier on a disk.
+using PageId = uint32_t;
+
+/// \brief A fixed-size page image.
+struct Page {
+  uint8_t bytes[kPageSize];
+};
+
+/// \brief Simulated disk: an array of pages with read accounting.
+///
+/// Reads memcpy the page image (so buffer frames are genuinely distinct
+/// from the "disk"), and count as faults in the statistics.
+class SimulatedDisk {
+ public:
+  /// Appends a page; returns its id.
+  PageId Allocate();
+
+  /// Number of pages.
+  size_t page_count() const { return pages_.size(); }
+
+  /// Copies page `id` into `out`; OutOfRange for bad ids.
+  Status Read(PageId id, Page* out) const;
+
+  /// Overwrites page `id`; OutOfRange for bad ids.
+  Status Write(PageId id, const Page& in);
+
+  /// Total Read calls served (the "physical I/O" count).
+  uint64_t reads() const { return reads_; }
+
+ private:
+  std::vector<std::unique_ptr<Page>> pages_;
+  mutable uint64_t reads_ = 0;
+};
+
+/// Buffer pool counters.
+struct PoolStats {
+  uint64_t pins = 0;       ///< logical page requests
+  uint64_t hits = 0;       ///< served from a resident frame
+  uint64_t faults = 0;     ///< required a disk read
+  uint64_t evictions = 0;  ///< clean frames dropped for replacement
+};
+
+/// \brief Pinning LRU buffer pool over a SimulatedDisk.
+///
+/// Pin returns a stable pointer to the frame holding the page and holds
+/// the frame until the matching Unpin; unpinned frames are replaced in
+/// least-recently-used order when capacity is exceeded.
+class BufferPool {
+ public:
+  /// Creates a pool of `capacity_pages` frames over `disk` (borrowed).
+  BufferPool(SimulatedDisk* disk, size_t capacity_pages);
+
+  /// Pins page `id` and returns its frame bytes; faults it in if needed.
+  /// Fails with Internal when every frame is pinned (pool too small).
+  Result<const uint8_t*> Pin(PageId id);
+
+  /// Releases one pin on `id`; InvalidArgument if not pinned.
+  Status Unpin(PageId id);
+
+  /// Counters since construction.
+  const PoolStats& stats() const { return stats_; }
+
+  /// Zeroes the counters (keeps resident pages).
+  void ResetStats() { stats_ = PoolStats{}; }
+
+  /// Drops every unpinned frame (a cold start for experiments).
+  void FlushAll();
+
+  /// Number of frames currently holding pages.
+  size_t resident_pages() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Frame {
+    Page page;
+    uint32_t pin_count = 0;
+    std::list<PageId>::iterator lru_pos;  // valid iff pin_count == 0
+    bool in_lru = false;
+  };
+
+  Status EvictOne();
+
+  SimulatedDisk* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
+  std::list<PageId> lru_;  // front = least recently used
+  PoolStats stats_;
+};
+
+}  // namespace sj::storage
+
+#endif  // STAIRJOIN_STORAGE_BUFFER_POOL_H_

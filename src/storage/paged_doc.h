@@ -1,0 +1,79 @@
+// Paged document columns and the paged staircase join.
+//
+// PagedDocTable lays the doc encoding's post/kind columns out in disk
+// pages (column-wise, 2048 post ranks or 8192 kind bytes per page) behind
+// a BufferPool. PagedStaircaseJoin then runs the Section 3 algorithms over
+// pinned pages: a partition scan pins each page of its pre-rank range
+// once, and skipping jumps over whole pages -- turning the paper's
+// "nodes never touched" directly into disk pages never read.
+
+#ifndef STAIRJOIN_STORAGE_PAGED_DOC_H_
+#define STAIRJOIN_STORAGE_PAGED_DOC_H_
+
+#include <memory>
+
+#include "core/staircase_join.h"
+#include "encoding/doc_table.h"
+#include "storage/buffer_pool.h"
+
+namespace sj::storage {
+
+/// Post ranks per page.
+inline constexpr uint32_t kRanksPerPage =
+    static_cast<uint32_t>(kPageSize / sizeof(uint32_t));
+
+/// \brief Column-wise paged image of a DocTable (post + kind columns).
+class PagedDocTable {
+ public:
+  /// Writes `doc`'s columns onto `disk` (borrowed; must outlive this).
+  static Result<std::unique_ptr<PagedDocTable>> Create(const DocTable& doc,
+                                                       SimulatedDisk* disk);
+
+  /// Number of encoded nodes.
+  size_t size() const { return size_; }
+  /// Document height (Eq. (1) bound), copied from the source table.
+  uint32_t height() const { return height_; }
+
+  /// Page holding post(v).
+  PageId PostPage(NodeId v) const {
+    return post_pages_[v / kRanksPerPage];
+  }
+  /// Page holding kind(v).
+  PageId KindPage(NodeId v) const { return kind_pages_[v / kPageSize]; }
+
+  /// Total pages used by the post column.
+  size_t post_page_count() const { return post_pages_.size(); }
+
+  /// Reads post(v) through the pool (pins and unpins one page).
+  Result<uint32_t> PostAt(BufferPool* pool, NodeId v) const;
+
+ private:
+  PagedDocTable() = default;
+
+  friend Result<NodeSequence> PagedStaircaseJoin(const PagedDocTable&,
+                                                 BufferPool*,
+                                                 const NodeSequence&, Axis,
+                                                 const StaircaseOptions&,
+                                                 JoinStats*);
+
+  size_t size_ = 0;
+  uint32_t height_ = 0;
+  std::vector<PageId> post_pages_;
+  std::vector<PageId> kind_pages_;
+};
+
+/// \brief Staircase join over paged columns.
+///
+/// Semantics identical to StaircaseJoin for kDescendant/kAncestor (+
+/// -or-self); `stats` counts touched nodes as usual while the pool's
+/// PoolStats counts page pins/faults. Context node ranks are read through
+/// the pool as well (they are doc rows, as the paper stresses).
+Result<NodeSequence> PagedStaircaseJoin(const PagedDocTable& doc,
+                                        BufferPool* pool,
+                                        const NodeSequence& context, Axis axis,
+                                        const StaircaseOptions& options = {},
+                                        JoinStats* stats = nullptr);
+
+}  // namespace sj::storage
+
+#endif  // STAIRJOIN_STORAGE_PAGED_DOC_H_

@@ -1,0 +1,72 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef STAIRJOIN_UTIL_RESULT_H_
+#define STAIRJOIN_UTIL_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace sj {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Accessing the value of an errored Result is a programming error (checked
+/// by assert in debug builds). Use `ok()` / `status()` before `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a successful result (implicit, so `return value;` works).
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a failed result from a non-OK status (implicit, so
+  /// `return Status::ParseError(...);` works).
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(rep_).ok() && "Result from OK status");
+  }
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  /// The status: OK when a value is present.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(rep_);
+  }
+
+  /// Borrows the contained value; requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  /// Moves the contained value out; requires ok().
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const& { return ok() ? value() : std::move(fallback); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates the error of a Result expression, else assigns its value.
+#define SJ_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto SJ_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!SJ_CONCAT_(_res_, __LINE__).ok())          \
+    return SJ_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(SJ_CONCAT_(_res_, __LINE__)).value()
+
+#define SJ_CONCAT_INNER_(a, b) a##b
+#define SJ_CONCAT_(a, b) SJ_CONCAT_INNER_(a, b)
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_UTIL_RESULT_H_

@@ -1,0 +1,68 @@
+// Deterministic pseudo-random number generation.
+//
+// Both the XMark-style generator and the property tests must be reproducible
+// across platforms and standard-library versions, so we implement a small,
+// well-known generator (xoshiro256**) instead of relying on std::mt19937
+// distribution details.
+
+#ifndef STAIRJOIN_UTIL_RNG_H_
+#define STAIRJOIN_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace sj {
+
+/// \brief Deterministic 64-bit PRNG (xoshiro256**), seedable and portable.
+class Rng {
+ public:
+  /// Seeds the generator; identical seeds yield identical streams.
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi) { return lo + Below(hi - lo + 1); }
+
+  /// Bernoulli draw with probability `percent`/100.
+  bool Percent(uint32_t percent) { return Below(100) < percent; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_UTIL_RNG_H_

@@ -1,0 +1,124 @@
+// Status-based error handling for the stairjoin library.
+//
+// Library code does not throw exceptions (see DESIGN.md); fallible operations
+// return Status or Result<T>. The design follows the Arrow/RocksDB idiom: a
+// cheap, movable value carrying an error code and a human-readable message.
+
+#ifndef STAIRJOIN_UTIL_STATUS_H_
+#define STAIRJOIN_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace sj {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kParseError = 2,       ///< malformed XML or XPath input
+  kOutOfRange = 3,       ///< rank/index outside the document
+  kNotFound = 4,         ///< missing tag, file, ...
+  kUnsupported = 5,      ///< valid input requesting an unimplemented feature
+  kIoError = 6,          ///< file system failure
+  kInternal = 7,         ///< invariant violation (a bug)
+};
+
+/// \brief Returns a short stable name for a status code (e.g. "ParseError").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a message.
+///
+/// The OK status is represented without allocation; error states carry a
+/// heap-allocated message. Statuses are cheap to move and to test.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given error code and message.
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return rep_ == nullptr; }
+
+  /// The error code (kOk for success).
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+
+  /// The error message ("" for success).
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(StatusCodeName(code())) + ": " + message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+
+  std::unique_ptr<Rep> rep_;  // null <=> OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status out of the current function.
+#define SJ_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::sj::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_UTIL_STATUS_H_

@@ -1,0 +1,65 @@
+#include "util/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace sj {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+
+  emit_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const { std::fputs(ToString().c_str(), stdout); }
+
+std::string TablePrinter::Count(uint64_t n) {
+  std::string digits = std::to_string(n);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+std::string TablePrinter::Fixed(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+}  // namespace sj

@@ -1,0 +1,41 @@
+// Fixed-width table output used by the benchmark harness so every bench
+// prints paper-style rows (and EXPERIMENTS.md can be filled from the output).
+
+#ifndef STAIRJOIN_UTIL_TABLE_PRINTER_H_
+#define STAIRJOIN_UTIL_TABLE_PRINTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sj {
+
+/// \brief Collects rows of string cells and prints an aligned ASCII table.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; missing cells print empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (header, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+  /// Formats a count with thousands separators, e.g. 50844982 -> "50,844,982".
+  static std::string Count(uint64_t n);
+
+  /// Formats a double with the given number of decimals.
+  static std::string Fixed(double v, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_UTIL_TABLE_PRINTER_H_

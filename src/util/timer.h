@@ -1,0 +1,57 @@
+// Wall-clock timing helpers for the benchmark harness.
+
+#ifndef STAIRJOIN_UTIL_TIMER_H_
+#define STAIRJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sj {
+
+/// \brief Monotonic wall-clock stopwatch with millisecond/microsecond reads.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Reset, in microseconds.
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+  /// Elapsed time in fractional milliseconds.
+  double ElapsedMillis() const {
+    return static_cast<double>(ElapsedMicros()) / 1000.0;
+  }
+
+  /// Elapsed time in fractional seconds.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) / 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Runs `fn` `repetitions` times and returns the best wall time in
+/// milliseconds (best-of-N is robust against scheduler noise for the short,
+/// CPU-bound kernels the paper measures).
+template <typename Fn>
+double BestOfMillis(int repetitions, Fn&& fn) {
+  double best = 1e300;
+  for (int i = 0; i < repetitions; ++i) {
+    Timer t;
+    fn();
+    best = best < t.ElapsedMillis() ? best : t.ElapsedMillis();
+  }
+  return best;
+}
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_UTIL_TIMER_H_

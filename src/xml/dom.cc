@@ -1,0 +1,182 @@
+#include "xml/dom.h"
+
+#include <sstream>
+
+#include "xml/parser.h"
+
+namespace sj::xml {
+
+DomBuilder::DomBuilder() = default;
+
+Status DomBuilder::StartDocument() {
+  doc_ = std::make_unique<DomDocument>();
+  stack_ = {doc_->root()};
+  return Status::OK();
+}
+
+Status DomBuilder::EndDocument() {
+  if (stack_.size() != 1) {
+    return Status::Internal("DomBuilder: unbalanced document");
+  }
+  return Status::OK();
+}
+
+Status DomBuilder::StartElement(std::string_view name) {
+  auto node = std::make_unique<DomNode>();
+  node->kind = DomKind::kElement;
+  node->name = std::string(name);
+  node->parent = stack_.back();
+  DomNode* raw = node.get();
+  stack_.back()->children.push_back(std::move(node));
+  stack_.push_back(raw);
+  return Status::OK();
+}
+
+Status DomBuilder::EndElement(std::string_view name) {
+  if (stack_.size() <= 1 || stack_.back()->name != name) {
+    return Status::Internal("DomBuilder: mismatched EndElement");
+  }
+  stack_.pop_back();
+  return Status::OK();
+}
+
+Status DomBuilder::Attribute(std::string_view name, std::string_view value) {
+  if (stack_.size() <= 1) {
+    return Status::Internal("DomBuilder: attribute outside element");
+  }
+  auto node = std::make_unique<DomNode>();
+  node->kind = DomKind::kAttribute;
+  node->name = std::string(name);
+  node->value = std::string(value);
+  node->parent = stack_.back();
+  stack_.back()->attributes.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status DomBuilder::Text(std::string_view data) {
+  auto node = std::make_unique<DomNode>();
+  node->kind = DomKind::kText;
+  node->value = std::string(data);
+  node->parent = stack_.back();
+  stack_.back()->children.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status DomBuilder::Comment(std::string_view data) {
+  auto node = std::make_unique<DomNode>();
+  node->kind = DomKind::kComment;
+  node->value = std::string(data);
+  node->parent = stack_.back();
+  stack_.back()->children.push_back(std::move(node));
+  return Status::OK();
+}
+
+Status DomBuilder::ProcessingInstruction(std::string_view target,
+                                         std::string_view data) {
+  auto node = std::make_unique<DomNode>();
+  node->kind = DomKind::kProcessingInstruction;
+  node->name = std::string(target);
+  node->value = std::string(data);
+  node->parent = stack_.back();
+  stack_.back()->children.push_back(std::move(node));
+  return Status::OK();
+}
+
+std::unique_ptr<DomDocument> DomBuilder::TakeDocument() {
+  return std::move(doc_);
+}
+
+Result<std::unique_ptr<DomDocument>> ParseToDom(std::string_view input) {
+  DomBuilder builder;
+  Status st = Parse(input, &builder);
+  if (!st.ok()) return st;
+  return builder.TakeDocument();
+}
+
+namespace {
+
+void EscapeInto(std::string_view raw, bool in_attribute, std::string* out) {
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '&':
+        out->append("&amp;");
+        break;
+      case '"':
+        if (in_attribute) {
+          out->append("&quot;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+void SerializeInto(const DomNode& node, std::string* out) {
+  switch (node.kind) {
+    case DomKind::kDocument:
+      for (const auto& c : node.children) SerializeInto(*c, out);
+      break;
+    case DomKind::kElement: {
+      out->push_back('<');
+      out->append(node.name);
+      for (const auto& a : node.attributes) {
+        out->push_back(' ');
+        out->append(a->name);
+        out->append("=\"");
+        EscapeInto(a->value, /*in_attribute=*/true, out);
+        out->push_back('"');
+      }
+      if (node.children.empty()) {
+        out->append("/>");
+      } else {
+        out->push_back('>');
+        for (const auto& c : node.children) SerializeInto(*c, out);
+        out->append("</");
+        out->append(node.name);
+        out->push_back('>');
+      }
+      break;
+    }
+    case DomKind::kAttribute:
+      // Attributes serialize as part of their element.
+      break;
+    case DomKind::kText:
+      EscapeInto(node.value, /*in_attribute=*/false, out);
+      break;
+    case DomKind::kComment:
+      out->append("<!--");
+      out->append(node.value);
+      out->append("-->");
+      break;
+    case DomKind::kProcessingInstruction:
+      out->append("<?");
+      out->append(node.name);
+      if (!node.value.empty()) {
+        out->push_back(' ');
+        out->append(node.value);
+      }
+      out->append("?>");
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const DomNode& node) {
+  std::string out;
+  SerializeInto(node, &out);
+  return out;
+}
+
+std::string Serialize(const DomDocument& doc) { return Serialize(*doc.root()); }
+
+}  // namespace sj::xml

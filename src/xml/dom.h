@@ -1,0 +1,102 @@
+// Minimal in-memory DOM.
+//
+// The DOM is not on the query fast path; it exists so that (a) tests have a
+// tree-walking oracle to compare the staircase join evaluator against and
+// (b) examples can serialize query results back to XML text.
+
+#ifndef STAIRJOIN_XML_DOM_H_
+#define STAIRJOIN_XML_DOM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+#include "xml/event_handler.h"
+
+namespace sj::xml {
+
+/// Node categories (mirrors the XPath data model subset we support).
+enum class DomKind : uint8_t {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+/// \brief A DOM node; children and attributes are owned by their parent.
+struct DomNode {
+  DomKind kind = DomKind::kElement;
+  /// Element tag / attribute name / PI target; empty for text and comments.
+  std::string name;
+  /// Text content, attribute value, comment body or PI data.
+  std::string value;
+  DomNode* parent = nullptr;  ///< not owned; null for the document node
+  /// Attribute nodes, in document order (elements only).
+  std::vector<std::unique_ptr<DomNode>> attributes;
+  /// Child nodes (elements, text, comments, PIs), in document order.
+  std::vector<std::unique_ptr<DomNode>> children;
+};
+
+/// \brief Owns a document tree rooted at a kDocument node.
+class DomDocument {
+ public:
+  DomDocument() : root_(std::make_unique<DomNode>()) {
+    root_->kind = DomKind::kDocument;
+  }
+
+  /// The virtual document root (its children hold the document element).
+  DomNode* root() { return root_.get(); }
+  const DomNode* root() const { return root_.get(); }
+
+  /// The document element, or null for an empty document.
+  const DomNode* document_element() const {
+    for (const auto& c : root_->children) {
+      if (c->kind == DomKind::kElement) return c.get();
+    }
+    return nullptr;
+  }
+
+ private:
+  std::unique_ptr<DomNode> root_;
+};
+
+/// \brief EventHandler that materializes a DomDocument.
+class DomBuilder : public EventHandler {
+ public:
+  DomBuilder();
+
+  Status StartDocument() override;
+  Status EndDocument() override;
+  Status StartElement(std::string_view name) override;
+  Status EndElement(std::string_view name) override;
+  Status Attribute(std::string_view name, std::string_view value) override;
+  Status Text(std::string_view data) override;
+  Status Comment(std::string_view data) override;
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override;
+
+  /// Yields the built document (call once, after a successful parse).
+  std::unique_ptr<DomDocument> TakeDocument();
+
+ private:
+  std::unique_ptr<DomDocument> doc_;
+  std::vector<DomNode*> stack_;
+};
+
+/// \brief Parses XML text into a DOM.
+Result<std::unique_ptr<DomDocument>> ParseToDom(std::string_view input);
+
+/// \brief Serializes a DOM subtree back to XML text (with escaping).
+std::string Serialize(const DomNode& node);
+
+/// \brief Serializes the whole document (children of the document node).
+std::string Serialize(const DomDocument& doc);
+
+}  // namespace sj::xml
+
+#endif  // STAIRJOIN_XML_DOM_H_

@@ -1,0 +1,49 @@
+// SAX-style event interface shared by the XML parser and the XMark-style
+// generator: both drive an EventHandler, so the pre/post encoder can be fed
+// either from parsed text or directly from synthesized events (without ever
+// materializing multi-hundred-MB documents as strings).
+
+#ifndef STAIRJOIN_XML_EVENT_HANDLER_H_
+#define STAIRJOIN_XML_EVENT_HANDLER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+
+namespace sj::xml {
+
+/// \brief Receiver of document structure events in document order.
+///
+/// Attribute events arrive between StartElement and any child content, in
+/// the order the attributes appear. All string_views are only valid for the
+/// duration of the call.
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+
+  /// Start of the document, before any node event.
+  virtual Status StartDocument() { return Status::OK(); }
+  /// End of the document, after all node events.
+  virtual Status EndDocument() { return Status::OK(); }
+
+  /// Opening tag `<name ...>` (or the element part of `<name/>`).
+  virtual Status StartElement(std::string_view name) = 0;
+  /// Matching close of the most recent open element.
+  virtual Status EndElement(std::string_view name) = 0;
+  /// Attribute `name="value"` of the element just started.
+  virtual Status Attribute(std::string_view name, std::string_view value) = 0;
+  /// Character data (entities already resolved; may be called repeatedly).
+  virtual Status Text(std::string_view data) = 0;
+  /// Comment `<!-- data -->`.
+  virtual Status Comment(std::string_view data) { return Text(data); }
+  /// Processing instruction `<?target data?>`.
+  virtual Status ProcessingInstruction(std::string_view target,
+                                       std::string_view data) {
+    (void)target;
+    return Text(data);
+  }
+};
+
+}  // namespace sj::xml
+
+#endif  // STAIRJOIN_XML_EVENT_HANDLER_H_

@@ -1,0 +1,40 @@
+// Non-validating XML parser.
+//
+// Supports the XML subset XMark documents (and typical data-oriented XML)
+// use: elements, attributes, character data with the five predefined
+// entities plus numeric character references, CDATA sections, comments,
+// processing instructions, an optional XML declaration and DOCTYPE (skipped).
+// Namespace prefixes are kept as part of the name (no namespace processing),
+// matching the paper's setting. Errors are reported with line/column.
+
+#ifndef STAIRJOIN_XML_PARSER_H_
+#define STAIRJOIN_XML_PARSER_H_
+
+#include <string_view>
+
+#include "util/status.h"
+#include "xml/event_handler.h"
+
+namespace sj::xml {
+
+/// Parser configuration.
+struct ParseOptions {
+  /// When true, text consisting solely of whitespace between elements is
+  /// dropped (data-oriented documents; XMark text is never pure whitespace).
+  bool skip_whitespace_text = true;
+  /// When false, comments are dropped instead of forwarded.
+  bool emit_comments = true;
+  /// When false, processing instructions are dropped instead of forwarded.
+  bool emit_processing_instructions = true;
+};
+
+/// \brief Parses `input` and streams events to `handler`.
+///
+/// Returns ParseError (with 1-based line:column in the message) on malformed
+/// input, or the first non-OK status the handler returns.
+Status Parse(std::string_view input, EventHandler* handler,
+             const ParseOptions& options = {});
+
+}  // namespace sj::xml
+
+#endif  // STAIRJOIN_XML_PARSER_H_

@@ -1,0 +1,101 @@
+#include "xml/writer.h"
+
+namespace sj::xml {
+
+Status TextWriter::StartDocument() { return Status::OK(); }
+
+Status TextWriter::EndDocument() { return Status::OK(); }
+
+void TextWriter::CloseStartTag() {
+  if (tag_open_) {
+    out_->push_back('>');
+    tag_open_ = false;
+  }
+}
+
+void TextWriter::Escape(std::string_view raw, bool in_attribute,
+                        std::string* out) {
+  for (char c : raw) {
+    switch (c) {
+      case '<':
+        out->append("&lt;");
+        break;
+      case '>':
+        out->append("&gt;");
+        break;
+      case '&':
+        out->append("&amp;");
+        break;
+      case '"':
+        if (in_attribute) {
+          out->append("&quot;");
+        } else {
+          out->push_back(c);
+        }
+        break;
+      default:
+        out->push_back(c);
+    }
+  }
+}
+
+Status TextWriter::StartElement(std::string_view name) {
+  CloseStartTag();
+  out_->push_back('<');
+  out_->append(name);
+  tag_open_ = true;
+  return Status::OK();
+}
+
+Status TextWriter::EndElement(std::string_view name) {
+  if (tag_open_) {
+    out_->append("/>");
+    tag_open_ = false;
+  } else {
+    out_->append("</");
+    out_->append(name);
+    out_->push_back('>');
+  }
+  return Status::OK();
+}
+
+Status TextWriter::Attribute(std::string_view name, std::string_view value) {
+  if (!tag_open_) {
+    return Status::InvalidArgument("TextWriter: attribute after content");
+  }
+  out_->push_back(' ');
+  out_->append(name);
+  out_->append("=\"");
+  Escape(value, /*in_attribute=*/true, out_);
+  out_->push_back('"');
+  return Status::OK();
+}
+
+Status TextWriter::Text(std::string_view data) {
+  CloseStartTag();
+  Escape(data, /*in_attribute=*/false, out_);
+  return Status::OK();
+}
+
+Status TextWriter::Comment(std::string_view data) {
+  CloseStartTag();
+  out_->append("<!--");
+  out_->append(data);
+  out_->append("-->");
+  return Status::OK();
+}
+
+Status TextWriter::ProcessingInstruction(std::string_view target,
+                                         std::string_view data) {
+  CloseStartTag();
+  out_->append("<?");
+  out_->append(target);
+  if (!data.empty()) {
+    out_->push_back(' ');
+    out_->append(data);
+  }
+  out_->append("?>");
+  return Status::OK();
+}
+
+}  // namespace sj::xml

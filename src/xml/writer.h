@@ -1,0 +1,43 @@
+// EventHandler that serializes the event stream back to XML text.
+
+#ifndef STAIRJOIN_XML_WRITER_H_
+#define STAIRJOIN_XML_WRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/event_handler.h"
+
+namespace sj::xml {
+
+/// \brief Streams events into an XML text buffer (with proper escaping).
+///
+/// Attribute events must arrive before any content of their element; the
+/// writer keeps the start tag open until the first child/text/end event.
+class TextWriter : public EventHandler {
+ public:
+  /// Writes into `out` (borrowed; must outlive the writer).
+  explicit TextWriter(std::string* out) : out_(out) {}
+
+  Status StartDocument() override;
+  Status EndDocument() override;
+  Status StartElement(std::string_view name) override;
+  Status EndElement(std::string_view name) override;
+  Status Attribute(std::string_view name, std::string_view value) override;
+  Status Text(std::string_view data) override;
+  Status Comment(std::string_view data) override;
+  Status ProcessingInstruction(std::string_view target,
+                               std::string_view data) override;
+
+ private:
+  void CloseStartTag();
+  static void Escape(std::string_view raw, bool in_attribute,
+                     std::string* out);
+
+  std::string* out_;
+  bool tag_open_ = false;
+};
+
+}  // namespace sj::xml
+
+#endif  // STAIRJOIN_XML_WRITER_H_

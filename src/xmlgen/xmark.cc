@@ -1,0 +1,471 @@
+#include "xmlgen/xmark.h"
+
+#include <array>
+#include <cmath>
+#include <string>
+#include <string_view>
+
+#include "xml/writer.h"
+
+namespace sj::xmlgen {
+namespace {
+
+// Per-MB element rates, calibrated against Table 1 of the paper (values
+// there are for an 1111 MB instance with 50,844,982 nodes):
+//   profile: 127,984/1111 = 115.2/MB, education = 63,793 (49.8% of profiles),
+//   increase = bidder(after nametest) = 597,777/1111 = 538/MB,
+//   distinct Q2 ancestors = 706,193 => ~97.6 open_auction/MB (5.5 bid/auct).
+constexpr double kPersonsPerMb = 128.0;
+constexpr uint32_t kProfilePercent = 90;     // 128 * 0.9 = 115.2 profiles/MB
+constexpr uint32_t kEducationPercent = 50;   // of profiles
+constexpr double kOpenAuctionsPerMb = 97.6;
+constexpr double kClosedAuctionsPerMb = 180.0;
+constexpr double kItemsPerMb = 850.0;
+constexpr double kCategoriesPerMb = 40.0;
+constexpr double kCatgraphEdgesPerMb = 40.0;
+constexpr uint32_t kMaxBiddersPerAuction = 11;  // uniform 0..11, mean 5.5
+constexpr uint32_t kMaxInterestsPerProfile = 19;  // uniform 0..19, mean 9.5
+
+constexpr std::array<std::string_view, 6> kRegions = {
+    "africa", "asia", "australia", "europe", "namerica", "samerica"};
+
+constexpr std::array<std::string_view, 24> kWords = {
+    "rusty",   "anchor", "harbor",  "velvet", "ledger", "copper",
+    "meadow",  "lantern", "drizzle", "marble", "willow", "ember",
+    "saffron", "quartz", "breeze",  "cobble", "tundra", "prairie",
+    "onyx",    "juniper", "garnet",  "ripple", "cedar",  "mosaic"};
+
+constexpr std::array<std::string_view, 16> kFirstNames = {
+    "Ada",  "Edgar", "Grace", "Alan",  "Barbara", "Donald", "Elena", "Tony",
+    "Mina", "Kiri",  "Ivan",  "Sofia", "Ravi",    "Lena",   "Omar",  "Yuki"};
+
+constexpr std::array<std::string_view, 16> kLastNames = {
+    "Codd",    "Dijkstra", "Hopper",  "Turing", "Liskov", "Knuth",
+    "Meyer",   "Hoare",    "Karp",    "Tarjan", "Rivest", "Blum",
+    "Lampson", "Gray",     "Stearns", "Naur"};
+
+/// Emits one pseudo-document; all randomness flows through one Rng so the
+/// output is a pure function of (seed, size_mb).
+class Generator {
+ public:
+  Generator(const XMarkOptions& options, xml::EventHandler* out)
+      : options_(options),
+        out_(out),
+        struct_rng_(options.seed),
+        text_rng_(options.seed ^ 0x9E3779B97F4A7C15ULL) {}
+
+  Status Run() {
+    const double mb = options_.size_mb;
+    persons_ = Count(kPersonsPerMb * mb);
+    open_auctions_ = Count(kOpenAuctionsPerMb * mb);
+    closed_auctions_ = Count(kClosedAuctionsPerMb * mb);
+    items_ = Count(kItemsPerMb * mb);
+    categories_ = Count(kCategoriesPerMb * mb);
+    edges_ = Count(kCatgraphEdgesPerMb * mb);
+
+    SJ_RETURN_NOT_OK(out_->StartDocument());
+    SJ_RETURN_NOT_OK(Open("site"));
+    SJ_RETURN_NOT_OK(EmitRegions());
+    SJ_RETURN_NOT_OK(EmitCategories());
+    SJ_RETURN_NOT_OK(EmitCatgraph());
+    SJ_RETURN_NOT_OK(EmitPeople());
+    SJ_RETURN_NOT_OK(EmitOpenAuctions());
+    SJ_RETURN_NOT_OK(EmitClosedAuctions());
+    SJ_RETURN_NOT_OK(Close("site"));
+    return out_->EndDocument();
+  }
+
+ private:
+  static uint64_t Count(double expected) {
+    return expected < 1.0 ? 1 : static_cast<uint64_t>(std::llround(expected));
+  }
+
+  // --- small emission helpers -------------------------------------------
+
+  Status Open(std::string_view tag) { return out_->StartElement(tag); }
+  Status Close(std::string_view tag) { return out_->EndElement(tag); }
+
+  Status Attr(std::string_view name, std::string_view value) {
+    return out_->Attribute(name, value);
+  }
+
+  Status AttrId(std::string_view name, std::string_view prefix, uint64_t id) {
+    scratch_ = std::string(prefix) + std::to_string(id);
+    return out_->Attribute(name, scratch_);
+  }
+
+  /// <tag>text</tag>
+  Status TextElement(std::string_view tag, std::string_view text) {
+    SJ_RETURN_NOT_OK(Open(tag));
+    SJ_RETURN_NOT_OK(out_->Text(text));
+    return Close(tag);
+  }
+
+  Status TextElementWords(std::string_view tag, int min_words, int max_words) {
+    SJ_RETURN_NOT_OK(Open(tag));
+    SJ_RETURN_NOT_OK(Words(min_words, max_words));
+    return Close(tag);
+  }
+
+  /// Emits one text node of `n` pseudo-words.
+  Status Words(int min_words, int max_words) {
+    if (!options_.rich_text) {
+      return out_->Text("t");  // fixed payload: same node count, tiny heap
+    }
+    uint64_t n = text_rng_.Range(static_cast<uint64_t>(min_words),
+                                 static_cast<uint64_t>(max_words));
+    scratch_.clear();
+    for (uint64_t i = 0; i < n; ++i) {
+      if (i > 0) scratch_.push_back(' ');
+      scratch_.append(kWords[text_rng_.Below(kWords.size())]);
+    }
+    return out_->Text(scratch_);
+  }
+
+  Status PersonName() {
+    if (!options_.rich_text) return out_->Text("p");
+    scratch_ =
+        std::string(kFirstNames[text_rng_.Below(kFirstNames.size())]) + " " +
+        std::string(kLastNames[text_rng_.Below(kLastNames.size())]);
+    return out_->Text(scratch_);
+  }
+
+  Status Date() {
+    if (!options_.rich_text) return out_->Text("d");
+    scratch_ = std::to_string(text_rng_.Range(1, 12)) + "/" +
+               std::to_string(text_rng_.Range(1, 28)) + "/" +
+               std::to_string(text_rng_.Range(1998, 2003));
+    return out_->Text(scratch_);
+  }
+
+  Status Amount() {
+    if (!options_.rich_text) return out_->Text("a");
+    scratch_ = std::to_string(text_rng_.Range(1, 5000)) + "." +
+               std::to_string(text_rng_.Range(10, 99));
+    return out_->Text(scratch_);
+  }
+
+  // --- document sections --------------------------------------------------
+
+  /// description -> (text | parlist) with bounded parlist recursion.
+  /// `force_deep` drives one maximal-depth chain so that every generated
+  /// document has height exactly 11 (site=0 ... keyword text node=11).
+  Status Description(uint32_t base_level, bool force_deep) {
+    SJ_RETURN_NOT_OK(Open("description"));
+    // Depth budget: levels left for parlist/listitem pairs below
+    // description such that text(+keyword) still fits within height 11.
+    // description sits at base_level; a parlist/listitem pair costs 2.
+    uint32_t budget = 0;
+    if (base_level + 4 <= 9) budget = (9 - (base_level + 1)) / 2;
+    uint32_t depth = 0;
+    if (force_deep) {
+      depth = budget;
+    } else if (budget > 0 && struct_rng_.Percent(35)) {
+      depth = static_cast<uint32_t>(struct_rng_.Range(1, budget));
+    }
+    SJ_RETURN_NOT_OK(DescriptionBody(depth, force_deep));
+    return Close("description");
+  }
+
+  Status DescriptionBody(uint32_t parlist_depth, bool force_keyword) {
+    if (parlist_depth == 0) {
+      SJ_RETURN_NOT_OK(Open("text"));
+      SJ_RETURN_NOT_OK(Words(8, 30));
+      if (force_keyword || struct_rng_.Percent(20)) {
+        SJ_RETURN_NOT_OK(TextElementWords("keyword", 1, 3));
+      }
+      return Close("text");
+    }
+    SJ_RETURN_NOT_OK(Open("parlist"));
+    uint64_t listitems = struct_rng_.Range(1, 2);
+    for (uint64_t i = 0; i < listitems; ++i) {
+      SJ_RETURN_NOT_OK(Open("listitem"));
+      SJ_RETURN_NOT_OK(
+          DescriptionBody(parlist_depth - 1, force_keyword && i == 0));
+      SJ_RETURN_NOT_OK(Close("listitem"));
+    }
+    return Close("parlist");
+  }
+
+  Status EmitRegions() {
+    SJ_RETURN_NOT_OK(Open("regions"));
+    uint64_t emitted = 0;
+    for (size_t r = 0; r < kRegions.size(); ++r) {
+      SJ_RETURN_NOT_OK(Open(kRegions[r]));
+      uint64_t quota = items_ / kRegions.size() +
+                       (r < items_ % kRegions.size() ? 1 : 0);
+      for (uint64_t i = 0; i < quota; ++i, ++emitted) {
+        // The very first item carries the forced maximal-depth description.
+        SJ_RETURN_NOT_OK(EmitItem(emitted, /*force_deep=*/emitted == 0));
+      }
+      SJ_RETURN_NOT_OK(Close(kRegions[r]));
+    }
+    return Close("regions");
+  }
+
+  /// item is at level 3 (site/regions/<region>/item); description at 4.
+  Status EmitItem(uint64_t id, bool force_deep) {
+    SJ_RETURN_NOT_OK(Open("item"));
+    SJ_RETURN_NOT_OK(AttrId("id", "item", id));
+    if (struct_rng_.Percent(10)) SJ_RETURN_NOT_OK(Attr("featured", "yes"));
+    SJ_RETURN_NOT_OK(TextElementWords("location", 1, 2));
+    SJ_RETURN_NOT_OK(Open("quantity"));
+    SJ_RETURN_NOT_OK(out_->Text(text_rng_.Percent(80) ? "1" : "2"));
+    SJ_RETURN_NOT_OK(Close("quantity"));
+    SJ_RETURN_NOT_OK(TextElementWords("name", 1, 3));
+    SJ_RETURN_NOT_OK(TextElementWords("payment", 2, 6));
+    SJ_RETURN_NOT_OK(Description(/*base_level=*/4, force_deep));
+    SJ_RETURN_NOT_OK(TextElementWords("shipping", 2, 6));
+    uint64_t incategories = struct_rng_.Range(1, 2);
+    for (uint64_t i = 0; i < incategories; ++i) {
+      SJ_RETURN_NOT_OK(Open("incategory"));
+      SJ_RETURN_NOT_OK(AttrId("category", "category", text_rng_.Below(categories_)));
+      SJ_RETURN_NOT_OK(Close("incategory"));
+    }
+    if (struct_rng_.Percent(75)) {
+      SJ_RETURN_NOT_OK(Open("mailbox"));
+      uint64_t mails = struct_rng_.Range(1, 3);
+      for (uint64_t i = 0; i < mails; ++i) {
+        SJ_RETURN_NOT_OK(Open("mail"));
+        SJ_RETURN_NOT_OK(TextElementWords("from", 2, 3));
+        SJ_RETURN_NOT_OK(TextElementWords("to", 2, 3));
+        SJ_RETURN_NOT_OK(Open("date"));
+        SJ_RETURN_NOT_OK(Date());
+        SJ_RETURN_NOT_OK(Close("date"));
+        SJ_RETURN_NOT_OK(TextElementWords("text", 10, 30));
+        SJ_RETURN_NOT_OK(Close("mail"));
+      }
+      SJ_RETURN_NOT_OK(Close("mailbox"));
+    }
+    return Close("item");
+  }
+
+  Status EmitCategories() {
+    SJ_RETURN_NOT_OK(Open("categories"));
+    for (uint64_t i = 0; i < categories_; ++i) {
+      SJ_RETURN_NOT_OK(Open("category"));
+      SJ_RETURN_NOT_OK(AttrId("id", "category", i));
+      SJ_RETURN_NOT_OK(TextElementWords("name", 1, 2));
+      SJ_RETURN_NOT_OK(Description(/*base_level=*/3, /*force_deep=*/false));
+      SJ_RETURN_NOT_OK(Close("category"));
+    }
+    return Close("categories");
+  }
+
+  Status EmitCatgraph() {
+    SJ_RETURN_NOT_OK(Open("catgraph"));
+    for (uint64_t i = 0; i < edges_; ++i) {
+      SJ_RETURN_NOT_OK(Open("edge"));
+      SJ_RETURN_NOT_OK(AttrId("from", "category", text_rng_.Below(categories_)));
+      SJ_RETURN_NOT_OK(AttrId("to", "category", text_rng_.Below(categories_)));
+      SJ_RETURN_NOT_OK(Close("edge"));
+    }
+    return Close("catgraph");
+  }
+
+  Status EmitPeople() {
+    SJ_RETURN_NOT_OK(Open("people"));
+    for (uint64_t i = 0; i < persons_; ++i) {
+      SJ_RETURN_NOT_OK(Open("person"));
+      SJ_RETURN_NOT_OK(AttrId("id", "person", i));
+      SJ_RETURN_NOT_OK(Open("name"));
+      SJ_RETURN_NOT_OK(PersonName());
+      SJ_RETURN_NOT_OK(Close("name"));
+      SJ_RETURN_NOT_OK(TextElementWords("emailaddress", 1, 1));
+      if (struct_rng_.Percent(50)) {
+        SJ_RETURN_NOT_OK(TextElementWords("phone", 1, 1));
+      }
+      if (struct_rng_.Percent(40)) {
+        SJ_RETURN_NOT_OK(Open("address"));
+        SJ_RETURN_NOT_OK(TextElementWords("street", 2, 3));
+        SJ_RETURN_NOT_OK(TextElementWords("city", 1, 1));
+        SJ_RETURN_NOT_OK(TextElementWords("country", 1, 1));
+        SJ_RETURN_NOT_OK(TextElementWords("zipcode", 1, 1));
+        SJ_RETURN_NOT_OK(Close("address"));
+      }
+      if (struct_rng_.Percent(30)) {
+        SJ_RETURN_NOT_OK(TextElementWords("homepage", 1, 1));
+      }
+      if (struct_rng_.Percent(30)) {
+        SJ_RETURN_NOT_OK(TextElementWords("creditcard", 1, 1));
+      }
+      if (struct_rng_.Percent(kProfilePercent)) {
+        SJ_RETURN_NOT_OK(EmitProfile());
+      }
+      if (struct_rng_.Percent(40)) {
+        SJ_RETURN_NOT_OK(Open("watches"));
+        uint64_t watches = struct_rng_.Range(1, 3);
+        for (uint64_t w = 0; w < watches; ++w) {
+          SJ_RETURN_NOT_OK(Open("watch"));
+          SJ_RETURN_NOT_OK(
+              AttrId("open_auction", "open_auction",
+                     text_rng_.Below(open_auctions_)));
+          SJ_RETURN_NOT_OK(Close("watch"));
+        }
+        SJ_RETURN_NOT_OK(Close("watches"));
+      }
+      SJ_RETURN_NOT_OK(Close("person"));
+    }
+    return Close("people");
+  }
+
+  /// profile at level 3 (site/people/person/profile), education at 4.
+  /// Non-attribute descendants average ~14.5 (Table 1: 1,849,360/127,984).
+  Status EmitProfile() {
+    SJ_RETURN_NOT_OK(Open("profile"));
+    SJ_RETURN_NOT_OK(AttrId("income", "", text_rng_.Range(9000, 95000)));
+    uint64_t interests = struct_rng_.Range(0, kMaxInterestsPerProfile);
+    for (uint64_t i = 0; i < interests; ++i) {
+      SJ_RETURN_NOT_OK(Open("interest"));
+      SJ_RETURN_NOT_OK(AttrId("category", "category", text_rng_.Below(categories_)));
+      SJ_RETURN_NOT_OK(Close("interest"));
+    }
+    if (struct_rng_.Percent(kEducationPercent)) {
+      SJ_RETURN_NOT_OK(TextElementWords("education", 1, 2));
+    }
+    if (struct_rng_.Percent(50)) {
+      SJ_RETURN_NOT_OK(
+          TextElement("gender", text_rng_.Percent(50) ? "male" : "female"));
+    }
+    SJ_RETURN_NOT_OK(TextElement("business", text_rng_.Percent(50) ? "Yes" : "No"));
+    if (struct_rng_.Percent(50)) {
+      SJ_RETURN_NOT_OK(Open("age"));
+      SJ_RETURN_NOT_OK(out_->Text(options_.rich_text
+                                      ? std::to_string(text_rng_.Range(18, 90))
+                                      : "n"));
+      SJ_RETURN_NOT_OK(Close("age"));
+    }
+    return Close("profile");
+  }
+
+  Status EmitOpenAuctions() {
+    SJ_RETURN_NOT_OK(Open("open_auctions"));
+    for (uint64_t i = 0; i < open_auctions_; ++i) {
+      SJ_RETURN_NOT_OK(Open("open_auction"));
+      SJ_RETURN_NOT_OK(AttrId("id", "open_auction", i));
+      SJ_RETURN_NOT_OK(Open("initial"));
+      SJ_RETURN_NOT_OK(Amount());
+      SJ_RETURN_NOT_OK(Close("initial"));
+      if (struct_rng_.Percent(40)) {
+        SJ_RETURN_NOT_OK(Open("reserve"));
+        SJ_RETURN_NOT_OK(Amount());
+        SJ_RETURN_NOT_OK(Close("reserve"));
+      }
+      // bidder at level 3, increase at level 4: exactly one per bidder.
+      uint64_t bidders = struct_rng_.Range(0, kMaxBiddersPerAuction);
+      for (uint64_t b = 0; b < bidders; ++b) {
+        SJ_RETURN_NOT_OK(Open("bidder"));
+        SJ_RETURN_NOT_OK(Open("date"));
+        SJ_RETURN_NOT_OK(Date());
+        SJ_RETURN_NOT_OK(Close("date"));
+        SJ_RETURN_NOT_OK(Open("personref"));
+        SJ_RETURN_NOT_OK(AttrId("person", "person", text_rng_.Below(persons_)));
+        SJ_RETURN_NOT_OK(Close("personref"));
+        SJ_RETURN_NOT_OK(Open("increase"));
+        SJ_RETURN_NOT_OK(Amount());
+        SJ_RETURN_NOT_OK(Close("increase"));
+        SJ_RETURN_NOT_OK(Close("bidder"));
+      }
+      SJ_RETURN_NOT_OK(Open("current"));
+      SJ_RETURN_NOT_OK(Amount());
+      SJ_RETURN_NOT_OK(Close("current"));
+      SJ_RETURN_NOT_OK(Open("itemref"));
+      SJ_RETURN_NOT_OK(AttrId("item", "item", text_rng_.Below(items_)));
+      SJ_RETURN_NOT_OK(Close("itemref"));
+      SJ_RETURN_NOT_OK(Open("seller"));
+      SJ_RETURN_NOT_OK(AttrId("person", "person", text_rng_.Below(persons_)));
+      SJ_RETURN_NOT_OK(Close("seller"));
+      SJ_RETURN_NOT_OK(Open("quantity"));
+      SJ_RETURN_NOT_OK(out_->Text("1"));
+      SJ_RETURN_NOT_OK(Close("quantity"));
+      SJ_RETURN_NOT_OK(
+          TextElement("type", text_rng_.Percent(70) ? "Regular" : "Featured"));
+      SJ_RETURN_NOT_OK(Open("interval"));
+      SJ_RETURN_NOT_OK(Open("start"));
+      SJ_RETURN_NOT_OK(Date());
+      SJ_RETURN_NOT_OK(Close("start"));
+      SJ_RETURN_NOT_OK(Open("end"));
+      SJ_RETURN_NOT_OK(Date());
+      SJ_RETURN_NOT_OK(Close("end"));
+      SJ_RETURN_NOT_OK(Close("interval"));
+      SJ_RETURN_NOT_OK(Close("open_auction"));
+    }
+    return Close("open_auctions");
+  }
+
+  Status EmitClosedAuctions() {
+    SJ_RETURN_NOT_OK(Open("closed_auctions"));
+    for (uint64_t i = 0; i < closed_auctions_; ++i) {
+      SJ_RETURN_NOT_OK(Open("closed_auction"));
+      SJ_RETURN_NOT_OK(Open("seller"));
+      SJ_RETURN_NOT_OK(AttrId("person", "person", text_rng_.Below(persons_)));
+      SJ_RETURN_NOT_OK(Close("seller"));
+      SJ_RETURN_NOT_OK(Open("buyer"));
+      SJ_RETURN_NOT_OK(AttrId("person", "person", text_rng_.Below(persons_)));
+      SJ_RETURN_NOT_OK(Close("buyer"));
+      SJ_RETURN_NOT_OK(Open("itemref"));
+      SJ_RETURN_NOT_OK(AttrId("item", "item", text_rng_.Below(items_)));
+      SJ_RETURN_NOT_OK(Close("itemref"));
+      SJ_RETURN_NOT_OK(Open("price"));
+      SJ_RETURN_NOT_OK(Amount());
+      SJ_RETURN_NOT_OK(Close("price"));
+      SJ_RETURN_NOT_OK(Open("date"));
+      SJ_RETURN_NOT_OK(Date());
+      SJ_RETURN_NOT_OK(Close("date"));
+      SJ_RETURN_NOT_OK(Open("quantity"));
+      SJ_RETURN_NOT_OK(out_->Text("1"));
+      SJ_RETURN_NOT_OK(Close("quantity"));
+      SJ_RETURN_NOT_OK(
+          TextElement("type", text_rng_.Percent(70) ? "Regular" : "Featured"));
+      SJ_RETURN_NOT_OK(Close("closed_auction"));
+    }
+    return Close("closed_auctions");
+  }
+
+  XMarkOptions options_;
+  xml::EventHandler* out_;
+  Rng struct_rng_;   // decides which nodes exist (invariant of rich_text)
+  Rng text_rng_;     // decides text/attribute payloads only
+  std::string scratch_;
+  uint64_t persons_ = 0;
+  uint64_t open_auctions_ = 0;
+  uint64_t closed_auctions_ = 0;
+  uint64_t items_ = 0;
+  uint64_t categories_ = 0;
+  uint64_t edges_ = 0;
+};
+
+}  // namespace
+
+Status GenerateXMark(const XMarkOptions& options, xml::EventHandler* handler) {
+  if (handler == nullptr) {
+    return Status::InvalidArgument("GenerateXMark: handler must not be null");
+  }
+  if (options.size_mb <= 0.0 || options.size_mb > 4096.0) {
+    return Status::InvalidArgument("GenerateXMark: size_mb out of (0, 4096]");
+  }
+  Generator gen(options, handler);
+  return gen.Run();
+}
+
+Result<std::string> GenerateXMarkText(const XMarkOptions& options) {
+  std::string out;
+  xml::TextWriter writer(&out);
+  Status st = GenerateXMark(options, &writer);
+  if (!st.ok()) return st;
+  return out;
+}
+
+Result<std::unique_ptr<DocTable>> GenerateXMarkDocument(
+    const XMarkOptions& options, BuildOptions build_options) {
+  if (build_options.expected_nodes == 0) {
+    build_options.expected_nodes =
+        static_cast<size_t>(options.size_mb * 46000.0);
+  }
+  DocTableBuilder builder(build_options);
+  Status st = GenerateXMark(options, &builder);
+  if (!st.ok()) return st;
+  return builder.Finish();
+}
+
+}  // namespace sj::xmlgen

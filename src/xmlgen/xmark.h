@@ -1,0 +1,67 @@
+// XMark-style auction document generator (substitute for XMLgen [15]).
+//
+// The paper evaluates on documents produced by the XMark benchmark's XMLgen
+// for a fixed DTD, sizes 1 MB .. 1 GB, height 11. We do not have that C
+// program, so this module synthesizes documents with the same DTD shape
+// (site / regions / categories / catgraph / people / open_auctions /
+// closed_auctions) calibrated against the published Table 1 statistics:
+//
+//   * ~45.8k encoded nodes per MB (paper: 50,844,982 nodes / 1111 MB),
+//   * document height exactly 11,
+//   * `level(increase) = 4`, exactly one increase per bidder, ~5.5 bidders
+//     per open_auction (drives Experiment 1's ~75% duplicate ratio),
+//   * ~115 profile elements per MB, ~50% of them with an education child,
+//     ~14.5 non-attribute descendants per profile (drives Table 1's Q1),
+//   * ~7-9% of nodes are attributes.
+//
+// Generation is deterministic for a given (seed, size) and streams events,
+// so gigabyte-scale documents never need to exist as text.
+
+#ifndef STAIRJOIN_XMLGEN_XMARK_H_
+#define STAIRJOIN_XMLGEN_XMARK_H_
+
+#include <memory>
+#include <string>
+
+#include "encoding/builder.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "xml/event_handler.h"
+
+namespace sj::xmlgen {
+
+/// Generator parameters.
+struct XMarkOptions {
+  /// Target document size in MB-equivalents (the paper's x-axis unit).
+  double size_mb = 1.1;
+  /// PRNG seed; identical options generate identical documents.
+  uint64_t seed = 42;
+  /// Emit text content. Off saves time/memory for pure join benches whose
+  /// kernels only look at pre/post/kind/tag; node *counts* stay identical
+  /// because text nodes are still emitted (with a fixed short payload).
+  bool rich_text = true;
+};
+
+/// \brief Streams an XMark-style document to `handler`.
+Status GenerateXMark(const XMarkOptions& options, xml::EventHandler* handler);
+
+/// \brief Generates and serializes to XML text (small documents, examples).
+Result<std::string> GenerateXMarkText(const XMarkOptions& options);
+
+/// \brief Generates and encodes directly into a DocTable (no text detour).
+Result<std::unique_ptr<DocTable>> GenerateXMarkDocument(
+    const XMarkOptions& options, BuildOptions build_options = {});
+
+/// The two paper queries (Section 4.4).
+inline constexpr const char* kQ1 = "/descendant::profile/descendant::education";
+inline constexpr const char* kQ2 = "/descendant::increase/ancestor::bidder";
+
+/// The paper's manual DB2 rewrite of Q2 (Section 4.4, Experiment 3).
+inline constexpr const char* kQ2Rewrite =
+    "/descendant::bidder[descendant::increase]";
+
+}  // namespace sj::xmlgen
+
+#endif  // STAIRJOIN_XMLGEN_XMARK_H_

@@ -1,0 +1,90 @@
+// XPath AST for the location-path fragment the accelerator evaluates.
+//
+// Supported: absolute/relative location paths, all axes of core/axis.h,
+// name tests (incl. '*'), kind tests (node(), text(), comment(),
+// processing-instruction([target])), existence predicates `[rel-path]`,
+// and the abbreviations `@`, `.`, `..`, `//`.
+
+#ifndef STAIRJOIN_XPATH_AST_H_
+#define STAIRJOIN_XPATH_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/axis.h"
+
+namespace sj::xpath {
+
+/// What a step's node test accepts.
+enum class NodeTestKind : uint8_t {
+  kName,     ///< element/attribute/PI name, e.g. `bidder` or `@id`
+  kAnyName,  ///< `*`: any node of the axis' principal node kind
+  kAnyNode,  ///< `node()`
+  kText,     ///< `text()`
+  kComment,  ///< `comment()`
+  kPi,       ///< `processing-instruction()` with optional target
+};
+
+/// A step's node test.
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kAnyNode;
+  /// Name for kName, optional target for kPi; empty otherwise.
+  std::string name;
+};
+
+struct LocationPath;
+
+/// A step predicate: `[rel-path]` (existence), `[N]` (position within the
+/// step's axis order, 1-based), or `[last()]`.
+struct Predicate {
+  enum class Kind : uint8_t { kExists, kPosition, kLast };
+  Kind kind = Kind::kExists;
+  /// The predicate path (kExists only).
+  std::unique_ptr<LocationPath> path;
+  /// 1-based position (kPosition only).
+  uint32_t position = 0;
+
+  Predicate();
+  ~Predicate();
+  Predicate(Predicate&&) noexcept;
+  Predicate& operator=(Predicate&&) noexcept;
+  Predicate(const Predicate& other);
+  Predicate& operator=(const Predicate& other);
+};
+
+/// One location step: axis :: node-test predicate*.
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  /// Predicates, applied in order. Positional predicates follow the axis
+  /// direction (reverse axes count from the context node outward).
+  std::vector<Predicate> predicates;
+};
+
+/// A location path; absolute paths start at the document element.
+struct LocationPath {
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+/// A union of location paths: `p1 | p2 | ...`.
+struct UnionExpr {
+  std::vector<LocationPath> branches;
+};
+
+/// Unparses a path into canonical (unabbreviated) XPath syntax.
+std::string ToString(const LocationPath& path);
+
+/// Unparses one step.
+std::string ToString(const Step& step);
+
+/// Unparses one predicate (including the brackets).
+std::string ToString(const Predicate& pred);
+
+/// Unparses a union expression.
+std::string ToString(const UnionExpr& expr);
+
+}  // namespace sj::xpath
+
+#endif  // STAIRJOIN_XPATH_AST_H_

@@ -1,0 +1,334 @@
+#include "xpath/evaluator.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "baselines/naive.h"
+#include "util/timer.h"
+
+namespace sj::xpath {
+namespace {
+
+/// The axis' principal node kind (XPath: attribute for the attribute axis,
+/// element everywhere else; we have no namespace axis).
+NodeKind PrincipalKind(Axis axis) {
+  return axis == Axis::kAttribute ? NodeKind::kAttribute : NodeKind::kElement;
+}
+
+}  // namespace
+
+Evaluator::Evaluator(const DocTable& doc, EvalOptions options)
+    : doc_(doc), options_(options) {}
+
+Result<NodeSequence> Evaluator::Evaluate(const LocationPath& path,
+                                         const NodeSequence& context) {
+  trace_.clear();
+  NodeSequence start = context;
+  if (path.absolute) {
+    start = doc_.empty() ? NodeSequence{} : NodeSequence{doc_.root()};
+  }
+  if (!IsDocumentOrder(start)) {
+    return Status::InvalidArgument(
+        "context must be duplicate-free and in document order");
+  }
+  if (!start.empty() && start.back() >= doc_.size()) {
+    return Status::InvalidArgument("context node out of range");
+  }
+  return EvalSteps(path.steps, 0, std::move(start), /*top_level=*/true);
+}
+
+Result<NodeSequence> Evaluator::Evaluate(const LocationPath& path) {
+  return Evaluate(path, doc_.empty() ? NodeSequence{}
+                                     : NodeSequence{doc_.root()});
+}
+
+Result<NodeSequence> Evaluator::EvaluateString(std::string_view xpath) {
+  SJ_ASSIGN_OR_RETURN(LocationPath path, ParseXPath(xpath));
+  return Evaluate(path);
+}
+
+Result<NodeSequence> Evaluator::Evaluate(const UnionExpr& expr,
+                                         const NodeSequence& context) {
+  NodeSequence merged;
+  for (const LocationPath& branch : expr.branches) {
+    SJ_ASSIGN_OR_RETURN(NodeSequence r, Evaluate(branch, context));
+    NodeSequence next;
+    next.reserve(merged.size() + r.size());
+    std::merge(merged.begin(), merged.end(), r.begin(), r.end(),
+               std::back_inserter(next));
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    merged = std::move(next);
+  }
+  return merged;
+}
+
+Result<NodeSequence> Evaluator::EvaluateUnionString(std::string_view xpath) {
+  SJ_ASSIGN_OR_RETURN(UnionExpr expr, ParseXPathUnion(xpath));
+  return Evaluate(expr, doc_.empty() ? NodeSequence{}
+                                     : NodeSequence{doc_.root()});
+}
+
+Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
+                                          size_t first, NodeSequence context,
+                                          bool top_level) {
+  NodeSequence current = std::move(context);
+  for (size_t i = first; i < steps.size(); ++i) {
+    if (current.empty()) return NodeSequence{};
+    SJ_ASSIGN_OR_RETURN(current, EvalStep(steps[i], current, top_level));
+  }
+  return current;
+}
+
+bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
+  if (options_.engine != EngineMode::kStaircase) return false;
+  if (options_.tag_index == nullptr) return false;
+  if (step.test.kind != NodeTestKind::kName) return false;
+  if (!IsStaircaseAxis(step.axis)) return false;
+  switch (options_.pushdown) {
+    case PushdownMode::kNever:
+      return false;
+    case PushdownMode::kAlways:
+      return true;
+    case PushdownMode::kAuto: {
+      // "...obviously makes sense for selective name tests only"
+      // (Section 4.4). The fragment size is the exact selectivity.
+      double count = static_cast<double>(options_.tag_index->tag_count(tag));
+      return count <=
+             options_.pushdown_selectivity * static_cast<double>(doc_.size());
+    }
+  }
+  return false;
+}
+
+NodeSequence Evaluator::FilterByTest(const Step& step,
+                                     const NodeSequence& nodes) const {
+  NodeSequence out;
+  out.reserve(nodes.size());
+  const NodeKind principal = PrincipalKind(step.axis);
+  for (NodeId v : nodes) {
+    const NodeKind kind = doc_.kind(v);
+    bool keep = false;
+    switch (step.test.kind) {
+      case NodeTestKind::kAnyNode:
+        keep = true;
+        break;
+      case NodeTestKind::kAnyName:
+        keep = kind == principal;
+        break;
+      case NodeTestKind::kName:
+        keep = kind == principal &&
+               doc_.tag(v) != kNoTag &&
+               doc_.tags().Name(doc_.tag(v)) == step.test.name;
+        break;
+      case NodeTestKind::kText:
+        keep = kind == NodeKind::kText;
+        break;
+      case NodeTestKind::kComment:
+        keep = kind == NodeKind::kComment;
+        break;
+      case NodeTestKind::kPi:
+        keep = kind == NodeKind::kProcessingInstruction &&
+               (step.test.name.empty() ||
+                doc_.tags().Name(doc_.tag(v)) == step.test.name);
+        break;
+    }
+    if (keep) out.push_back(v);
+  }
+  return out;
+}
+
+Result<bool> Evaluator::PredicateHolds(const Predicate& pred, NodeId node) {
+  if (pred.kind != Predicate::Kind::kExists || pred.path == nullptr) {
+    return Status::Internal("positional predicate on the set-at-a-time path");
+  }
+  if (pred.path->absolute) {
+    SJ_ASSIGN_OR_RETURN(
+        NodeSequence r,
+        EvalSteps(pred.path->steps, 0,
+                  doc_.empty() ? NodeSequence{} : NodeSequence{doc_.root()},
+                  /*top_level=*/false));
+    return !r.empty();
+  }
+  SJ_ASSIGN_OR_RETURN(NodeSequence r, EvalSteps(pred.path->steps, 0, {node},
+                                                /*top_level=*/false));
+  return !r.empty();
+}
+
+Result<NodeSequence> Evaluator::ApplyPredicates(const Step& step,
+                                                NodeSequence nodes) {
+  for (const Predicate& pred : step.predicates) {
+    if (nodes.empty()) break;
+    NodeSequence kept;
+    kept.reserve(nodes.size());
+    for (NodeId v : nodes) {
+      SJ_ASSIGN_OR_RETURN(bool holds, PredicateHolds(pred, v));
+      if (holds) kept.push_back(v);
+    }
+    nodes = std::move(kept);
+  }
+  return nodes;
+}
+
+/// True for the axes whose position counts against document order
+/// (XPath reverse axes).
+static bool IsReverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kParent:
+    case Axis::kPreceding:
+    case Axis::kPrecedingSibling:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Positional predicates are inherently per-context-node: [2] means "the
+/// second node this step selects *from one context node*, in axis order".
+/// The step therefore falls back to per-context evaluation (this is why
+/// the paper's set-at-a-time staircase join handles name tests, not
+/// positions).
+Result<NodeSequence> Evaluator::EvalStepPositional(
+    const Step& step, const NodeSequence& context) {
+  NodeSequence collected;
+  for (NodeId c : context) {
+    JoinStats ignored;
+    SJ_ASSIGN_OR_RETURN(NodeSequence axis_nodes,
+                        NaiveAxisStep(doc_, {c}, step.axis, &ignored));
+    axis_nodes = FilterByTest(step, axis_nodes);
+    if (IsReverseAxis(step.axis)) {
+      std::reverse(axis_nodes.begin(), axis_nodes.end());
+    }
+    // Predicates apply in order; each positional predicate indexes the
+    // list surviving the previous ones.
+    for (const Predicate& pred : step.predicates) {
+      if (axis_nodes.empty()) break;
+      NodeSequence kept;
+      switch (pred.kind) {
+        case Predicate::Kind::kPosition:
+          if (pred.position <= axis_nodes.size()) {
+            kept.push_back(axis_nodes[pred.position - 1]);
+          }
+          break;
+        case Predicate::Kind::kLast:
+          kept.push_back(axis_nodes.back());
+          break;
+        case Predicate::Kind::kExists:
+          for (NodeId v : axis_nodes) {
+            SJ_ASSIGN_OR_RETURN(bool holds, PredicateHolds(pred, v));
+            if (holds) kept.push_back(v);
+          }
+          break;
+      }
+      axis_nodes = std::move(kept);
+    }
+    collected.insert(collected.end(), axis_nodes.begin(), axis_nodes.end());
+  }
+  std::sort(collected.begin(), collected.end());
+  collected.erase(std::unique(collected.begin(), collected.end()),
+                  collected.end());
+  return collected;
+}
+
+Result<NodeSequence> Evaluator::EvalStep(const Step& step,
+                                         const NodeSequence& context,
+                                         bool top_level) {
+  Timer timer;
+  StepTrace trace;
+  JoinStats stats;
+  NodeSequence result;
+
+  bool positional = false;
+  for (const Predicate& pred : step.predicates) {
+    positional = positional || pred.kind != Predicate::Kind::kExists;
+  }
+  if (positional) {
+    SJ_ASSIGN_OR_RETURN(result, EvalStepPositional(step, context));
+    if (top_level) {
+      trace.description =
+          ToString(step) + " via per-context evaluation (positional "
+          "predicate)";
+      trace.stats.context_size = context.size();
+      trace.stats.result_size = result.size();
+      trace.millis = timer.ElapsedMillis();
+      trace_.push_back(std::move(trace));
+    }
+    return result;
+  }
+
+  const bool staircase_axis = IsStaircaseAxis(step.axis);
+  TagId tag = kNoTag;
+  if (step.test.kind == NodeTestKind::kName) {
+    tag = doc_.tags().Lookup(step.test.name);
+    if (tag == kNoTag && step.axis != Axis::kAttribute) {
+      // Unknown tag: the step can only produce the empty sequence, but a
+      // trace entry is still recorded below.
+    }
+  }
+
+  if (options_.engine == EngineMode::kStaircase && staircase_axis) {
+    if (step.test.kind == NodeTestKind::kName && tag == kNoTag) {
+      trace.description = ToString(step) + " -> empty (unknown tag)";
+      result.clear();
+    } else if (ShouldPushdown(step, tag)) {
+      SJ_ASSIGN_OR_RETURN(
+          result, StaircaseJoinView(doc_, options_.tag_index->view(tag),
+                                    context, step.axis, options_.staircase,
+                                    &stats));
+      trace.description =
+          ToString(step) + " via staircase join over tag fragment '" +
+          step.test.name + "' (name-test pushdown)";
+    } else {
+      if (options_.num_threads > 1) {
+        SJ_ASSIGN_OR_RETURN(
+            result, ParallelStaircaseJoin(doc_, context, step.axis,
+                                          options_.staircase,
+                                          options_.num_threads, &stats));
+        trace.description = ToString(step) + " via parallel staircase join (" +
+                            std::to_string(options_.num_threads) + " workers)";
+      } else {
+        SJ_ASSIGN_OR_RETURN(result,
+                            StaircaseJoin(doc_, context, step.axis,
+                                          options_.staircase, &stats));
+        trace.description = ToString(step) + " via staircase join";
+      }
+      result = FilterByTest(step, result);
+    }
+  } else {
+    // Naive engine, or a non-staircase axis: per-context evaluation with
+    // sort + unique (the "standard RDBMS join algorithms" route of [8]).
+    SJ_ASSIGN_OR_RETURN(result, NaiveAxisStep(doc_, context, step.axis,
+                                              &stats));
+    trace.description = ToString(step) + " via per-context evaluation";
+    result = FilterByTest(step, result);
+  }
+
+  SJ_ASSIGN_OR_RETURN(result, ApplyPredicates(step, std::move(result)));
+
+  if (top_level) {
+    stats.result_size = result.size();
+    trace.stats = stats;
+    trace.millis = timer.ElapsedMillis();
+    trace_.push_back(std::move(trace));
+  }
+  return result;
+}
+
+std::string Evaluator::ExplainLastQuery() const {
+  std::string out;
+  for (size_t i = 0; i < trace_.size(); ++i) {
+    const StepTrace& t = trace_[i];
+    out += "step " + std::to_string(i + 1) + ": " + t.description + "\n";
+    out += "  context=" + std::to_string(t.stats.context_size) +
+           " pruned=" + std::to_string(t.stats.pruned_context_size) +
+           " scanned=" + std::to_string(t.stats.nodes_scanned) +
+           " copied=" + std::to_string(t.stats.nodes_copied) +
+           " skipped=" + std::to_string(t.stats.nodes_skipped) +
+           " result=" + std::to_string(t.stats.result_size) + "  (" +
+           std::to_string(t.millis) + " ms)\n";
+  }
+  return out;
+}
+
+}  // namespace sj::xpath

@@ -1,0 +1,113 @@
+// XPath evaluation on top of the staircase join.
+//
+// A location path s1/s2/.../sn is evaluated as a series of axis steps; the
+// node sequence output by step si is the context sequence of step si+1
+// (paper Section 2.1). Staircase axes run through the staircase join (with
+// optional name-test pushdown onto tag fragments, Section 4.4 Experiment 3
+// + Section 6 fragmentation); the remaining axes are supported by standard
+// per-context algorithms over the parent/subtree columns, as the XPath
+// accelerator prescribes. A fully naive engine is provided as the
+// tree-unaware comparator and as an independent correctness oracle.
+
+#ifndef STAIRJOIN_XPATH_EVALUATOR_H_
+#define STAIRJOIN_XPATH_EVALUATOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/staircase_join.h"
+#include "core/tag_view.h"
+#include "encoding/doc_table.h"
+#include "util/result.h"
+#include "xpath/ast.h"
+#include "xpath/parser.h"
+
+namespace sj::xpath {
+
+/// Which join engine evaluates the staircase axes.
+enum class EngineMode : uint8_t {
+  kStaircase,  ///< staircase join (the paper's operator)
+  kNaive,      ///< per-context evaluation + duplicate elimination
+};
+
+/// Whether name tests are pushed through the staircase join.
+enum class PushdownMode : uint8_t {
+  kAuto,    ///< cost model decides (selective tags only)
+  kAlways,  ///< always evaluate over the tag fragment
+  kNever,   ///< join over the document, name test afterwards
+};
+
+/// Evaluator configuration.
+struct EvalOptions {
+  EngineMode engine = EngineMode::kStaircase;
+  StaircaseOptions staircase;
+  PushdownMode pushdown = PushdownMode::kAuto;
+  /// Tag fragments; required for pushdown (pass null to disable).
+  const TagIndex* tag_index = nullptr;
+  /// kAuto pushes a name test down iff the tag's node count is below this
+  /// fraction of the document size ("selective name tests only").
+  double pushdown_selectivity = 0.125;
+  /// >1 runs the partitioned parallel staircase join with this many workers.
+  unsigned num_threads = 1;
+};
+
+/// Per-step diagnostics (an EXPLAIN of the executed plan).
+struct StepTrace {
+  std::string description;
+  JoinStats stats;
+  double millis = 0.0;
+};
+
+/// \brief Evaluates parsed location paths over one document.
+class Evaluator {
+ public:
+  /// Binds the evaluator to `doc` (borrowed; must outlive the evaluator).
+  explicit Evaluator(const DocTable& doc, EvalOptions options = {});
+
+  /// Evaluates `path` with an explicit context sequence (document order,
+  /// duplicate free). Absolute paths ignore `context` and start at the
+  /// document element, as in the paper's usage root(doc).
+  Result<NodeSequence> Evaluate(const LocationPath& path,
+                                const NodeSequence& context);
+
+  /// Evaluates `path` from the document element.
+  Result<NodeSequence> Evaluate(const LocationPath& path);
+
+  /// Parses and evaluates an XPath string from the document element.
+  Result<NodeSequence> EvaluateString(std::string_view xpath);
+
+  /// Evaluates a union expression (document-order merge of the branches).
+  Result<NodeSequence> Evaluate(const UnionExpr& expr,
+                                const NodeSequence& context);
+
+  /// Parses and evaluates a union expression from the document element.
+  Result<NodeSequence> EvaluateUnionString(std::string_view xpath);
+
+  /// Plan diagnostics of the most recent top-level Evaluate call.
+  const std::vector<StepTrace>& last_trace() const { return trace_; }
+
+  /// Renders last_trace() as a readable multi-line EXPLAIN.
+  std::string ExplainLastQuery() const;
+
+ private:
+  Result<NodeSequence> EvalSteps(const std::vector<Step>& steps, size_t first,
+                                 NodeSequence context, bool top_level);
+  Result<NodeSequence> EvalStep(const Step& step, const NodeSequence& context,
+                                bool top_level);
+  Result<NodeSequence> EvalStepPositional(const Step& step,
+                                          const NodeSequence& context);
+  Result<NodeSequence> ApplyPredicates(const Step& step, NodeSequence nodes);
+  Result<bool> PredicateHolds(const Predicate& pred, NodeId node);
+  NodeSequence FilterByTest(const Step& step, const NodeSequence& nodes) const;
+  bool ShouldPushdown(const Step& step, TagId tag) const;
+
+  const DocTable& doc_;
+  EvalOptions options_;
+  std::vector<StepTrace> trace_;
+};
+
+}  // namespace sj::xpath
+
+#endif  // STAIRJOIN_XPATH_EVALUATOR_H_

@@ -1,0 +1,71 @@
+// Tests for the paper-faithful algebra surface (Section 4.4 vocabulary).
+
+#include <gtest/gtest.h>
+
+#include "core/algebra.h"
+#include "test_util.h"
+#include "xmlgen/xmark.h"
+
+namespace sj::algebra {
+namespace {
+
+TEST(AlgebraTest, RootOfPaperExample) {
+  auto doc = sj::testing::LoadPaperExample();
+  EXPECT_EQ(root(*doc), (NodeSequence{0}));
+}
+
+TEST(AlgebraTest, NametestFiltersByTag) {
+  auto doc = sj::testing::LoadPaperExample();
+  NodeSequence all;
+  for (NodeId v = 0; v < doc->size(); ++v) all.push_back(v);
+  EXPECT_EQ(nametest(*doc, all, "e"), (NodeSequence{4}));
+  EXPECT_TRUE(nametest(*doc, all, "nosuch").empty());
+}
+
+TEST(AlgebraTest, NametestOnDocBuildsView) {
+  auto doc = sj::testing::LoadPaperExample();
+  TagView view = nametest(*doc, "f");
+  ASSERT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.pre[0], 5u);
+  EXPECT_TRUE(nametest(*doc, "nosuch").pre.empty());
+}
+
+TEST(AlgebraTest, PaperQ2Pipeline) {
+  // The exact Section 4.4 evaluation:
+  //   r  = root(doc)
+  //   s1 = nametest(staircasejoin_desc(doc, r), "increase")
+  //   s2 = nametest(staircasejoin_anc(doc, s1), "bidder")
+  xmlgen::XMarkOptions opt;
+  opt.size_mb = 0.5;
+  auto doc = xmlgen::GenerateXMarkDocument(opt).value();
+
+  NodeSequence r = root(*doc);
+  NodeSequence s1 =
+      nametest(*doc, staircasejoin_desc(*doc, r).value(), "increase");
+  NodeSequence s2 =
+      nametest(*doc, staircasejoin_anc(*doc, s1).value(), "bidder");
+  EXPECT_GT(s1.size(), 0u);
+  EXPECT_EQ(s2.size(), s1.size());  // one increase per bidder
+
+  // ... and the pushdown-rewritten form gives the same result:
+  //   staircasejoin_anc(nametest(doc, "bidder"), s1).
+  TagView bidders = nametest(*doc, "bidder");
+  EXPECT_EQ(staircasejoin_anc(*doc, bidders, s1).value(), s2);
+}
+
+TEST(AlgebraTest, FollowingPrecedingWrappers) {
+  auto doc = sj::testing::LoadPaperExample();
+  EXPECT_EQ(staircasejoin_foll(*doc, {2}).value(),
+            (NodeSequence{3, 4, 5, 6, 7, 8, 9}));
+  EXPECT_EQ(staircasejoin_prec(*doc, {5}).value(), (NodeSequence{1, 2, 3}));
+}
+
+TEST(AlgebraTest, StatsAreForwarded) {
+  auto doc = sj::testing::LoadPaperExample();
+  JoinStats stats;
+  (void)staircasejoin_desc(*doc, root(*doc), {}, &stats);
+  EXPECT_EQ(stats.result_size, 9u);
+}
+
+}  // namespace
+}  // namespace sj::algebra

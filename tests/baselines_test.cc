@@ -1,0 +1,287 @@
+// Tests for the baselines: naive per-context evaluation, the SQL (DB2-
+// style) plan, and MPMGJN -- each must agree with the staircase join /
+// region oracle while exhibiting its characteristic cost profile
+// (duplicates, index entries touched, re-scans).
+
+#include <gtest/gtest.h>
+
+#include "baselines/mpmgjn.h"
+#include "baselines/naive.h"
+#include "baselines/sql_plan.h"
+#include "core/staircase_join.h"
+#include "core/tag_view.h"
+#include "encoding/loader.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace sj {
+namespace {
+
+using testing::LoadPaperExample;
+using testing::RandomContext;
+using testing::RandomDocument;
+using testing::RegionOracle;
+
+// --- Naive ------------------------------------------------------------------
+
+TEST(NaiveTest, MatchesOracleOnAllAxes) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto doc = RandomDocument(seed);
+    Rng rng(seed + 1000);
+    NodeSequence ctx = RandomContext(rng, *doc, 25);
+    for (Axis axis :
+         {Axis::kDescendant, Axis::kDescendantOrSelf, Axis::kAncestor,
+          Axis::kAncestorOrSelf, Axis::kFollowing, Axis::kPreceding,
+          Axis::kSelf, Axis::kParent, Axis::kChild, Axis::kAttribute,
+          Axis::kFollowingSibling, Axis::kPrecedingSibling}) {
+      auto result = NaiveAxisStep(*doc, ctx, axis);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(result.value(), RegionOracle(*doc, ctx, axis))
+          << "axis " << AxisName(axis) << " seed " << seed;
+    }
+  }
+}
+
+TEST(NaiveTest, CountsDuplicates) {
+  auto doc = LoadPaperExample();
+  // ancestor of (g, h): both have ancestors (a, e, f); naive produces six
+  // candidates, four are duplicates.
+  JoinStats stats;
+  NodeSequence r = NaiveAxisStep(*doc, {6, 7}, Axis::kAncestor, &stats)
+                       .value();
+  EXPECT_EQ(r, (NodeSequence{0, 4, 5}));
+  EXPECT_EQ(stats.candidates_produced, 6u);
+  EXPECT_EQ(stats.duplicates_removed, 3u);
+}
+
+TEST(NaiveTest, CandidateCountMatchesMaterialization) {
+  for (uint64_t seed : {5u, 6u}) {
+    auto doc = RandomDocument(seed);
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 30);
+    for (Axis axis : {Axis::kDescendant, Axis::kDescendantOrSelf,
+                      Axis::kAncestor, Axis::kAncestorOrSelf,
+                      Axis::kFollowing, Axis::kPreceding, Axis::kChild}) {
+      JoinStats stats;
+      (void)NaiveAxisStep(*doc, ctx, axis, &stats);
+      EXPECT_EQ(NaiveCandidateCount(*doc, ctx, axis),
+                stats.candidates_produced)
+          << "axis " << AxisName(axis) << " seed " << seed;
+    }
+  }
+}
+
+TEST(NaiveTest, RejectsBadContext) {
+  auto doc = LoadPaperExample();
+  EXPECT_FALSE(NaiveAxisStep(*doc, {5, 2}, Axis::kDescendant).ok());
+  EXPECT_FALSE(NaiveAxisStep(*doc, {77}, Axis::kDescendant).ok());
+}
+
+// --- SQL plan ----------------------------------------------------------------
+
+TEST(SqlPlanTest, MatchesStaircaseOnStaircaseAxes) {
+  for (uint64_t seed : {11u, 12u}) {
+    auto doc = RandomDocument(seed);
+    SqlPlanEvaluator sql(*doc);
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 20);
+    for (Axis axis : {Axis::kDescendant, Axis::kAncestor, Axis::kFollowing,
+                      Axis::kPreceding}) {
+      auto expected = StaircaseJoin(*doc, ctx, axis).value();
+      for (bool window : {true, false}) {
+        SqlPlanOptions opt;
+        opt.window_predicate = window;
+        auto got = sql.AxisStep(ctx, axis, kNoTag, opt);
+        ASSERT_TRUE(got.ok()) << got.status();
+        EXPECT_EQ(got.value(), expected)
+            << AxisName(axis) << " window=" << window;
+      }
+    }
+  }
+}
+
+TEST(SqlPlanTest, EarlyNameTestMatchesLateFilter) {
+  auto doc = RandomDocument(21);
+  SqlPlanEvaluator sql(*doc);
+  TagId tag = doc->tags().Lookup("t1");
+  ASSERT_NE(tag, kNoTag);
+  Rng rng(4);
+  NodeSequence ctx = RandomContext(rng, *doc, 20);
+  auto with_tag = sql.AxisStep(ctx, Axis::kDescendant, tag).value();
+  // Late filter: full step then tag selection.
+  NodeSequence late;
+  NodeSequence unfiltered = sql.AxisStep(ctx, Axis::kDescendant, kNoTag)
+                                .value();
+  for (NodeId v : unfiltered) {
+    if (doc->kind(v) == NodeKind::kElement && doc->tag(v) == tag) {
+      late.push_back(v);
+    }
+  }
+  EXPECT_EQ(with_tag, late);
+}
+
+TEST(SqlPlanTest, WindowPredicateReducesEntriesScanned) {
+  auto doc = RandomDocument(31, {.target_nodes = 800});
+  SqlPlanEvaluator sql(*doc);
+  // A small subtree deep in the document: without the window predicate the
+  // scan runs to the end of the table.
+  NodeSequence ctx = {static_cast<NodeId>(doc->size() / 2)};
+  JoinStats with_window, without_window;
+  SqlPlanOptions on, off;
+  off.window_predicate = false;
+  (void)sql.AxisStep(ctx, Axis::kDescendant, kNoTag, on, &with_window);
+  (void)sql.AxisStep(ctx, Axis::kDescendant, kNoTag, off, &without_window);
+  EXPECT_LT(with_window.index_entries_scanned,
+            without_window.index_entries_scanned);
+}
+
+TEST(SqlPlanTest, ProducesDuplicatesOnNestedContexts) {
+  auto doc = LoadPaperExample();
+  // e (pre 4) and f (pre 5): descendants overlap; the plan generates
+  // duplicates, the unique operator removes them.
+  JoinStats stats;
+  NodeSequence r =
+      sj::SqlPlanEvaluator(*doc).AxisStep({4, 5}, Axis::kDescendant, kNoTag,
+                                          {}, &stats)
+          .value();
+  EXPECT_EQ(r, (NodeSequence{5, 6, 7, 8, 9}));
+  EXPECT_GT(stats.duplicates_removed, 0u);
+  // The staircase join produces none on the same input.
+  JoinStats sc;
+  (void)StaircaseJoin(*doc, {4, 5}, Axis::kDescendant, {}, &sc);
+  EXPECT_EQ(sc.duplicates_removed, 0u);
+}
+
+TEST(SqlPlanTest, FilterHasDescendant) {
+  auto doc = LoadPaperExample();
+  SqlPlanEvaluator sql(*doc);
+  TagId g = doc->tags().Lookup("g");
+  // Nodes with a descendant named g: a (0), e (4), f (5).
+  NodeSequence all_elements;
+  for (NodeId v = 0; v < doc->size(); ++v) all_elements.push_back(v);
+  EXPECT_EQ(sql.FilterHasDescendant(all_elements, g).value(),
+            (NodeSequence{0, 4, 5}));
+}
+
+TEST(SqlPlanTest, SemijoinStepMatchesStaircasePlusFilter) {
+  for (uint64_t seed : {51u, 52u}) {
+    auto doc = RandomDocument(seed);
+    SqlPlanEvaluator sql(*doc);
+    TagIndex index(*doc);
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 20);
+    for (Axis axis : {Axis::kDescendant, Axis::kDescendantOrSelf,
+                      Axis::kAncestor, Axis::kAncestorOrSelf}) {
+      for (const char* tag_name : {"t0", "t1"}) {
+        TagId tag = doc->tags().Lookup(tag_name);
+        if (tag == kNoTag) continue;
+        JoinStats stats;
+        auto got = sql.SemijoinStep(ctx, axis, tag, &stats);
+        ASSERT_TRUE(got.ok()) << got.status();
+        auto expected =
+            StaircaseJoinView(*doc, index.view(tag), ctx, axis).value();
+        EXPECT_EQ(got.value(), expected)
+            << AxisName(axis) << " " << tag_name << " seed " << seed;
+        // The semijoin never produces duplicates; the outer scan covers
+        // the whole index.
+        EXPECT_EQ(stats.duplicates_removed, 0u);
+        EXPECT_GE(stats.index_entries_scanned + 1, sql.index().size());
+      }
+    }
+  }
+}
+
+TEST(SqlPlanTest, SemijoinStepNoTagEqualsStaircase) {
+  auto doc = RandomDocument(53);
+  SqlPlanEvaluator sql(*doc);
+  Rng rng(5);
+  NodeSequence ctx = RandomContext(rng, *doc, 25);
+  for (Axis axis : {Axis::kDescendant, Axis::kAncestor}) {
+    EXPECT_EQ(sql.SemijoinStep(ctx, axis, kNoTag).value(),
+              StaircaseJoin(*doc, ctx, axis).value())
+        << AxisName(axis);
+  }
+}
+
+TEST(SqlPlanTest, SemijoinRejectsUnsupportedAxis) {
+  auto doc = LoadPaperExample();
+  SqlPlanEvaluator sql(*doc);
+  EXPECT_EQ(sql.SemijoinStep({0}, Axis::kFollowing, kNoTag).status().code(),
+            StatusCode::kUnsupported);
+}
+
+TEST(SqlPlanTest, UnsupportedAxis) {
+  auto doc = LoadPaperExample();
+  SqlPlanEvaluator sql(*doc);
+  EXPECT_EQ(sql.AxisStep({0}, Axis::kChild, kNoTag).status().code(),
+            StatusCode::kUnsupported);
+}
+
+// --- MPMGJN ------------------------------------------------------------------
+
+TEST(MpmgjnTest, MatchesStaircaseJoinSemantics) {
+  for (uint64_t seed : {41u, 42u}) {
+    auto doc = RandomDocument(seed);
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 20);
+    // ctx/descendant over all element nodes with tag t0 as candidates.
+    TagView view = BuildTagView(*doc, doc->tags().Lookup("t0"));
+    JoinList ancestors = MakeJoinList(*doc, ctx);
+    JoinList candidates;
+    candidates.pre = view.pre;
+    candidates.post = view.post;
+    auto mp = MpmgjnDescendants(ancestors, candidates, doc->height());
+    ASSERT_TRUE(mp.ok());
+    auto sc = StaircaseJoinView(*doc, view, ctx, Axis::kDescendant).value();
+    EXPECT_EQ(mp.value(), sc) << "seed " << seed;
+
+    auto mp_anc = MpmgjnAncestors(candidates, ancestors, doc->height());
+    ASSERT_TRUE(mp_anc.ok());
+    auto sc_anc = StaircaseJoinView(*doc, view, ctx, Axis::kAncestor).value();
+    EXPECT_EQ(mp_anc.value(), sc_anc) << "seed " << seed;
+  }
+}
+
+TEST(MpmgjnTest, TouchesMoreNodesThanStaircaseOnNestedInput) {
+  // Deep nesting: each ancestor candidate re-scans its subtree's entries.
+  auto doc = LoadDocument(
+      "<t0><t0><t0><t0><t0><x/><x/><x/></t0></t0></t0></t0></t0>")
+                 .value();
+  NodeSequence all;
+  for (NodeId v = 0; v < doc->size(); ++v) all.push_back(v);
+  JoinList a = MakeJoinList(*doc, PruneContext(*doc, all, Axis::kDescendant));
+  // Nested candidates deliberately NOT pruned: the tree-unaware algorithm
+  // takes every t0 as an interval.
+  TagView t0 = BuildTagView(*doc, doc->tags().Lookup("t0"));
+  JoinList nested;
+  nested.pre = t0.pre;
+  nested.post = t0.post;
+  JoinStats mp_stats;
+  (void)MpmgjnDescendants(nested, MakeJoinList(*doc, all), doc->height(),
+                          &mp_stats);
+  JoinStats sc_stats;
+  (void)StaircaseJoin(*doc, t0.pre, Axis::kDescendant,
+                      StaircaseOptions{.skip_mode = SkipMode::kEstimated},
+                      &sc_stats);
+  EXPECT_GT(mp_stats.nodes_scanned, sc_stats.nodes_accessed());
+}
+
+TEST(MpmgjnTest, RejectsUnsortedInput) {
+  JoinList bad;
+  bad.pre = {3, 1};
+  bad.post = {0, 1};
+  EXPECT_FALSE(MpmgjnDescendants(bad, bad, 4).ok());
+  JoinList mismatched;
+  mismatched.pre = {1};
+  EXPECT_FALSE(MpmgjnDescendants(mismatched, mismatched, 4).ok());
+}
+
+TEST(MpmgjnTest, EmptyInputs) {
+  JoinList empty;
+  auto r = MpmgjnDescendants(empty, empty, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+}  // namespace
+}  // namespace sj

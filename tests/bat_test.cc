@@ -1,0 +1,84 @@
+// Unit tests for the BAT substrate (void columns, positional operators).
+
+#include <gtest/gtest.h>
+
+#include "bat/bat.h"
+#include "bat/operators.h"
+
+namespace sj::bat {
+namespace {
+
+TEST(BatTest, VoidHeadIsImplicit) {
+  Bat<int> b(/*seqbase=*/100);
+  b.Append(7);
+  b.Append(8);
+  b.Append(9);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.seqbase(), 100u);
+  EXPECT_EQ(b.HeadAt(0), 100u);
+  EXPECT_EQ(b.HeadAt(2), 102u);
+}
+
+TEST(BatTest, PositionalAndOidAccessAgree) {
+  Bat<int> b(10, {5, 6, 7});
+  EXPECT_EQ(b[0], 5);
+  EXPECT_EQ(b.AtOid(10), 5);
+  EXPECT_EQ(b.AtOid(12), 7);
+  b.AtOid(11) = 60;
+  EXPECT_EQ(b[1], 60);
+}
+
+TEST(BatTest, ContainsOid) {
+  Bat<int> b(5, {1, 2});
+  EXPECT_TRUE(b.ContainsOid(5));
+  EXPECT_TRUE(b.ContainsOid(6));
+  EXPECT_FALSE(b.ContainsOid(4));
+  EXPECT_FALSE(b.ContainsOid(7));
+}
+
+TEST(BatTest, TailSpanViewsStorage) {
+  Bat<int> b(0, {1, 2, 3});
+  auto tail = b.tail();
+  EXPECT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail[1], 2);
+  EXPECT_EQ(b.tail_data(), tail.data());
+}
+
+TEST(OperatorsTest, SelectEq) {
+  Bat<int> b(10, {3, 1, 3, 2});
+  EXPECT_EQ(SelectEq(b, 3), (std::vector<Oid>{10, 12}));
+  EXPECT_TRUE(SelectEq(b, 9).empty());
+}
+
+TEST(OperatorsTest, SelectRangeInclusive) {
+  Bat<int> b(0, {5, 1, 3, 9, 4});
+  EXPECT_EQ(SelectRange(b, 3, 5), (std::vector<Oid>{0, 2, 4}));
+}
+
+TEST(OperatorsTest, GatherFetchesByOid) {
+  Bat<int> b(100, {7, 8, 9});
+  EXPECT_EQ(Gather(b, {102, 100}), (std::vector<int>{9, 7}));
+}
+
+TEST(OperatorsTest, FilterEq) {
+  Bat<int> b(0, {1, 2, 1, 2});
+  EXPECT_EQ(FilterEq(b, {0, 1, 2, 3}, 2), (std::vector<Oid>{1, 3}));
+}
+
+TEST(OperatorsTest, TailSorted) {
+  EXPECT_TRUE(TailSorted(Bat<int>(0, {1, 2, 2, 3})));
+  EXPECT_FALSE(TailSorted(Bat<int>(0, {2, 1})));
+  EXPECT_TRUE(TailSorted(Bat<int>(0, {})));
+}
+
+TEST(OperatorsTest, UniqueSortedRemovesAdjacentDuplicates) {
+  EXPECT_EQ(UniqueSorted({1, 1, 2, 3, 3, 3}), (std::vector<Oid>{1, 2, 3}));
+  EXPECT_TRUE(UniqueSorted({}).empty());
+}
+
+TEST(OperatorsTest, SortUnique) {
+  EXPECT_EQ(SortUnique({3, 1, 3, 2, 1}), (std::vector<Oid>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace sj::bat

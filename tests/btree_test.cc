@@ -1,0 +1,143 @@
+// Tests for the B+-tree substrate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "btree/bplus_tree.h"
+#include "util/rng.h"
+
+namespace sj::btree {
+namespace {
+
+std::vector<IndexKey> SequentialKeys(uint32_t n) {
+  std::vector<IndexKey> keys;
+  keys.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) keys.push_back({i, n - i, i % 7});
+  return keys;
+}
+
+TEST(IndexKeyTest, LexicographicOrder) {
+  EXPECT_LT((IndexKey{1, 9, 9}), (IndexKey{2, 0, 0}));
+  EXPECT_LT((IndexKey{1, 2, 9}), (IndexKey{1, 3, 0}));
+  EXPECT_LT((IndexKey{1, 2, 3}), (IndexKey{1, 2, 4}));
+  EXPECT_EQ((IndexKey{1, 2, 3}), (IndexKey{1, 2, 3}));
+}
+
+TEST(BPlusTreeTest, EmptyTree) {
+  BPlusTree tree;
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 0u);
+  EXPECT_FALSE(tree.Contains({1, 2, 3}));
+  EXPECT_FALSE(tree.Seek({0, 0, 0}).Valid());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, InsertAndContains) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert({5, 1, 0}).ok());
+  ASSERT_TRUE(tree.Insert({3, 2, 0}).ok());
+  ASSERT_TRUE(tree.Insert({9, 3, 0}).ok());
+  EXPECT_EQ(tree.size(), 3u);
+  EXPECT_TRUE(tree.Contains({5, 1, 0}));
+  EXPECT_TRUE(tree.Contains({3, 2, 0}));
+  EXPECT_FALSE(tree.Contains({5, 1, 1}));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BPlusTreeTest, DuplicateInsertRejected) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert({1, 1, 1}).ok());
+  EXPECT_EQ(tree.Insert({1, 1, 1}).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, InsertManySplitsAndStaysSorted) {
+  BPlusTree tree;
+  Rng rng(99);
+  std::vector<IndexKey> keys;
+  for (uint32_t i = 0; i < 5000; ++i) {
+    IndexKey k{static_cast<uint32_t>(rng.Below(100000)),
+               static_cast<uint32_t>(rng.Below(100000)), 0};
+    if (tree.Insert(k).ok()) keys.push_back(k);
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), keys.size());
+  EXPECT_GT(tree.height(), 1u);
+  std::sort(keys.begin(), keys.end());
+  // Full scan enumerates exactly the inserted keys, in order.
+  size_t i = 0;
+  for (auto it = tree.Seek({0, 0, 0}); it.Valid(); it.Next(), ++i) {
+    ASSERT_LT(i, keys.size());
+    EXPECT_EQ(it.key(), keys[i]);
+  }
+  EXPECT_EQ(i, keys.size());
+}
+
+TEST(BPlusTreeTest, BulkLoadMatchesInsert) {
+  auto keys = SequentialKeys(10000);
+  BPlusTree bulk;
+  ASSERT_TRUE(bulk.BulkLoad(keys).ok());
+  ASSERT_TRUE(bulk.CheckInvariants().ok()) << bulk.CheckInvariants();
+  EXPECT_EQ(bulk.size(), keys.size());
+  for (uint32_t probe : {0u, 1u, 4999u, 9999u}) {
+    EXPECT_TRUE(bulk.Contains(keys[probe]));
+  }
+  EXPECT_FALSE(bulk.Contains({10000, 0, 0}));
+}
+
+TEST(BPlusTreeTest, BulkLoadRejectsUnsorted) {
+  BPlusTree tree;
+  EXPECT_FALSE(tree.BulkLoad({{2, 0, 0}, {1, 0, 0}}).ok());
+  EXPECT_FALSE(tree.BulkLoad({{1, 0, 0}, {1, 0, 0}}).ok());
+}
+
+TEST(BPlusTreeTest, BulkLoadIntoNonEmptyRejected) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.Insert({1, 1, 1}).ok());
+  EXPECT_FALSE(tree.BulkLoad({{2, 0, 0}}).ok());
+}
+
+TEST(BPlusTreeTest, SeekFindsLowerBound) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(SequentialKeys(1000)).ok());
+  auto it = tree.Seek({500, 0, 0});
+  ASSERT_TRUE(it.Valid());
+  EXPECT_EQ(it.key().pre, 500u);
+  // Seeking past the end yields an invalid iterator.
+  EXPECT_FALSE(tree.Seek({1000, 0, 0}).Valid());
+}
+
+TEST(BPlusTreeTest, RangeScanCountsEntries) {
+  BPlusTree tree;
+  ASSERT_TRUE(tree.BulkLoad(SequentialKeys(1000)).ok());
+  ScanStats stats;
+  uint64_t seen = 0;
+  for (auto it = tree.Seek({100, 0, 0}, &stats);
+       it.Valid() && it.key().pre < 200; it.Next()) {
+    ++seen;
+  }
+  EXPECT_EQ(seen, 100u);
+  EXPECT_GE(stats.entries_scanned, 99u);  // the last Next is not counted
+  EXPECT_GE(stats.leaves_visited, 100u / BPlusTree::kLeafCapacity);
+}
+
+TEST(BPlusTreeTest, MixedInsertAfterBulkLoad) {
+  BPlusTree tree;
+  std::vector<IndexKey> keys;
+  for (uint32_t i = 0; i < 500; ++i) keys.push_back({i * 2, 0, 0});
+  ASSERT_TRUE(tree.BulkLoad(keys).ok());
+  for (uint32_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(tree.Insert({i * 2 + 1, 0, 0}).ok());
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok()) << tree.CheckInvariants();
+  uint32_t expect = 0;
+  for (auto it = tree.Seek({0, 0, 0}); it.Valid(); it.Next()) {
+    EXPECT_EQ(it.key().pre, expect++);
+  }
+  EXPECT_EQ(expect, 1000u);
+}
+
+}  // namespace
+}  // namespace sj::btree

@@ -1,0 +1,74 @@
+// Tests for the parallel partitioned staircase join: identical results and
+// consistent counters for any worker count.
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace sj {
+namespace {
+
+using testing::RandomContext;
+using testing::RandomDocument;
+
+using ParallelParam = std::tuple<uint64_t, Axis, unsigned>;
+
+class ParallelPropertyTest : public ::testing::TestWithParam<ParallelParam> {
+};
+
+TEST_P(ParallelPropertyTest, MatchesSerialJoin) {
+  auto [seed, axis, threads] = GetParam();
+  auto doc = RandomDocument(seed, {.target_nodes = 500});
+  Rng rng(seed ^ 0xF00);
+  for (uint32_t percent : {5u, 35u}) {
+    NodeSequence ctx = RandomContext(rng, *doc, percent);
+    JoinStats serial_stats, parallel_stats;
+    auto serial = StaircaseJoin(*doc, ctx, axis, {}, &serial_stats);
+    auto parallel =
+        ParallelStaircaseJoin(*doc, ctx, axis, {}, threads, &parallel_stats);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(parallel.value(), serial.value())
+        << AxisName(axis) << " threads=" << threads << " seed=" << seed;
+    EXPECT_EQ(parallel_stats.result_size, serial_stats.result_size);
+    EXPECT_EQ(parallel_stats.context_size, serial_stats.context_size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadCounts, ParallelPropertyTest,
+    ::testing::Combine(::testing::Values(7, 8),
+                       ::testing::Values(Axis::kDescendant,
+                                         Axis::kDescendantOrSelf,
+                                         Axis::kAncestor,
+                                         Axis::kAncestorOrSelf),
+                       ::testing::Values(1u, 2u, 3u, 8u, 64u)));
+
+TEST(ParallelTest, DegeneratesToSerialForRegionAxes) {
+  auto doc = RandomDocument(9);
+  Rng rng(1);
+  NodeSequence ctx = RandomContext(rng, *doc, 20);
+  for (Axis axis : {Axis::kFollowing, Axis::kPreceding}) {
+    EXPECT_EQ(ParallelStaircaseJoin(*doc, ctx, axis, {}, 8).value(),
+              StaircaseJoin(*doc, ctx, axis).value());
+  }
+}
+
+TEST(ParallelTest, MoreWorkersThanPartitions) {
+  auto doc = RandomDocument(10);
+  NodeSequence ctx = {1};  // a single partition
+  EXPECT_EQ(ParallelStaircaseJoin(*doc, ctx, Axis::kDescendant, {}, 16)
+                .value(),
+            StaircaseJoin(*doc, ctx, Axis::kDescendant).value());
+}
+
+TEST(ParallelTest, RejectsBadContext) {
+  auto doc = RandomDocument(11);
+  EXPECT_FALSE(
+      ParallelStaircaseJoin(*doc, {4, 2}, Axis::kDescendant, {}, 4).ok());
+}
+
+}  // namespace
+}  // namespace sj

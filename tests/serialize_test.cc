@@ -1,0 +1,90 @@
+// Tests for re-serialization from the columnar encoding: subtree text must
+// round-trip through parse -> encode -> serialize for arbitrary documents.
+
+#include <gtest/gtest.h>
+
+#include "encoding/loader.h"
+#include "encoding/serialize.h"
+#include "test_util.h"
+#include "xpath/evaluator.h"
+
+namespace sj {
+namespace {
+
+TEST(SerializeTest, WholeDocumentRoundTrip) {
+  const std::string xml =
+      "<a x=\"1&amp;2\"><b>t&lt;u</b><c/><!--note--><?pi data?>tail</a>";
+  auto doc = LoadDocument(xml).value();
+  EXPECT_EQ(SerializeSubtree(*doc, doc->root()).value(), xml);
+}
+
+TEST(SerializeTest, InnerSubtree) {
+  auto doc = LoadDocument("<a><b i=\"7\"><c>x</c></b><d/></a>").value();
+  xpath::Evaluator ev(*doc);
+  NodeSequence b = ev.EvaluateString("/descendant::b").value();
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(SerializeSubtree(*doc, b[0]).value(), "<b i=\"7\"><c>x</c></b>");
+}
+
+TEST(SerializeTest, TextAndCommentNodes) {
+  auto doc = LoadDocument("<a>hi<!--c--></a>").value();
+  // Text node (pre 1) serializes as its (escaped) content.
+  EXPECT_EQ(SerializeSubtree(*doc, 1).value(), "hi");
+  EXPECT_EQ(SerializeSubtree(*doc, 2).value(), "<!--c-->");
+}
+
+TEST(SerializeTest, SequenceConcatenatesInOrder) {
+  auto doc = LoadDocument("<a><b>1</b><b>2</b><c v=\"9\"/></a>").value();
+  xpath::Evaluator ev(*doc);
+  NodeSequence bs = ev.EvaluateString("/descendant::b").value();
+  EXPECT_EQ(SerializeSequence(*doc, bs).value(), "<b>1</b><b>2</b>");
+  // Attribute in a sequence -> its string value.
+  NodeSequence attr = ev.EvaluateString("/descendant::c/attribute::v")
+                          .value();
+  EXPECT_EQ(SerializeSequence(*doc, attr).value(), "9");
+}
+
+TEST(SerializeTest, ErrorsAndEdgeCases) {
+  auto doc = LoadDocument("<a x=\"1\"/>").value();
+  EXPECT_FALSE(SerializeSubtree(*doc, 99).ok());
+  EXPECT_FALSE(SerializeSubtree(*doc, 1).ok());  // attribute node
+  EXPECT_FALSE(EmitSubtree(*doc, 0, nullptr).ok());
+  BuildOptions no_values;
+  no_values.store_values = false;
+  auto bare = LoadDocument("<a>t</a>", no_values).value();
+  EXPECT_FALSE(SerializeSubtree(*bare, 0).ok());
+}
+
+TEST(SerializeTest, RandomDocumentsRoundTrip) {
+  // parse(serialize(parse(x))) must encode identically to parse(x).
+  for (uint64_t seed : {91u, 92u, 93u, 94u}) {
+    std::string xml = testing::RandomDocumentXml(seed, {});
+    auto doc = LoadDocument(xml).value();
+    std::string out = SerializeSubtree(*doc, doc->root()).value();
+    auto doc2 = LoadDocument(out).value();
+    ASSERT_EQ(doc->size(), doc2->size()) << "seed " << seed;
+    for (NodeId v = 0; v < doc->size(); ++v) {
+      ASSERT_EQ(doc->post(v), doc2->post(v)) << "seed " << seed;
+      ASSERT_EQ(doc->kind(v), doc2->kind(v)) << "seed " << seed;
+      ASSERT_EQ(doc->tag(v), doc2->tag(v)) << "seed " << seed;
+      ASSERT_EQ(doc->value(v), doc2->value(v)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(SerializeTest, QueryResultsFromXMarkParseBack) {
+  auto doc = LoadDocument(
+      testing::RandomDocumentXml(77, {.target_nodes = 400})).value();
+  xpath::Evaluator ev(*doc);
+  NodeSequence nodes = ev.EvaluateString("/descendant::t1").value();
+  if (nodes.empty()) GTEST_SKIP() << "no t1 in this instance";
+  for (NodeId v : nodes) {
+    std::string text = SerializeSubtree(*doc, v).value();
+    auto reparsed = LoadDocument(text);
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(reparsed.value()->size(), doc->subtree_size(v) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace sj

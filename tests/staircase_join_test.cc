@@ -1,0 +1,349 @@
+// Tests for pruning and the staircase join: the paper's running examples,
+// the algorithmic guarantees of Sections 3.2/3.3/4.2 (single pass, no
+// duplicates, document order, touch bounds), and equivalence with the
+// region-definition oracle across axes x skip modes x pruning modes on
+// random documents.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/staircase_join.h"
+#include "encoding/loader.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace sj {
+namespace {
+
+using testing::LoadPaperExample;
+using testing::RandomContext;
+using testing::RandomDocument;
+using testing::RegionOracle;
+
+// --- Pruning (Section 3.1 / Algorithm 1) ------------------------------------
+
+TEST(PruneTest, PaperFigure4AncestorExample) {
+  // Context (d,e,f,h,i,j) = pre (3,4,5,7,8,9); e, f, i lie on paths from
+  // other context nodes to the root and are pruned; (d, h, j) remain.
+  auto doc = LoadPaperExample();
+  NodeSequence pruned =
+      PruneContext(*doc, {3, 4, 5, 7, 8, 9}, Axis::kAncestorOrSelf);
+  EXPECT_EQ(pruned, (NodeSequence{3, 7, 9}));
+}
+
+TEST(PruneTest, DescendantKeepsOutermost) {
+  auto doc = LoadPaperExample();
+  // e (pre 4) contains f,g,h,i,j; pruning keeps only e.
+  EXPECT_EQ(PruneContext(*doc, {4, 5, 6, 8}, Axis::kDescendant),
+            (NodeSequence{4}));
+  // b and e are unrelated: both survive.
+  EXPECT_EQ(PruneContext(*doc, {1, 2, 4}, Axis::kDescendant),
+            (NodeSequence{1, 4}));
+}
+
+TEST(PruneTest, AncestorKeepsInnermost) {
+  auto doc = LoadPaperExample();
+  EXPECT_EQ(PruneContext(*doc, {4, 5, 6}, Axis::kAncestor),
+            (NodeSequence{6}));
+  EXPECT_EQ(PruneContext(*doc, {1, 2, 3}, Axis::kAncestor),
+            (NodeSequence{2, 3}));
+}
+
+TEST(PruneTest, FollowingKeepsMinimumPost) {
+  auto doc = LoadPaperExample();
+  // posts: b=1 c=0 e=8 -> c has the minimum postorder rank.
+  EXPECT_EQ(PruneContext(*doc, {1, 2, 4}, Axis::kFollowing),
+            (NodeSequence{2}));
+}
+
+TEST(PruneTest, PrecedingKeepsMaximumPre) {
+  auto doc = LoadPaperExample();
+  EXPECT_EQ(PruneContext(*doc, {1, 4, 7}, Axis::kPreceding),
+            (NodeSequence{7}));
+}
+
+TEST(PruneTest, EmptyAndSingleton) {
+  auto doc = LoadPaperExample();
+  EXPECT_TRUE(PruneContext(*doc, {}, Axis::kDescendant).empty());
+  EXPECT_EQ(PruneContext(*doc, {5}, Axis::kAncestor), (NodeSequence{5}));
+}
+
+TEST(PruneTest, StaircasePropertyAfterPruning) {
+  // After descendant/ancestor pruning all survivors pairwise relate on
+  // preceding/following (a proper staircase, Section 3.1).
+  for (uint64_t seed : {7u, 8u, 9u}) {
+    auto doc = RandomDocument(seed);
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 30);
+    for (Axis axis : {Axis::kDescendant, Axis::kAncestor}) {
+      NodeSequence kept = PruneContext(*doc, ctx, axis);
+      for (size_t i = 1; i < kept.size(); ++i) {
+        EXPECT_TRUE(doc->IsFollowing(kept[i], kept[i - 1]))
+            << "axis " << AxisName(axis) << " seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(PruneTest, PruningPreservesResultUnion) {
+  // Pruned and unpruned contexts yield the same axis result (the point of
+  // pruning: covered regions contribute nothing new).
+  for (uint64_t seed : {11u, 12u}) {
+    auto doc = RandomDocument(seed);
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 40);
+    for (Axis axis : {Axis::kDescendant, Axis::kAncestor, Axis::kFollowing,
+                      Axis::kPreceding}) {
+      NodeSequence kept = PruneContext(*doc, ctx, axis);
+      EXPECT_EQ(RegionOracle(*doc, kept, axis), RegionOracle(*doc, ctx, axis))
+          << AxisName(axis);
+    }
+  }
+}
+
+// --- Basic staircase join on the paper example ------------------------------
+
+TEST(StaircaseJoinTest, PaperSection21Example) {
+  // Paper Section 2.1: (c)/following/descendant = (f, g, h, i, j).
+  auto doc = LoadPaperExample();
+  NodeSequence following =
+      StaircaseJoin(*doc, {2}, Axis::kFollowing).value();
+  EXPECT_EQ(following, (NodeSequence{3, 4, 5, 6, 7, 8, 9}));  // (d..j)
+  NodeSequence desc =
+      StaircaseJoin(*doc, following, Axis::kDescendant).value();
+  EXPECT_EQ(desc, (NodeSequence{5, 6, 7, 8, 9}));  // (f, g, h, i, j)
+}
+
+TEST(StaircaseJoinTest, AncestorOrSelfFigure4) {
+  auto doc = LoadPaperExample();
+  NodeSequence result =
+      StaircaseJoin(*doc, {3, 4, 5, 7, 8, 9}, Axis::kAncestorOrSelf).value();
+  // (a, d, e, f, h, i, j) = pre (0, 3, 4, 5, 7, 8, 9).
+  EXPECT_EQ(result, (NodeSequence{0, 3, 4, 5, 7, 8, 9}));
+}
+
+TEST(StaircaseJoinTest, RootDescendant) {
+  auto doc = LoadPaperExample();
+  NodeSequence result = StaircaseJoin(*doc, {0}, Axis::kDescendant).value();
+  EXPECT_EQ(result.size(), 9u);  // every node except the root
+  EXPECT_TRUE(IsDocumentOrder(result));
+}
+
+TEST(StaircaseJoinTest, EmptyContext) {
+  auto doc = LoadPaperExample();
+  JoinStats stats;
+  NodeSequence result =
+      StaircaseJoin(*doc, {}, Axis::kDescendant, {}, &stats).value();
+  EXPECT_TRUE(result.empty());
+  EXPECT_EQ(stats.result_size, 0u);
+}
+
+TEST(StaircaseJoinTest, LeafHasNoDescendants) {
+  auto doc = LoadPaperExample();
+  EXPECT_TRUE(StaircaseJoin(*doc, {2}, Axis::kDescendant).value().empty());
+  EXPECT_TRUE(StaircaseJoin(*doc, {0}, Axis::kAncestor).value().empty());
+  EXPECT_TRUE(StaircaseJoin(*doc, {9}, Axis::kFollowing).value().empty());
+  EXPECT_TRUE(StaircaseJoin(*doc, {0}, Axis::kPreceding).value().empty());
+}
+
+// --- Error handling ----------------------------------------------------------
+
+TEST(StaircaseJoinTest, RejectsUnsortedContext) {
+  auto doc = LoadPaperExample();
+  EXPECT_EQ(StaircaseJoin(*doc, {3, 1}, Axis::kDescendant).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(StaircaseJoin(*doc, {3, 3}, Axis::kDescendant).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StaircaseJoinTest, RejectsOutOfRangeContext) {
+  auto doc = LoadPaperExample();
+  EXPECT_EQ(StaircaseJoin(*doc, {99}, Axis::kAncestor).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(StaircaseJoinTest, RejectsNonStaircaseAxis) {
+  auto doc = LoadPaperExample();
+  EXPECT_EQ(StaircaseJoin(*doc, {0}, Axis::kChild).status().code(),
+            StatusCode::kUnsupported);
+  EXPECT_EQ(StaircaseJoin(*doc, {0}, Axis::kParent).status().code(),
+            StatusCode::kUnsupported);
+}
+
+// --- Algorithmic guarantees ---------------------------------------------------
+
+TEST(StaircaseJoinTest, DescendantTouchBound) {
+  // Section 3.3: with skipping, no more than |result| + |context| nodes of
+  // the plane are touched for a descendant step.
+  for (uint64_t seed : {21u, 22u, 23u}) {
+    auto doc = RandomDocument(seed, {.target_nodes = 500});
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 10);
+    for (SkipMode mode : {SkipMode::kSkip, SkipMode::kEstimated}) {
+      StaircaseOptions opt;
+      opt.skip_mode = mode;
+      opt.keep_attributes = true;  // count plane nodes like the paper
+      JoinStats stats;
+      NodeSequence result =
+          StaircaseJoin(*doc, ctx, Axis::kDescendant, opt, &stats).value();
+      EXPECT_LE(stats.nodes_accessed(), result.size() + ctx.size())
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(StaircaseJoinTest, NoSkippingScansWholeTail) {
+  // Without skipping the scan runs from the first context node to the end
+  // of the document (minus the surviving context positions themselves).
+  auto doc = LoadPaperExample();
+  JoinStats stats;
+  StaircaseOptions opt;
+  opt.skip_mode = SkipMode::kNone;
+  NodeSequence r =
+      StaircaseJoin(*doc, {1, 4}, Axis::kDescendant, opt, &stats).value();
+  EXPECT_EQ(r, (NodeSequence{2, 5, 6, 7, 8, 9}));
+  // Nodes 2..9 except pre 4 (a surviving context node): 7 scanned.
+  EXPECT_EQ(stats.nodes_scanned, 7u);
+  EXPECT_EQ(stats.nodes_skipped, 0u);
+}
+
+TEST(StaircaseJoinTest, EstimatedCopiesGuaranteedDescendants) {
+  // For (root)/descendant the whole scan is one comparison-free copy.
+  auto doc = LoadPaperExample();
+  JoinStats stats;
+  StaircaseOptions opt;
+  opt.skip_mode = SkipMode::kEstimated;
+  opt.keep_attributes = true;
+  NodeSequence r =
+      StaircaseJoin(*doc, {0}, Axis::kDescendant, opt, &stats).value();
+  EXPECT_EQ(r.size(), 9u);
+  EXPECT_EQ(stats.nodes_copied, 9u);
+  EXPECT_EQ(stats.nodes_scanned, 0u);
+}
+
+TEST(StaircaseJoinTest, StatsCountersConsistent) {
+  for (uint64_t seed : {31u, 32u}) {
+    auto doc = RandomDocument(seed);
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 20);
+    for (Axis axis : {Axis::kDescendant, Axis::kAncestor}) {
+      JoinStats stats;
+      StaircaseOptions opt;
+      opt.skip_mode = SkipMode::kEstimated;
+      NodeSequence r = StaircaseJoin(*doc, ctx, axis, opt, &stats).value();
+      EXPECT_EQ(stats.context_size, ctx.size());
+      EXPECT_EQ(stats.result_size, r.size());
+      EXPECT_LE(stats.pruned_context_size, stats.context_size);
+      EXPECT_GE(stats.pruned_context_size, 1u);
+    }
+  }
+}
+
+// --- Equivalence properties: staircase == region oracle ---------------------
+
+using PropertyParam = std::tuple<uint64_t, Axis, SkipMode, bool, bool>;
+
+class StaircasePropertyTest
+    : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(StaircasePropertyTest, MatchesRegionOracle) {
+  auto [seed, axis, mode, on_the_fly, exact_level] = GetParam();
+  auto doc = RandomDocument(seed);
+  Rng rng(seed ^ 0xABCD);
+  for (uint32_t percent : {3u, 25u, 80u}) {
+    NodeSequence ctx = RandomContext(rng, *doc, percent);
+    StaircaseOptions opt;
+    opt.skip_mode = mode;
+    opt.prune_on_the_fly = on_the_fly;
+    opt.use_exact_level = exact_level;
+    JoinStats stats;
+    auto result = StaircaseJoin(*doc, ctx, axis, opt, &stats);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_TRUE(IsDocumentOrder(result.value()));
+    EXPECT_EQ(result.value(), RegionOracle(*doc, ctx, axis))
+        << "axis=" << AxisName(axis) << " seed=" << seed
+        << " percent=" << percent;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AxesModes, StaircasePropertyTest,
+    ::testing::Combine(
+        ::testing::Values(101, 202, 303),
+        ::testing::Values(Axis::kDescendant, Axis::kDescendantOrSelf,
+                          Axis::kAncestor, Axis::kAncestorOrSelf,
+                          Axis::kFollowing, Axis::kPreceding),
+        ::testing::Values(SkipMode::kNone, SkipMode::kSkip,
+                          SkipMode::kEstimated),
+        ::testing::Bool(),   // prune on the fly vs separate pass
+        ::testing::Bool())); // exact level vs h-bounded estimation
+
+TEST(StaircaseJoinTest, KeepAttributesReturnsPlaneNodes) {
+  auto doc = LoadDocument("<a x=\"1\"><b y=\"2\"><c/></b></a>").value();
+  StaircaseOptions opt;
+  opt.keep_attributes = true;
+  // Plane layout: a=0 @x=1 b=2 @y=3 c=4.
+  EXPECT_EQ(StaircaseJoin(*doc, {0}, Axis::kDescendant, opt).value(),
+            (NodeSequence{1, 2, 3, 4}));
+  opt.keep_attributes = false;
+  EXPECT_EQ(StaircaseJoin(*doc, {0}, Axis::kDescendant, opt).value(),
+            (NodeSequence{2, 4}));
+}
+
+TEST(StaircaseJoinTest, AttributeContextNodes) {
+  auto doc = LoadDocument("<a x=\"1\"><b y=\"2\"><c/></b></a>").value();
+  // @y (pre 3) has no descendants, its ancestors are b and a.
+  EXPECT_TRUE(StaircaseJoin(*doc, {3}, Axis::kDescendant).value().empty());
+  EXPECT_EQ(StaircaseJoin(*doc, {3}, Axis::kAncestor).value(),
+            (NodeSequence{0, 2}));
+  // descendant-or-self on an attribute yields the attribute itself.
+  EXPECT_EQ(StaircaseJoin(*doc, {3}, Axis::kDescendantOrSelf).value(),
+            (NodeSequence{3}));
+  // ... also when the attribute is nested inside another context node's
+  // subtree (the pruned-self merge path).
+  EXPECT_EQ(StaircaseJoin(*doc, {0, 3}, Axis::kDescendantOrSelf).value(),
+            (NodeSequence{0, 2, 3, 4}));
+}
+
+TEST(StaircaseJoinTest, SkipModesAgreeOnRandomDocs) {
+  for (uint64_t seed : {71u, 72u, 73u, 74u}) {
+    auto doc = RandomDocument(seed, {.target_nodes = 300});
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 15);
+    for (Axis axis :
+         {Axis::kDescendant, Axis::kAncestor, Axis::kFollowing}) {
+      StaircaseOptions a, b, c;
+      a.skip_mode = SkipMode::kNone;
+      b.skip_mode = SkipMode::kSkip;
+      c.skip_mode = SkipMode::kEstimated;
+      auto ra = StaircaseJoin(*doc, ctx, axis, a).value();
+      auto rb = StaircaseJoin(*doc, ctx, axis, b).value();
+      auto rc = StaircaseJoin(*doc, ctx, axis, c).value();
+      EXPECT_EQ(ra, rb) << AxisName(axis) << " seed " << seed;
+      EXPECT_EQ(rb, rc) << AxisName(axis) << " seed " << seed;
+    }
+  }
+}
+
+TEST(StaircaseJoinTest, SkippingNeverScansMoreThanBasic) {
+  for (uint64_t seed : {81u, 82u}) {
+    auto doc = RandomDocument(seed, {.target_nodes = 400});
+    Rng rng(seed);
+    NodeSequence ctx = RandomContext(rng, *doc, 10);
+    for (Axis axis : {Axis::kDescendant, Axis::kAncestor}) {
+      JoinStats none, skip;
+      StaircaseOptions a, b;
+      a.skip_mode = SkipMode::kNone;
+      b.skip_mode = SkipMode::kSkip;
+      (void)StaircaseJoin(*doc, ctx, axis, a, &none);
+      (void)StaircaseJoin(*doc, ctx, axis, b, &skip);
+      EXPECT_LE(skip.nodes_accessed(), none.nodes_accessed());
+      EXPECT_EQ(skip.nodes_accessed() + skip.nodes_skipped,
+                none.nodes_accessed());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,147 @@
+// Tests for tag views (name-test pushdown / fragmentation): the view join
+// must equal join-then-filter on every staircase axis and skip mode.
+
+#include <gtest/gtest.h>
+
+#include "core/staircase_join.h"
+#include "core/tag_view.h"
+#include "encoding/loader.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace sj {
+namespace {
+
+using testing::RandomContext;
+using testing::RandomDocument;
+
+NodeSequence JoinThenFilter(const DocTable& doc, const NodeSequence& ctx,
+                            Axis axis, TagId tag) {
+  NodeSequence joined = StaircaseJoin(doc, ctx, axis).value();
+  NodeSequence out;
+  for (NodeId v : joined) {
+    if (doc.kind(v) == NodeKind::kElement && doc.tag(v) == tag) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+TEST(TagViewTest, BuildContainsExactlyTaggedElements) {
+  auto doc = LoadDocument("<a><b/><a x=\"1\"><b/></a><c/></a>").value();
+  TagId a = doc->tags().Lookup("a");
+  TagView view = BuildTagView(*doc, a);
+  EXPECT_EQ(view.pre, (std::vector<NodeId>{0, 2}));
+  for (size_t i = 0; i < view.size(); ++i) {
+    EXPECT_EQ(view.post[i], doc->post(view.pre[i]));
+  }
+  // Attribute tags never produce view entries.
+  TagView xview = BuildTagView(*doc, doc->tags().Lookup("x"));
+  EXPECT_EQ(xview.size(), 0u);
+}
+
+TEST(TagIndexTest, FragmentsCoverAllElements) {
+  auto doc = RandomDocument(55);
+  TagIndex index(*doc);
+  uint64_t total = 0;
+  for (TagId t = 0; t < doc->tags().size(); ++t) {
+    total += index.tag_count(t);
+    const TagView& v = index.view(t);
+    for (size_t i = 0; i < v.size(); ++i) {
+      EXPECT_EQ(doc->tag(v.pre[i]), t);
+      EXPECT_EQ(doc->kind(v.pre[i]), NodeKind::kElement);
+    }
+  }
+  uint64_t elements = 0;
+  for (NodeId v = 0; v < doc->size(); ++v) {
+    elements += doc->kind(v) == NodeKind::kElement ? 1u : 0u;
+  }
+  EXPECT_EQ(total, elements);
+  EXPECT_GT(index.memory_bytes(), 0u);
+  EXPECT_EQ(index.view(kNoTag).size(), 0u);
+  EXPECT_EQ(index.tag_count(9999), 0u);
+}
+
+using ViewParam = std::tuple<uint64_t, Axis, SkipMode>;
+
+class TagViewPropertyTest : public ::testing::TestWithParam<ViewParam> {};
+
+TEST_P(TagViewPropertyTest, ViewJoinEqualsJoinThenFilter) {
+  auto [seed, axis, mode] = GetParam();
+  auto doc = RandomDocument(seed);
+  TagIndex index(*doc);
+  Rng rng(seed ^ 0x5555);
+  for (uint32_t percent : {5u, 40u}) {
+    NodeSequence ctx = RandomContext(rng, *doc, percent);
+    for (const char* tag_name : {"t0", "t3"}) {
+      TagId tag = doc->tags().Lookup(tag_name);
+      if (tag == kNoTag) continue;
+      StaircaseOptions opt;
+      opt.skip_mode = mode;
+      JoinStats stats;
+      auto got =
+          StaircaseJoinView(*doc, index.view(tag), ctx, axis, opt, &stats);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_EQ(got.value(), JoinThenFilter(*doc, ctx, axis, tag))
+          << AxisName(axis) << " tag " << tag_name << " seed " << seed;
+      EXPECT_TRUE(IsDocumentOrder(got.value()));
+      EXPECT_EQ(stats.result_size, got.value().size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AxesModes, TagViewPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(61, 62, 63),
+        ::testing::Values(Axis::kDescendant, Axis::kDescendantOrSelf,
+                          Axis::kAncestor, Axis::kAncestorOrSelf,
+                          Axis::kFollowing, Axis::kPreceding),
+        ::testing::Values(SkipMode::kNone, SkipMode::kSkip,
+                          SkipMode::kEstimated)));
+
+TEST(TagViewTest, ViewJoinScansOnlyViewNodes) {
+  auto doc = RandomDocument(71, {.target_nodes = 600});
+  TagIndex index(*doc);
+  // Pick the most frequent non-root element tag.
+  TagId tag = doc->tag(doc->root());
+  for (TagId t = 0; t < doc->tags().size(); ++t) {
+    if (t != doc->tag(doc->root()) && index.tag_count(t) > index.tag_count(tag)) {
+      tag = t;
+    }
+  }
+  ASSERT_GT(index.tag_count(tag), 0u);
+  JoinStats view_stats, full_stats;
+  NodeSequence ctx = {doc->root()};
+  (void)StaircaseJoinView(*doc, index.view(tag), ctx, Axis::kDescendant, {},
+                          &view_stats);
+  (void)StaircaseJoin(*doc, ctx, Axis::kDescendant, {}, &full_stats);
+  // The fragment join touches at most |fragment| nodes, the full join the
+  // whole document.
+  EXPECT_LE(view_stats.nodes_accessed(), index.tag_count(tag));
+  EXPECT_GT(full_stats.nodes_accessed(), view_stats.nodes_accessed());
+}
+
+TEST(TagViewTest, EmptyViewAndEmptyContext) {
+  auto doc = RandomDocument(81);
+  TagView empty;
+  empty.tag = 12345;
+  EXPECT_TRUE(
+      StaircaseJoinView(*doc, empty, {0}, Axis::kDescendant).value().empty());
+  TagIndex index(*doc);
+  EXPECT_TRUE(StaircaseJoinView(*doc, index.view(0), {}, Axis::kDescendant)
+                  .value()
+                  .empty());
+}
+
+TEST(TagViewTest, RejectsBadInput) {
+  auto doc = RandomDocument(91);
+  TagIndex index(*doc);
+  EXPECT_FALSE(
+      StaircaseJoinView(*doc, index.view(0), {5, 2}, Axis::kDescendant).ok());
+  EXPECT_FALSE(
+      StaircaseJoinView(*doc, index.view(0), {0}, Axis::kChild).ok());
+}
+
+}  // namespace
+}  // namespace sj

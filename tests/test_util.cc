@@ -1,0 +1,171 @@
+#include "test_util.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "xml/writer.h"
+
+namespace sj::testing {
+
+std::unique_ptr<DocTable> LoadPaperExample() {
+  auto result = LoadDocument(kPaperExampleXml);
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+namespace {
+
+/// Emits a random subtree of roughly `budget` nodes; returns nodes used.
+size_t EmitSubtree(Rng& rng, const RandomDocOptions& opt, size_t budget,
+                   uint32_t depth, std::string* out) {
+  std::string tag = "t";
+  tag += std::to_string(rng.Below(opt.tag_alphabet));
+  out->push_back('<');
+  out->append(tag);
+  size_t used = 1;
+  if (rng.Percent(opt.attribute_percent)) {
+    out->append(" a");
+    out->append(std::to_string(rng.Below(3)));
+    out->append("=\"v");
+    out->append(std::to_string(rng.Below(100)));
+    out->append("\"");
+    ++used;
+    if (rng.Percent(30)) {  // occasionally a second attribute
+      out->append(" b0=\"w");
+      out->append(std::to_string(rng.Below(100)));
+      out->append("\"");
+      ++used;
+    }
+  }
+  if (budget <= used || depth > 40) {
+    out->append("/>");
+    return used;
+  }
+  out->push_back('>');
+  size_t remaining = budget - used;
+  uint32_t children = static_cast<uint32_t>(rng.Range(1, opt.max_children));
+  for (uint32_t c = 0; c < children && remaining > 0; ++c) {
+    if (rng.Percent(opt.text_percent)) {
+      out->append("x");
+      out->append(std::to_string(rng.Below(1000)));
+      --remaining;
+      ++used;
+    } else if (rng.Percent(opt.comment_percent)) {
+      out->append("<!--c-->");
+      --remaining;
+      ++used;
+    } else if (rng.Percent(opt.pi_percent)) {
+      out->append("<?pi data?>");
+      --remaining;
+      ++used;
+    } else {
+      size_t sub =
+          EmitSubtree(rng, opt, 1 + rng.Below(remaining), depth + 1, out);
+      remaining -= std::min(remaining, sub);
+      used += sub;
+    }
+  }
+  out->append("</");
+  out->append(tag);
+  out->push_back('>');
+  return used;
+}
+
+}  // namespace
+
+std::string RandomDocumentXml(uint64_t seed, const RandomDocOptions& options) {
+  Rng rng(seed);
+  std::string out;
+  EmitSubtree(rng, options, std::max<size_t>(options.target_nodes, 2), 0,
+              &out);
+  return out;
+}
+
+std::unique_ptr<DocTable> RandomDocument(uint64_t seed,
+                                         const RandomDocOptions& options) {
+  auto result = LoadDocument(RandomDocumentXml(seed, options));
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+NodeSequence RandomContext(Rng& rng, const DocTable& doc,
+                           uint32_t percent_of_doc) {
+  NodeSequence context;
+  for (NodeId v = 0; v < doc.size(); ++v) {
+    if (rng.Percent(percent_of_doc)) context.push_back(v);
+  }
+  if (context.empty()) context.push_back(static_cast<NodeId>(
+      rng.Below(doc.size())));
+  return context;
+}
+
+NodeSequence RegionOracle(const DocTable& doc, const NodeSequence& context,
+                          Axis axis, bool keep_attributes) {
+  NodeSequence result;
+  auto attr = [&](NodeId v) { return doc.kind(v) == NodeKind::kAttribute; };
+  for (NodeId v = 0; v < doc.size(); ++v) {
+    bool in_result = false;
+    bool as_self = false;
+    for (NodeId c : context) {
+      bool match = false;
+      switch (axis) {
+        case Axis::kDescendant:
+          match = doc.IsDescendant(v, c);
+          break;
+        case Axis::kDescendantOrSelf:
+          match = doc.IsDescendant(v, c) || v == c;
+          break;
+        case Axis::kAncestor:
+          match = doc.IsAncestor(v, c);
+          break;
+        case Axis::kAncestorOrSelf:
+          match = doc.IsAncestor(v, c) || v == c;
+          break;
+        case Axis::kFollowing:
+          match = doc.IsFollowing(v, c);
+          break;
+        case Axis::kPreceding:
+          match = doc.IsPreceding(v, c);
+          break;
+        case Axis::kSelf:
+          match = v == c;
+          break;
+        case Axis::kParent:
+          match = doc.parent(c) == v;
+          break;
+        case Axis::kChild:
+          match = doc.parent(v) == c && !attr(v);
+          break;
+        case Axis::kAttribute:
+          match = doc.parent(v) == c && attr(v);
+          break;
+        case Axis::kFollowingSibling:
+          match = !attr(v) && !attr(c) && doc.parent(v) == doc.parent(c) &&
+                  doc.parent(c) != kNilNode && v > c;
+          break;
+        case Axis::kPrecedingSibling:
+          match = !attr(v) && !attr(c) && doc.parent(v) == doc.parent(c) &&
+                  doc.parent(c) != kNilNode && v < c;
+          break;
+      }
+      if (match) {
+        in_result = true;
+        if (v == c &&
+            (axis == Axis::kDescendantOrSelf ||
+             axis == Axis::kAncestorOrSelf || axis == Axis::kSelf)) {
+          as_self = true;
+        }
+      }
+    }
+    if (!in_result) continue;
+    // Axis results exclude attribute nodes (except the attribute axis and
+    // self references).
+    if (!keep_attributes && attr(v) && axis != Axis::kAttribute && !as_self) {
+      continue;
+    }
+    result.push_back(v);
+  }
+  return result;
+}
+
+}  // namespace sj::testing

@@ -1,0 +1,205 @@
+// Stress shapes for the join algorithms: degenerate trees (pure chains,
+// flat stars, left/right combs) exercise the skip arithmetic at its
+// extremes -- maximum level (chain: estimation error reaches h), zero
+// level (star: estimation exact), alternating subtree sizes (combs).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/staircase_join.h"
+#include "encoding/loader.h"
+#include "test_util.h"
+
+namespace sj {
+namespace {
+
+using testing::RegionOracle;
+
+std::unique_ptr<DocTable> Chain(int depth) {
+  std::string open, close;
+  for (int i = 0; i < depth; ++i) {
+    open += "<c>";
+    close += "</c>";
+  }
+  return LoadDocument(open + close).value();
+}
+
+std::unique_ptr<DocTable> Star(int leaves) {
+  std::string xml = "<r>";
+  for (int i = 0; i < leaves; ++i) xml += "<l/>";
+  xml += "</r>";
+  return LoadDocument(xml).value();
+}
+
+/// Right comb: r(s(a, s(a, s(a, ...)))) -- every level one leaf + spine.
+std::unique_ptr<DocTable> Comb(int depth) {
+  std::string open, close;
+  for (int i = 0; i < depth; ++i) {
+    open += "<s><a/>";
+    close += "</s>";
+  }
+  return LoadDocument("<r>" + open + close + "</r>").value();
+}
+
+class ShapeTest : public ::testing::TestWithParam<SkipMode> {};
+
+TEST_P(ShapeTest, ChainAllAxes) {
+  auto doc = Chain(120);
+  StaircaseOptions opt;
+  opt.skip_mode = GetParam();
+  // Every node as context, every staircase axis, against the oracle.
+  NodeSequence all;
+  for (NodeId v = 0; v < doc->size(); ++v) all.push_back(v);
+  for (Axis axis : {Axis::kDescendant, Axis::kAncestor, Axis::kFollowing,
+                    Axis::kPreceding}) {
+    EXPECT_EQ(StaircaseJoin(*doc, all, axis, opt).value(),
+              RegionOracle(*doc, all, axis))
+        << AxisName(axis);
+  }
+  // Single mid-chain context: descendant == suffix, ancestor == prefix.
+  NodeId mid = 60;
+  NodeSequence desc = StaircaseJoin(*doc, {mid}, Axis::kDescendant, opt)
+                          .value();
+  EXPECT_EQ(desc.size(), doc->size() - mid - 1);
+  NodeSequence anc = StaircaseJoin(*doc, {mid}, Axis::kAncestor, opt)
+                         .value();
+  EXPECT_EQ(anc.size(), mid);
+  // The chain has no following/preceding at all.
+  EXPECT_TRUE(StaircaseJoin(*doc, {mid}, Axis::kFollowing, opt)
+                  .value()
+                  .empty());
+}
+
+TEST_P(ShapeTest, ChainEstimationErrorBoundedByHeight) {
+  // In a chain the Eq. (1) lower bound post - pre underestimates the
+  // subtree by exactly level(v); the scan phase must absorb it.
+  auto doc = Chain(100);
+  StaircaseOptions opt;
+  opt.skip_mode = GetParam();
+  JoinStats stats;
+  NodeSequence r =
+      StaircaseJoin(*doc, {0}, Axis::kDescendant, opt, &stats).value();
+  EXPECT_EQ(r.size(), 99u);
+  if (GetParam() == SkipMode::kEstimated) {
+    // post(root) = 99, pre = 0: copy phase covers everything; 0 scans.
+    EXPECT_EQ(stats.nodes_copied + stats.nodes_scanned, 99u);
+  }
+}
+
+TEST_P(ShapeTest, StarShapes) {
+  auto doc = Star(500);
+  StaircaseOptions opt;
+  opt.skip_mode = GetParam();
+  // Leaves are mutually following/preceding.
+  NodeId first_leaf = 1, last_leaf = 500;
+  EXPECT_EQ(
+      StaircaseJoin(*doc, {first_leaf}, Axis::kFollowing, opt).value().size(),
+      499u);
+  EXPECT_EQ(
+      StaircaseJoin(*doc, {last_leaf}, Axis::kPreceding, opt).value().size(),
+      499u);
+  // All leaves as ancestor context prune to... nothing shared except root.
+  NodeSequence leaves;
+  for (NodeId v = 1; v < doc->size(); ++v) leaves.push_back(v);
+  NodeSequence anc = StaircaseJoin(*doc, leaves, Axis::kAncestor, opt)
+                         .value();
+  EXPECT_EQ(anc, (NodeSequence{0}));
+  JoinStats stats;
+  (void)StaircaseJoin(*doc, leaves, Axis::kDescendant, opt, &stats);
+  EXPECT_EQ(stats.pruned_context_size, leaves.size());  // nothing nested
+}
+
+TEST_P(ShapeTest, CombMatchesOracle) {
+  auto doc = Comb(60);
+  StaircaseOptions opt;
+  opt.skip_mode = GetParam();
+  // Context: all the leaf 'a' nodes (every other node on the spine).
+  TagId a = doc->tags().Lookup("a");
+  NodeSequence as;
+  for (NodeId v = 0; v < doc->size(); ++v) {
+    if (doc->tag(v) == a) as.push_back(v);
+  }
+  ASSERT_EQ(as.size(), 60u);
+  for (Axis axis : {Axis::kDescendant, Axis::kAncestor, Axis::kFollowing,
+                    Axis::kPreceding, Axis::kAncestorOrSelf}) {
+    EXPECT_EQ(StaircaseJoin(*doc, as, axis, opt).value(),
+              RegionOracle(*doc, as, axis))
+        << AxisName(axis);
+  }
+  // Ancestor result: every spine node (and the root).
+  EXPECT_EQ(StaircaseJoin(*doc, as, Axis::kAncestor, opt).value().size(),
+            61u);
+}
+
+TEST_P(ShapeTest, TwoNodeAndSingleNodeDocuments) {
+  auto single = LoadDocument("<a/>").value();
+  StaircaseOptions opt;
+  opt.skip_mode = GetParam();
+  for (Axis axis : {Axis::kDescendant, Axis::kAncestor, Axis::kFollowing,
+                    Axis::kPreceding}) {
+    EXPECT_TRUE(StaircaseJoin(*single, {0}, axis, opt).value().empty());
+  }
+  EXPECT_EQ(
+      StaircaseJoin(*single, {0}, Axis::kDescendantOrSelf, opt).value(),
+      (NodeSequence{0}));
+
+  auto pair = LoadDocument("<a><b/></a>").value();
+  EXPECT_EQ(StaircaseJoin(*pair, {0}, Axis::kDescendant, opt).value(),
+            (NodeSequence{1}));
+  EXPECT_EQ(StaircaseJoin(*pair, {1}, Axis::kAncestor, opt).value(),
+            (NodeSequence{0}));
+}
+
+INSTANTIATE_TEST_SUITE_P(SkipModes, ShapeTest,
+                         ::testing::Values(SkipMode::kNone, SkipMode::kSkip,
+                                           SkipMode::kEstimated));
+
+TEST(ShapeTest2, WideAndDeepMixed) {
+  // A tree that alternates wide fans (each fan item carrying a small
+  // subtree) and deep spines, catching skip arithmetic that mixes small
+  // and huge subtrees.
+  std::string xml = "<r>";
+  for (int i = 0; i < 20; ++i) {
+    xml += "<f>";
+    for (int j = 0; j < 30; ++j) xml += "<x><z/><z/><z/></x>";
+    xml += "<d><d><d><d><y/></d></d></d></d>";
+    xml += "</f>";
+  }
+  xml += "</r>";
+  auto doc = LoadDocument(xml).value();
+  TagId y = doc->tags().Lookup("y");
+  NodeSequence ys;
+  for (NodeId v = 0; v < doc->size(); ++v) {
+    if (doc->tag(v) == y) ys.push_back(v);
+  }
+  ASSERT_EQ(ys.size(), 20u);
+  for (Axis axis : {Axis::kDescendant, Axis::kAncestor, Axis::kFollowing,
+                    Axis::kPreceding}) {
+    EXPECT_EQ(StaircaseJoin(*doc, ys, axis).value(),
+              testing::RegionOracle(*doc, ys, axis))
+        << AxisName(axis);
+  }
+  // Footnote 5 in action: the h-bound estimate post - pre = size - level
+  // shrinks for deep small subtrees (each <x> here: size 3, level 2 =>
+  // skip width 1), while the exact-level variant leaps the full subtree.
+  StaircaseOptions hbound, exact;
+  hbound.skip_mode = SkipMode::kSkip;
+  exact.skip_mode = SkipMode::kSkip;
+  exact.use_exact_level = true;
+  JoinStats hbound_stats, exact_stats;
+  (void)StaircaseJoin(*doc, ys, Axis::kAncestor, hbound, &hbound_stats);
+  (void)StaircaseJoin(*doc, ys, Axis::kAncestor, exact, &exact_stats);
+  EXPECT_GT(hbound_stats.nodes_skipped, 0u);
+  EXPECT_GT(exact_stats.nodes_skipped, hbound_stats.nodes_skipped);
+  // Exact skipping touches one node per fan item; h-bound touches more
+  // but both stay far below the full partition scan.
+  JoinStats none_stats;
+  StaircaseOptions none;
+  none.skip_mode = SkipMode::kNone;
+  (void)StaircaseJoin(*doc, ys, Axis::kAncestor, none, &none_stats);
+  EXPECT_LT(exact_stats.nodes_scanned, none_stats.nodes_scanned / 2);
+}
+
+}  // namespace
+}  // namespace sj

@@ -1,0 +1,141 @@
+// Robustness tests for the XML parser: randomly mutated well-formed
+// documents and random byte garbage must never crash, hang, or report
+// success for structurally broken input -- they either parse cleanly or
+// return ParseError. A builder behind the parser must likewise only ever
+// see balanced events.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "encoding/builder.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "xml/dom.h"
+#include "xml/parser.h"
+
+namespace sj::xml {
+namespace {
+
+/// Parses into a DocTableBuilder (exercising the full pipeline) and
+/// reports whether parsing succeeded.
+bool TryParse(const std::string& input) {
+  DocTableBuilder builder;
+  Status st = Parse(input, &builder);
+  if (!st.ok()) {
+    EXPECT_EQ(st.code(), StatusCode::kParseError) << st;
+    return false;
+  }
+  // A successful parse must leave a balanced builder.
+  auto doc = builder.Finish();
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  return true;
+}
+
+class MutationTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutationTest, SingleByteMutationsNeverCrash) {
+  std::string base = sj::testing::RandomDocumentXml(GetParam(), {});
+  Rng rng(GetParam() ^ 0xFEED);
+  int parsed = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string mutated = base;
+    size_t pos = rng.Below(mutated.size());
+    switch (rng.Below(3)) {
+      case 0:  // flip to a random printable byte
+        mutated[pos] = static_cast<char>(' ' + rng.Below(94));
+        break;
+      case 1:  // delete a byte
+        mutated.erase(pos, 1);
+        break;
+      default:  // duplicate a byte
+        mutated.insert(pos, 1, mutated[pos]);
+        break;
+    }
+    parsed += TryParse(mutated) ? 1 : 0;
+  }
+  // Some mutations only touch text content and still parse; both outcomes
+  // must occur across 300 trials (sanity of the test itself).
+  EXPECT_GT(parsed, 0);
+  EXPECT_LT(parsed, 300);
+}
+
+TEST_P(MutationTest, TruncationsNeverCrash) {
+  std::string base = sj::testing::RandomDocumentXml(GetParam(), {});
+  for (size_t len : {size_t{0}, size_t{1}, base.size() / 4, base.size() / 2,
+                     base.size() - 1}) {
+    (void)TryParse(base.substr(0, len));
+  }
+}
+
+TEST_P(MutationTest, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam() * 977);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string garbage;
+    size_t len = rng.Below(200);
+    for (size_t i = 0; i < len; ++i) {
+      garbage.push_back(static_cast<char>(rng.Below(256)));
+    }
+    (void)TryParse(garbage);
+  }
+}
+
+TEST_P(MutationTest, MarkupSoupNeverCrashes) {
+  // Concatenations of markup fragments: worst case for the tokenizer.
+  static const char* kFragments[] = {
+      "<",    ">",    "</",   "/>",   "<!--", "-->",  "<![CDATA[",
+      "]]>",  "<?",   "?>",   "&",    ";",    "\"",   "'",
+      "=",    "a",    " ",    "&lt;", "<a",   "</a>", "x",
+  };
+  Rng rng(GetParam() * 31 + 3);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string soup;
+    size_t pieces = 1 + rng.Below(40);
+    for (size_t i = 0; i < pieces; ++i) {
+      soup += kFragments[rng.Below(std::size(kFragments))];
+    }
+    (void)TryParse(soup);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationTest,
+                         ::testing::Values(1001, 1002, 1003));
+
+TEST(RobustnessTest, DeeplyNestedDocument) {
+  // 200 levels: within the encoder's 255-level bound.
+  std::string open, close;
+  for (int i = 0; i < 200; ++i) {
+    open += "<d>";
+    close += "</d>";
+  }
+  EXPECT_TRUE(TryParse(open + close));
+  // 300 levels: parses as XML but exceeds the level column's range; the
+  // builder reports Unsupported rather than truncating.
+  std::string deep_open, deep_close;
+  for (int i = 0; i < 300; ++i) {
+    deep_open += "<d>";
+    deep_close += "</d>";
+  }
+  DocTableBuilder builder;
+  Status st = Parse(deep_open + deep_close, &builder);
+  EXPECT_EQ(st.code(), StatusCode::kUnsupported);
+}
+
+TEST(RobustnessTest, ManySiblings) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 50000; ++i) xml += "<c/>";
+  xml += "</r>";
+  DocTableBuilder builder;
+  ASSERT_TRUE(Parse(xml, &builder).ok());
+  auto doc = builder.Finish().value();
+  EXPECT_EQ(doc->size(), 50001u);
+  EXPECT_EQ(doc->height(), 1u);
+}
+
+TEST(RobustnessTest, HugeAttributeAndTextValues) {
+  std::string big(100000, 'x');
+  EXPECT_TRUE(TryParse("<a v=\"" + big + "\">" + big + "</a>"));
+}
+
+}  // namespace
+}  // namespace sj::xml

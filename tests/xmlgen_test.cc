@@ -1,0 +1,167 @@
+// Tests for the XMark-style generator: determinism, structural invariants
+// the experiments rely on (height 11, level(increase) = 4, one increase per
+// bidder), scaling, and calibration against the paper's Table 1 ratios.
+
+#include <gtest/gtest.h>
+
+#include "core/staircase_join.h"
+#include "core/tag_view.h"
+#include "encoding/loader.h"
+#include "xmlgen/xmark.h"
+
+namespace sj::xmlgen {
+namespace {
+
+XMarkOptions Small() {
+  XMarkOptions opt;
+  opt.size_mb = 1.1;
+  return opt;
+}
+
+TEST(XMarkTest, DeterministicForSeed) {
+  std::string a = GenerateXMarkText(Small()).value();
+  std::string b = GenerateXMarkText(Small()).value();
+  EXPECT_EQ(a, b);
+  XMarkOptions other = Small();
+  other.seed = 43;
+  EXPECT_NE(a, GenerateXMarkText(other).value());
+}
+
+TEST(XMarkTest, TextParsesBackToSameTable) {
+  auto direct = GenerateXMarkDocument(Small()).value();
+  auto via_text = LoadDocument(GenerateXMarkText(Small()).value()).value();
+  ASSERT_EQ(direct->size(), via_text->size());
+  for (NodeId v = 0; v < direct->size(); v += 37) {  // sampled comparison
+    EXPECT_EQ(direct->post(v), via_text->post(v));
+    EXPECT_EQ(direct->kind(v), via_text->kind(v));
+    EXPECT_EQ(direct->level(v), via_text->level(v));
+  }
+}
+
+TEST(XMarkTest, HeightIsEleven) {
+  for (double mb : {0.5, 1.1, 4.0}) {
+    XMarkOptions opt;
+    opt.size_mb = mb;
+    auto doc = GenerateXMarkDocument(opt).value();
+    EXPECT_EQ(doc->height(), 11u) << "size " << mb;
+  }
+}
+
+TEST(XMarkTest, RichTextOffPreservesStructure) {
+  XMarkOptions rich = Small();
+  XMarkOptions plain = Small();
+  plain.rich_text = false;
+  auto a = GenerateXMarkDocument(rich).value();
+  auto b = GenerateXMarkDocument(plain).value();
+  ASSERT_EQ(a->size(), b->size());
+  for (NodeId v = 0; v < a->size(); ++v) {
+    ASSERT_EQ(a->post(v), b->post(v)) << "node " << v;
+    ASSERT_EQ(a->kind(v), b->kind(v)) << "node " << v;
+    ASSERT_EQ(a->tag(v), b->tag(v)) << "node " << v;
+  }
+}
+
+TEST(XMarkTest, NodeCountScalesLinearly) {
+  XMarkOptions s1 = Small();
+  XMarkOptions s10 = Small();
+  s10.size_mb = 11.0;
+  auto d1 = GenerateXMarkDocument(s1).value();
+  auto d10 = GenerateXMarkDocument(s10).value();
+  double ratio = static_cast<double>(d10->size()) /
+                 static_cast<double>(d1->size());
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 12.0);
+}
+
+TEST(XMarkTest, IncreaseSitsAtLevelFourUnderBidder) {
+  auto doc = GenerateXMarkDocument(Small()).value();
+  TagId increase = doc->tags().Lookup("increase");
+  TagId bidder = doc->tags().Lookup("bidder");
+  ASSERT_NE(increase, kNoTag);
+  ASSERT_NE(bidder, kNoTag);
+  uint64_t increases = 0, bidders = 0;
+  for (NodeId v = 0; v < doc->size(); ++v) {
+    if (doc->kind(v) != NodeKind::kElement) continue;
+    if (doc->tag(v) == increase) {
+      ++increases;
+      EXPECT_EQ(doc->level(v), 4u);
+      EXPECT_EQ(doc->tag(doc->parent(v)), bidder);
+    } else if (doc->tag(v) == bidder) {
+      ++bidders;
+    }
+  }
+  // Exactly one increase per bidder (Table 1: both count 597,777).
+  EXPECT_EQ(increases, bidders);
+  EXPECT_GT(increases, 0u);
+}
+
+TEST(XMarkTest, Table1RatiosApproximatelyHold) {
+  // Targets per MB from Table 1 at 1111 MB (see xmark.h): the synthetic
+  // generator must land in the right regime, not to the last node.
+  XMarkOptions opt;
+  opt.size_mb = 4.0;
+  auto doc = GenerateXMarkDocument(opt).value();
+  TagIndex index(*doc);
+  auto count = [&](const char* tag) {
+    return static_cast<double>(index.tag_count(doc->tags().Lookup(tag)));
+  };
+  const double mb = opt.size_mb;
+
+  double nodes_per_mb = static_cast<double>(doc->size()) / mb;
+  EXPECT_GT(nodes_per_mb, 45765 * 0.7);
+  EXPECT_LT(nodes_per_mb, 45765 * 1.3);
+
+  double profiles_per_mb = count("profile") / mb;
+  EXPECT_GT(profiles_per_mb, 115.2 * 0.7);
+  EXPECT_LT(profiles_per_mb, 115.2 * 1.3);
+
+  // ~49.8% of profiles carry an education child.
+  double education_ratio = count("education") / count("profile");
+  EXPECT_GT(education_ratio, 0.35);
+  EXPECT_LT(education_ratio, 0.65);
+
+  double increases_per_mb = count("increase") / mb;
+  EXPECT_GT(increases_per_mb, 538 * 0.7);
+  EXPECT_LT(increases_per_mb, 538 * 1.3);
+
+  // Attribute share: paper 7.5%; accept 5-12%.
+  double attr_share = static_cast<double>(doc->attribute_count()) /
+                      static_cast<double>(doc->size());
+  EXPECT_GT(attr_share, 0.05);
+  EXPECT_LT(attr_share, 0.12);
+}
+
+TEST(XMarkTest, Q1IntermediateShapeMatchesTable1) {
+  // Q1 second step: descendants of profile nodes; Table 1 ratio is
+  // 1,849,360 / 127,984 = 14.5 non-attribute descendants per profile.
+  auto doc = GenerateXMarkDocument(Small()).value();
+  TagIndex index(*doc);
+  NodeSequence profiles = index.view(doc->tags().Lookup("profile")).pre;
+  JoinStats stats;
+  NodeSequence desc =
+      StaircaseJoin(*doc, profiles, Axis::kDescendant, {}, &stats).value();
+  double per_profile = static_cast<double>(desc.size()) /
+                       static_cast<double>(profiles.size());
+  EXPECT_GT(per_profile, 14.45 * 0.6);
+  EXPECT_LT(per_profile, 14.45 * 1.4);
+}
+
+TEST(XMarkTest, GeneratedTextSizeRoughlyMatchesLabel) {
+  std::string text = GenerateXMarkText(Small()).value();
+  double actual_mb = static_cast<double>(text.size()) / (1024.0 * 1024.0);
+  EXPECT_GT(actual_mb, 1.1 * 0.5);
+  EXPECT_LT(actual_mb, 1.1 * 2.0);
+}
+
+TEST(XMarkTest, RejectsBadOptions) {
+  XMarkOptions opt;
+  opt.size_mb = 0.0;
+  EXPECT_FALSE(GenerateXMarkText(opt).ok());
+  opt.size_mb = -3;
+  EXPECT_FALSE(GenerateXMarkText(opt).ok());
+  EXPECT_EQ(GenerateXMark(Small(), nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sj::xmlgen

@@ -1,0 +1,286 @@
+// Tests for the XPath evaluator: hand-checked queries on a small document,
+// staircase engine == naive engine on random documents x random queries,
+// pushdown equivalence, predicates, and the EXPLAIN trace.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/tag_view.h"
+#include "encoding/loader.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "xpath/evaluator.h"
+
+namespace sj::xpath {
+namespace {
+
+// <site>
+//   <people><person id="p0"><name>n</name><profile><education>e
+//     </education></profile></person>
+//            <person id="p1"><name>m</name></person></people>
+//   <auctions><auction><bidder><increase>i</increase></bidder>
+//             <bidder><increase>j</increase></bidder></auction></auctions>
+// </site>
+constexpr const char* kSmallDoc =
+    "<site><people><person id=\"p0\"><name>n</name><profile><education>e"
+    "</education></profile></person><person id=\"p1\"><name>m</name>"
+    "</person></people><auctions><auction><bidder><increase>i</increase>"
+    "</bidder><bidder><increase>j</increase></bidder></auction></auctions>"
+    "</site>";
+
+class XPathEvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    doc_ = LoadDocument(kSmallDoc).value();
+    index_ = std::make_unique<TagIndex>(*doc_);
+  }
+
+  NodeSequence Eval(const std::string& q, EvalOptions opts = {}) {
+    if (opts.tag_index == nullptr) opts.tag_index = index_.get();
+    Evaluator ev(*doc_, opts);
+    auto r = ev.EvaluateString(q);
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status();
+    return r.ok() ? r.value() : NodeSequence{};
+  }
+
+  /// Names (tags / "#text" etc.) of the result nodes, for readable asserts.
+  std::vector<std::string> Names(const NodeSequence& nodes) {
+    std::vector<std::string> out;
+    for (NodeId v : nodes) {
+      switch (doc_->kind(v)) {
+        case NodeKind::kElement:
+          out.push_back(doc_->tags().Name(doc_->tag(v)));
+          break;
+        case NodeKind::kAttribute:
+          out.push_back("@" + doc_->tags().Name(doc_->tag(v)));
+          break;
+        case NodeKind::kText:
+          out.push_back("#text:" + std::string(doc_->value(v)));
+          break;
+        default:
+          out.push_back("#other");
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<DocTable> doc_;
+  std::unique_ptr<TagIndex> index_;
+};
+
+TEST_F(XPathEvaluatorTest, DescendantNameTest) {
+  EXPECT_EQ(Names(Eval("/descendant::education")),
+            (std::vector<std::string>{"education"}));
+  EXPECT_EQ(Names(Eval("/descendant::person")),
+            (std::vector<std::string>{"person", "person"}));
+}
+
+TEST_F(XPathEvaluatorTest, PaperQ2Shape) {
+  NodeSequence bidders = Eval("/descendant::increase/ancestor::bidder");
+  EXPECT_EQ(Names(bidders), (std::vector<std::string>{"bidder", "bidder"}));
+}
+
+TEST_F(XPathEvaluatorTest, Q2RewriteEquivalence) {
+  EXPECT_EQ(Eval("/descendant::increase/ancestor::bidder"),
+            Eval("/descendant::bidder[descendant::increase]"));
+}
+
+TEST_F(XPathEvaluatorTest, ChildStepsFollowDocumentStructure) {
+  EXPECT_EQ(Names(Eval("/child::people/child::person/child::name")),
+            (std::vector<std::string>{"name", "name"}));
+  // Default axis is child.
+  EXPECT_EQ(Eval("/people/person/name"),
+            Eval("/child::people/child::person/child::name"));
+}
+
+TEST_F(XPathEvaluatorTest, AttributesOnlyViaAttributeAxis) {
+  EXPECT_EQ(Names(Eval("/descendant::person/attribute::id")),
+            (std::vector<std::string>{"@id", "@id"}));
+  // descendant never returns attributes.
+  for (NodeId v : Eval("/descendant::node()")) {
+    EXPECT_NE(doc_->kind(v), NodeKind::kAttribute);
+  }
+}
+
+TEST_F(XPathEvaluatorTest, TextNodes) {
+  auto texts = Names(Eval("/descendant::education/child::text()"));
+  ASSERT_EQ(texts.size(), 1u);
+  EXPECT_EQ(texts[0], "#text:e");
+}
+
+TEST_F(XPathEvaluatorTest, ParentAndSelf) {
+  EXPECT_EQ(Names(Eval("/descendant::profile/parent::*")),
+            (std::vector<std::string>{"person"}));
+  EXPECT_EQ(Names(Eval("/self::site")), (std::vector<std::string>{"site"}));
+  EXPECT_TRUE(Eval("/self::nosuch").empty());
+}
+
+TEST_F(XPathEvaluatorTest, FollowingPreceding) {
+  // people precedes auctions.
+  NodeSequence foll = Eval("/child::people/following::auction");
+  EXPECT_EQ(Names(foll), (std::vector<std::string>{"auction"}));
+  NodeSequence prec = Eval("/child::auctions/preceding::name");
+  EXPECT_EQ(prec.size(), 2u);
+}
+
+TEST_F(XPathEvaluatorTest, SiblingAxes) {
+  EXPECT_EQ(Names(Eval("/child::people/following-sibling::*")),
+            (std::vector<std::string>{"auctions"}));
+  EXPECT_EQ(Names(Eval("/child::auctions/preceding-sibling::*")),
+            (std::vector<std::string>{"people"}));
+}
+
+TEST_F(XPathEvaluatorTest, PredicateFiltersContext) {
+  EXPECT_EQ(Names(Eval("/descendant::person[child::profile]")).size(), 1u);
+  EXPECT_EQ(Names(Eval("/descendant::person[child::name]")).size(), 2u);
+  EXPECT_TRUE(Eval("/descendant::person[child::nosuch]").empty());
+}
+
+TEST_F(XPathEvaluatorTest, UnknownTagYieldsEmpty) {
+  EXPECT_TRUE(Eval("/descendant::doesnotexist").empty());
+  EXPECT_TRUE(Eval("/descendant::doesnotexist/ancestor::person").empty());
+}
+
+TEST_F(XPathEvaluatorTest, DoubleSlash) {
+  EXPECT_EQ(Eval("//education"), Eval("/descendant::education"));
+  EXPECT_EQ(Eval("//person//increase").size(), 0u);
+  EXPECT_EQ(Eval("//auction//increase").size(), 2u);
+}
+
+TEST_F(XPathEvaluatorTest, PushdownModesAgree) {
+  for (const char* q :
+       {"/descendant::education", "/descendant::increase/ancestor::bidder",
+        "/descendant::person/descendant::name"}) {
+    EvalOptions never, always;
+    never.pushdown = PushdownMode::kNever;
+    always.pushdown = PushdownMode::kAlways;
+    EXPECT_EQ(Eval(q, never), Eval(q, always)) << q;
+  }
+}
+
+TEST_F(XPathEvaluatorTest, TraceRecordsStrategy) {
+  EvalOptions opts;
+  opts.tag_index = index_.get();
+  opts.pushdown = PushdownMode::kAlways;
+  Evaluator ev(*doc_, opts);
+  ASSERT_TRUE(ev.EvaluateString("/descendant::education").ok());
+  ASSERT_EQ(ev.last_trace().size(), 1u);
+  EXPECT_NE(ev.last_trace()[0].description.find("pushdown"),
+            std::string::npos);
+  EXPECT_NE(ev.ExplainLastQuery().find("step 1"), std::string::npos);
+  opts.pushdown = PushdownMode::kNever;
+  Evaluator ev2(*doc_, opts);
+  ASSERT_TRUE(ev2.EvaluateString("/descendant::education").ok());
+  EXPECT_EQ(ev2.last_trace()[0].description.find("pushdown"),
+            std::string::npos);
+}
+
+TEST_F(XPathEvaluatorTest, RelativePathUsesGivenContext) {
+  EvalOptions opts;
+  opts.tag_index = index_.get();
+  Evaluator ev(*doc_, opts);
+  LocationPath rel = ParseXPath("descendant::increase").value();
+  // From the first bidder only one increase is reachable.
+  NodeSequence bidders =
+      ev.EvaluateString("/descendant::bidder").value();
+  ASSERT_EQ(bidders.size(), 2u);
+  EXPECT_EQ(ev.Evaluate(rel, {bidders[0]}).value().size(), 1u);
+  EXPECT_EQ(ev.Evaluate(rel, bidders).value().size(), 2u);
+}
+
+TEST_F(XPathEvaluatorTest, EngineModesAgreeOnSmallDoc) {
+  for (const char* q :
+       {"/descendant::name", "/descendant::increase/ancestor::bidder",
+        "/descendant::person/following::increase",
+        "/child::people/descendant-or-self::*"}) {
+    EvalOptions naive;
+    naive.engine = EngineMode::kNaive;
+    EXPECT_EQ(Eval(q), Eval(q, naive)) << q;
+  }
+}
+
+// --- Random cross-engine properties -----------------------------------------
+
+/// Generates a random location path over the test tag alphabet.
+LocationPath RandomQuery(Rng& rng) {
+  static const char* kTags[] = {"t0", "t1", "t2", "t3", "t4", "t5"};
+  static const Axis kAxes[] = {
+      Axis::kDescendant, Axis::kDescendantOrSelf, Axis::kAncestor,
+      Axis::kAncestorOrSelf, Axis::kFollowing,    Axis::kPreceding,
+      Axis::kChild,      Axis::kParent,           Axis::kSelf,
+      Axis::kFollowingSibling, Axis::kPrecedingSibling};
+  LocationPath path;
+  path.absolute = true;
+  size_t steps = 1 + rng.Below(3);
+  for (size_t i = 0; i < steps; ++i) {
+    Step step;
+    step.axis = kAxes[rng.Below(std::size(kAxes))];
+    switch (rng.Below(4)) {
+      case 0:
+        step.test.kind = NodeTestKind::kAnyNode;
+        break;
+      case 1:
+        step.test.kind = NodeTestKind::kAnyName;
+        break;
+      default:
+        step.test.kind = NodeTestKind::kName;
+        step.test.name = kTags[rng.Below(std::size(kTags))];
+        break;
+    }
+    if (rng.Percent(20)) {
+      auto pred_path = std::make_unique<LocationPath>();
+      Step ps;
+      ps.axis = rng.Percent(50) ? Axis::kChild : Axis::kDescendant;
+      ps.test.kind = NodeTestKind::kName;
+      ps.test.name = kTags[rng.Below(std::size(kTags))];
+      pred_path->steps.push_back(ps);
+      Predicate pred;
+      pred.kind = Predicate::Kind::kExists;
+      pred.path = std::move(pred_path);
+      step.predicates.push_back(std::move(pred));
+    }
+    path.steps.push_back(step);
+  }
+  return path;
+}
+
+class XPathEnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XPathEnginePropertyTest, StaircaseEqualsNaiveEngine) {
+  auto doc = sj::testing::RandomDocument(GetParam());
+  TagIndex index(*doc);
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 25; ++trial) {
+    LocationPath q = RandomQuery(rng);
+    EvalOptions fast;
+    fast.tag_index = &index;
+    fast.pushdown =
+        trial % 2 == 0 ? PushdownMode::kAlways : PushdownMode::kNever;
+    EvalOptions naive;
+    naive.engine = EngineMode::kNaive;
+    Evaluator ev_fast(*doc, fast);
+    Evaluator ev_naive(*doc, naive);
+    auto a = ev_fast.Evaluate(q);
+    auto b = ev_naive.Evaluate(q);
+    ASSERT_TRUE(a.ok()) << ToString(q) << a.status();
+    ASSERT_TRUE(b.ok()) << ToString(q) << b.status();
+    EXPECT_EQ(a.value(), b.value()) << ToString(q) << " seed " << GetParam();
+    EXPECT_TRUE(IsDocumentOrder(a.value()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XPathEnginePropertyTest,
+                         ::testing::Values(301, 302, 303, 304, 305));
+
+TEST(XPathEvaluatorErrorTest, BadInputs) {
+  auto doc = LoadDocument(kSmallDoc).value();
+  Evaluator ev(*doc);
+  EXPECT_FALSE(ev.EvaluateString("///").ok());
+  LocationPath rel = ParseXPath("child::a").value();
+  EXPECT_FALSE(ev.Evaluate(rel, {5, 2}).ok());       // unsorted context
+  EXPECT_FALSE(ev.Evaluate(rel, {9999}).ok());       // out of range
+}
+
+}  // namespace
+}  // namespace sj::xpath

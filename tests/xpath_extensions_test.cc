@@ -1,0 +1,216 @@
+// Tests for the XPath extensions beyond the paper's fragment: positional
+// predicates (forward and reverse axes), union expressions, and the
+// multi-document collection (paper footnote 1).
+
+#include <gtest/gtest.h>
+
+#include "core/tag_view.h"
+#include "encoding/collection.h"
+#include "encoding/loader.h"
+#include "test_util.h"
+#include "xmlgen/xmark.h"
+#include "xpath/evaluator.h"
+
+namespace sj::xpath {
+namespace {
+
+constexpr const char* kListDoc =
+    "<list><item>a</item><item>b</item><item>c</item>"
+    "<group><item>d</item><item>e</item></group></list>";
+
+class PositionalTest : public ::testing::Test {
+ protected:
+  void SetUp() override { doc_ = LoadDocument(kListDoc).value(); }
+
+  std::vector<std::string> Texts(const NodeSequence& nodes) {
+    std::vector<std::string> out;
+    for (NodeId v : nodes) {
+      for (NodeId u = v + 1; u < doc_->size() && doc_->IsDescendant(u, v);
+           ++u) {
+        if (doc_->kind(u) == NodeKind::kText) {
+          out.emplace_back(doc_->value(u));
+          break;
+        }
+      }
+    }
+    return out;
+  }
+
+  NodeSequence Eval(const std::string& q) {
+    Evaluator ev(*doc_);
+    auto r = ev.EvaluateString(q);
+    EXPECT_TRUE(r.ok()) << q << ": " << r.status();
+    return r.ok() ? r.value() : NodeSequence{};
+  }
+
+  std::unique_ptr<DocTable> doc_;
+};
+
+TEST_F(PositionalTest, ChildPosition) {
+  EXPECT_EQ(Texts(Eval("/child::item[1]")),
+            (std::vector<std::string>{"a"}));
+  EXPECT_EQ(Texts(Eval("/child::item[3]")),
+            (std::vector<std::string>{"c"}));
+  EXPECT_TRUE(Eval("/child::item[4]").empty());  // only 3 direct items
+}
+
+TEST_F(PositionalTest, LastFunction) {
+  EXPECT_EQ(Texts(Eval("/child::item[last()]")),
+            (std::vector<std::string>{"c"}));
+  EXPECT_EQ(Texts(Eval("/descendant::item[last()]")),
+            (std::vector<std::string>{"e"}));
+}
+
+TEST_F(PositionalTest, PositionIsPerContextNode) {
+  // child::item[1] from (list, group): the first item of EACH context.
+  EXPECT_EQ(Texts(Eval("/descendant-or-self::*/child::item[1]")),
+            (std::vector<std::string>{"a", "d"}));
+}
+
+TEST_F(PositionalTest, ReverseAxisCountsOutward) {
+  // ancestor::*[1] of the nested items is the nearest ancestor (group).
+  auto doc = LoadDocument(kListDoc).value();
+  Evaluator ev(*doc);
+  NodeSequence nested = ev.EvaluateString("/child::group/child::item").value();
+  ASSERT_EQ(nested.size(), 2u);
+  LocationPath first_anc = ParseXPath("ancestor::*[1]").value();
+  NodeSequence r = ev.Evaluate(first_anc, {nested[0]}).value();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(doc->tags().Name(doc->tag(r[0])), "group");
+  LocationPath second_anc = ParseXPath("ancestor::*[2]").value();
+  r = ev.Evaluate(second_anc, {nested[0]}).value();
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(doc->tags().Name(doc->tag(r[0])), "list");
+}
+
+TEST_F(PositionalTest, PositionalCombinesWithExists) {
+  // Second item that has a text child == "b".
+  EXPECT_EQ(Texts(Eval("/child::item[child::text()][2]")),
+            (std::vector<std::string>{"b"}));
+  // Positional then existence.
+  EXPECT_EQ(Texts(Eval("/child::item[2][child::text()]")),
+            (std::vector<std::string>{"b"}));
+}
+
+TEST_F(PositionalTest, ParserRejectsPositionZero) {
+  EXPECT_FALSE(ParseXPath("item[0]").ok());
+  EXPECT_TRUE(ParseXPath("item[1]").ok());
+  EXPECT_TRUE(ParseXPath("item[last()]").ok());
+}
+
+TEST_F(PositionalTest, ToStringRoundTrip) {
+  for (const char* q : {"child::item[2]", "child::item[last()]",
+                        "descendant::item[1][child::text()]"}) {
+    LocationPath p = ParseXPath(q).value();
+    EXPECT_EQ(ToString(p), q);
+  }
+}
+
+TEST(UnionTest, MergesBranchesInDocumentOrder) {
+  auto doc = LoadDocument(kListDoc).value();
+  Evaluator ev(*doc);
+  NodeSequence u =
+      ev.EvaluateUnionString("/child::group | /child::item").value();
+  // items (pre 1,3,5) come before group (pre 7) in document order.
+  ASSERT_EQ(u.size(), 4u);
+  EXPECT_TRUE(IsDocumentOrder(u));
+  EXPECT_EQ(doc->tags().Name(doc->tag(u[3])), "group");
+}
+
+TEST(UnionTest, DeduplicatesOverlappingBranches) {
+  auto doc = LoadDocument(kListDoc).value();
+  Evaluator ev(*doc);
+  NodeSequence a = ev.EvaluateUnionString("//item | //item").value();
+  NodeSequence b = ev.EvaluateString("//item").value();
+  EXPECT_EQ(a, b);
+}
+
+TEST(UnionTest, SingleBranchEqualsPlainPath) {
+  auto doc = LoadDocument(kListDoc).value();
+  Evaluator ev(*doc);
+  EXPECT_EQ(ev.EvaluateUnionString("/descendant::item").value(),
+            ev.EvaluateString("/descendant::item").value());
+}
+
+TEST(UnionTest, ParseErrors) {
+  EXPECT_FALSE(ParseXPathUnion("a |").ok());
+  EXPECT_FALSE(ParseXPathUnion("| a").ok());
+  EXPECT_FALSE(ParseXPathUnion("a | b |").ok());
+}
+
+// --- Collections (paper footnote 1) -----------------------------------------
+
+TEST(CollectionTest, GathersDocumentsUnderVirtualRoot) {
+  CollectionBuilder builder;
+  ASSERT_TRUE(builder.AddDocumentText("<a><b/></a>").ok());
+  ASSERT_TRUE(builder.AddDocumentText("<a><b/><b/></a>").ok());
+  ASSERT_TRUE(builder.AddDocumentText("<c/>").ok());
+  EXPECT_EQ(builder.document_count(), 3u);
+  auto doc = builder.Finish().value();
+  NodeSequence roots = builder.document_roots();
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_EQ(doc->tags().Name(doc->tag(doc->root())), "collection");
+  EXPECT_EQ(doc->level(roots[0]), 1u);
+
+  // Queries span all documents.
+  Evaluator ev(*doc);
+  EXPECT_EQ(ev.EvaluateString("/descendant::b").value().size(), 3u);
+  EXPECT_EQ(ev.EvaluateString("/child::a").value().size(), 2u);
+}
+
+TEST(CollectionTest, DocumentOfAttributesResults) {
+  CollectionBuilder builder;
+  ASSERT_TRUE(builder.AddDocumentText("<a><b/></a>").ok());
+  ASSERT_TRUE(builder.AddDocumentText("<a><b x=\"1\"/></a>").ok());
+  auto doc = builder.Finish().value();
+  NodeSequence roots = builder.document_roots();
+
+  Evaluator ev(*doc);
+  NodeSequence bs = ev.EvaluateString("/descendant::b").value();
+  ASSERT_EQ(bs.size(), 2u);
+  EXPECT_EQ(DocumentOf(roots, *doc, bs[0]), 0u);
+  EXPECT_EQ(DocumentOf(roots, *doc, bs[1]), 1u);
+  EXPECT_EQ(DocumentOf(roots, *doc, roots[1]), 1u);
+  // The virtual root belongs to no document.
+  EXPECT_EQ(DocumentOf(roots, *doc, doc->root()), roots.size());
+}
+
+TEST(CollectionTest, MixesParsedAndGeneratedDocuments) {
+  CollectionBuilder builder;
+  ASSERT_TRUE(builder.AddDocumentText("<site><x/></site>").ok());
+  xmlgen::XMarkOptions opt;
+  opt.size_mb = 0.2;
+  ASSERT_TRUE(builder
+                  .AddDocumentEvents([&](xml::EventHandler* h) {
+                    return xmlgen::GenerateXMark(opt, h);
+                  })
+                  .ok());
+  auto doc = builder.Finish().value();
+  EXPECT_EQ(builder.document_roots().size(), 2u);
+  Evaluator ev(*doc);
+  // Both site elements, one per document.
+  EXPECT_EQ(ev.EvaluateString("/child::site").value().size(), 2u);
+  // The XMark content is reachable through the virtual root.
+  EXPECT_GT(ev.EvaluateString("/descendant::bidder").value().size(), 0u);
+}
+
+TEST(CollectionTest, Errors) {
+  CollectionBuilder empty;
+  EXPECT_FALSE(empty.Finish().ok());
+  CollectionBuilder builder;
+  ASSERT_TRUE(builder.AddDocumentText("<a/>").ok());
+  EXPECT_FALSE(builder.AddDocumentText("not xml").ok());
+  auto doc = builder.Finish();
+  // The failed document's prefix was absorbed; the collection still
+  // finishes with the successfully added document... unless the parse
+  // failure left an unbalanced element, which Finish reports.
+  (void)doc;
+  CollectionBuilder done;
+  ASSERT_TRUE(done.AddDocumentText("<a/>").ok());
+  ASSERT_TRUE(done.Finish().ok());
+  EXPECT_FALSE(done.Finish().ok());
+  EXPECT_FALSE(done.AddDocumentText("<b/>").ok());
+}
+
+}  // namespace
+}  // namespace sj::xpath

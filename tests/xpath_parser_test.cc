@@ -1,0 +1,173 @@
+// Tests for the XPath lexer/parser: grammar coverage, abbreviations,
+// canonical unparsing, and error reporting.
+
+#include <gtest/gtest.h>
+
+#include "xpath/parser.h"
+
+namespace sj::xpath {
+namespace {
+
+LocationPath MustParse(std::string_view s) {
+  auto r = ParseXPath(s);
+  EXPECT_TRUE(r.ok()) << s << ": " << r.status();
+  return r.ok() ? r.value() : LocationPath{};
+}
+
+TEST(XPathParserTest, PaperQueryQ1) {
+  LocationPath p = MustParse("/descendant::profile/descendant::education");
+  EXPECT_TRUE(p.absolute);
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[0].test.kind, NodeTestKind::kName);
+  EXPECT_EQ(p.steps[0].test.name, "profile");
+  EXPECT_EQ(p.steps[1].axis, Axis::kDescendant);
+  EXPECT_EQ(p.steps[1].test.name, "education");
+}
+
+TEST(XPathParserTest, PaperQueryQ2Rewrite) {
+  LocationPath p = MustParse("/descendant::bidder[descendant::increase]");
+  ASSERT_EQ(p.steps.size(), 1u);
+  ASSERT_EQ(p.steps[0].predicates.size(), 1u);
+  const Predicate& pred = p.steps[0].predicates[0];
+  ASSERT_EQ(pred.kind, Predicate::Kind::kExists);
+  ASSERT_NE(pred.path, nullptr);
+  EXPECT_FALSE(pred.path->absolute);
+  ASSERT_EQ(pred.path->steps.size(), 1u);
+  EXPECT_EQ(pred.path->steps[0].axis, Axis::kDescendant);
+  EXPECT_EQ(pred.path->steps[0].test.name, "increase");
+}
+
+TEST(XPathParserTest, AllAxesParse) {
+  for (Axis axis :
+       {Axis::kAncestor, Axis::kAncestorOrSelf, Axis::kAttribute,
+        Axis::kChild, Axis::kDescendant, Axis::kDescendantOrSelf,
+        Axis::kFollowing, Axis::kFollowingSibling, Axis::kParent,
+        Axis::kPreceding, Axis::kPrecedingSibling, Axis::kSelf}) {
+    std::string q = std::string(AxisName(axis)) + "::node()";
+    LocationPath p = MustParse(q);
+    ASSERT_EQ(p.steps.size(), 1u) << q;
+    EXPECT_EQ(p.steps[0].axis, axis) << q;
+  }
+}
+
+TEST(XPathParserTest, DefaultAxisIsChild) {
+  LocationPath p = MustParse("site/people");
+  EXPECT_FALSE(p.absolute);
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kChild);
+  EXPECT_EQ(p.steps[1].axis, Axis::kChild);
+}
+
+TEST(XPathParserTest, AttributeAbbreviation) {
+  LocationPath p = MustParse("item/@id");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[1].axis, Axis::kAttribute);
+  EXPECT_EQ(p.steps[1].test.name, "id");
+}
+
+TEST(XPathParserTest, DotAndDotDot) {
+  LocationPath p = MustParse("./..");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[0].axis, Axis::kSelf);
+  EXPECT_EQ(p.steps[0].test.kind, NodeTestKind::kAnyNode);
+  EXPECT_EQ(p.steps[1].axis, Axis::kParent);
+}
+
+TEST(XPathParserTest, DoubleSlashExpansion) {
+  LocationPath p = MustParse("//person//name");
+  ASSERT_EQ(p.steps.size(), 4u);
+  EXPECT_TRUE(p.absolute);
+  EXPECT_EQ(p.steps[0].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(p.steps[0].test.kind, NodeTestKind::kAnyNode);
+  EXPECT_EQ(p.steps[1].test.name, "person");
+  EXPECT_EQ(p.steps[2].axis, Axis::kDescendantOrSelf);
+  EXPECT_EQ(p.steps[3].test.name, "name");
+}
+
+TEST(XPathParserTest, KindTests) {
+  EXPECT_EQ(MustParse("text()").steps[0].test.kind, NodeTestKind::kText);
+  EXPECT_EQ(MustParse("comment()").steps[0].test.kind,
+            NodeTestKind::kComment);
+  EXPECT_EQ(MustParse("node()").steps[0].test.kind, NodeTestKind::kAnyNode);
+  EXPECT_EQ(MustParse("*").steps[0].test.kind, NodeTestKind::kAnyName);
+  Step pi = MustParse("processing-instruction()").steps[0];
+  EXPECT_EQ(pi.test.kind, NodeTestKind::kPi);
+  EXPECT_EQ(pi.test.name, "");
+  Step pi2 = MustParse("processing-instruction(php)").steps[0];
+  EXPECT_EQ(pi2.test.name, "php");
+}
+
+TEST(XPathParserTest, RootOnly) {
+  LocationPath p = MustParse("/");
+  EXPECT_TRUE(p.absolute);
+  EXPECT_TRUE(p.steps.empty());
+}
+
+TEST(XPathParserTest, ChainedPredicates) {
+  LocationPath p = MustParse("person[profile][address]");
+  ASSERT_EQ(p.steps.size(), 1u);
+  EXPECT_EQ(p.steps[0].predicates.size(), 2u);
+}
+
+TEST(XPathParserTest, NestedPredicates) {
+  LocationPath p = MustParse("a[b[c]]");
+  ASSERT_EQ(p.steps[0].predicates.size(), 1u);
+  ASSERT_EQ(p.steps[0].predicates[0].path->steps[0].predicates.size(), 1u);
+}
+
+TEST(XPathParserTest, AbsolutePredicate) {
+  LocationPath p = MustParse("a[/site]");
+  EXPECT_TRUE(p.steps[0].predicates[0].path->absolute);
+}
+
+TEST(XPathParserTest, WhitespaceAroundSeparators) {
+  LocationPath p = MustParse(" /descendant::profile / child::* ");
+  ASSERT_EQ(p.steps.size(), 2u);
+  EXPECT_EQ(p.steps[1].axis, Axis::kChild);
+  // Whitespace inside an axis specifier is not part of the grammar.
+  EXPECT_FALSE(ParseXPath("/descendant :: profile").ok());
+}
+
+TEST(XPathParserTest, NamespacePrefixKeptInName) {
+  LocationPath p = MustParse("xs:element");
+  EXPECT_EQ(p.steps[0].test.name, "xs:element");
+}
+
+TEST(XPathParserTest, RoundTripCanonicalForm) {
+  for (const char* q :
+       {"/descendant::profile/descendant::education",
+        "/descendant::bidder[descendant::increase]",
+        "child::site/child::people/attribute::id",
+        "self::node()/parent::node()",
+        "descendant-or-self::node()/child::name",
+        "following::*", "preceding::text()",
+        "child::a[child::b][descendant::c]"}) {
+    LocationPath p1 = MustParse(q);
+    std::string canonical = ToString(p1);
+    LocationPath p2 = MustParse(canonical);
+    EXPECT_EQ(ToString(p2), canonical) << q;
+  }
+}
+
+TEST(XPathParserTest, AbbreviationsExpandToCanonical) {
+  EXPECT_EQ(ToString(MustParse("//a/@b")),
+            "/descendant-or-self::node()/child::a/attribute::b");
+  EXPECT_EQ(ToString(MustParse(".")), "self::node()");
+  EXPECT_EQ(ToString(MustParse("..")), "parent::node()");
+}
+
+TEST(XPathParserTest, Errors) {
+  for (const char* q : {"", "/descendant::", "a/", "a[", "a[]", "a]",
+                        "child::123", "a[b", "processing-instruction(",
+                        "a b", "@", "descendant::profile extra"}) {
+    auto r = ParseXPath(q);
+    EXPECT_FALSE(r.ok()) << "should reject: '" << q << "'";
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << q;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sj::xpath
