@@ -10,6 +10,7 @@
 
 #include "baselines/sql_plan.h"
 #include "bench_util.h"
+#include "core/doc_accessor.h"
 #include "core/kernels.h"
 
 namespace sj::bench {
@@ -26,10 +27,11 @@ void BM_ScanPartitionDescBasic(benchmark::State& state) {
   const DocTable& doc = *w.doc;
   NodeSequence result;
   result.reserve(doc.size());
+  MemoryDocAccessor acc(doc);
   for (auto _ : state) {
     result.clear();
-    internal::Scan s{doc.posts().data(), doc.kinds().data(),
-                     doc.levels().data(), false, false, &result, JoinStats{}};
+    internal::Scan<MemoryDocAccessor> s{acc, false, false, &result,
+                                        JoinStats{}};
     internal::ScanPartitionDescBasic(s, 1, doc.size() - 1,
                                      doc.post(doc.root()));
     benchmark::DoNotOptimize(result.data());
@@ -44,10 +46,11 @@ void BM_ScanPartitionDescCopyPhase(benchmark::State& state) {
   const DocTable& doc = *w.doc;
   NodeSequence result;
   result.reserve(doc.size());
+  MemoryDocAccessor acc(doc);
   for (auto _ : state) {
     result.clear();
-    internal::Scan s{doc.posts().data(), doc.kinds().data(),
-                     doc.levels().data(), false, false, &result, JoinStats{}};
+    internal::Scan<MemoryDocAccessor> s{acc, false, false, &result,
+                                        JoinStats{}};
     internal::ScanPartitionDescEstimated(s, 1, doc.size() - 1,
                                          doc.post(doc.root()));
     benchmark::DoNotOptimize(result.data());
@@ -62,10 +65,11 @@ void BM_ScanPartitionDescWithAttributeFilter(benchmark::State& state) {
   const DocTable& doc = *w.doc;
   NodeSequence result;
   result.reserve(doc.size());
+  MemoryDocAccessor acc(doc);
   for (auto _ : state) {
     result.clear();
-    internal::Scan s{doc.posts().data(), doc.kinds().data(),
-                     doc.levels().data(), true, false, &result, JoinStats{}};
+    internal::Scan<MemoryDocAccessor> s{acc, true, false, &result,
+                                        JoinStats{}};
     internal::ScanPartitionDescEstimated(s, 1, doc.size() - 1,
                                          doc.post(doc.root()));
     benchmark::DoNotOptimize(result.data());

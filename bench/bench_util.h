@@ -33,7 +33,11 @@ struct Workload {
   std::unique_ptr<DocTable> doc;
   std::unique_ptr<TagIndex> index;
 
-  TagId Tag(const char* name) const { return doc->tags().Lookup(name); }
+  /// Dictionary code of `name`; kNoTag (empty TagIndex view) if the
+  /// generated document happens not to contain it.
+  TagId Tag(const char* name) const {
+    return doc->tags().Lookup(name).value_or(kNoTag);
+  }
 
   /// All element nodes with the given tag, in document order.
   const NodeSequence& Nodes(const char* name) const {

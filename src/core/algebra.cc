@@ -9,11 +9,11 @@ NodeSequence root(const DocTable& doc) {
 NodeSequence nametest(const DocTable& doc, const NodeSequence& nodes,
                       std::string_view tag) {
   NodeSequence out;
-  TagId id = doc.tags().Lookup(tag);
-  if (id == kNoTag) return out;
+  std::optional<TagId> id = doc.tags().Lookup(tag);
+  if (!id.has_value()) return out;
   out.reserve(nodes.size());
   for (NodeId v : nodes) {
-    if (doc.kind(v) == NodeKind::kElement && doc.tag(v) == id) {
+    if (doc.kind(v) == NodeKind::kElement && doc.tag(v) == *id) {
       out.push_back(v);
     }
   }
@@ -21,12 +21,12 @@ NodeSequence nametest(const DocTable& doc, const NodeSequence& nodes,
 }
 
 TagView nametest(const DocTable& doc, std::string_view tag) {
-  TagId id = doc.tags().Lookup(tag);
-  if (id == kNoTag) {
+  std::optional<TagId> id = doc.tags().Lookup(tag);
+  if (!id.has_value()) {
     TagView empty;
     return empty;
   }
-  return BuildTagView(doc, id);
+  return BuildTagView(doc, *id);
 }
 
 Result<NodeSequence> staircasejoin_desc(const DocTable& doc,

@@ -1,65 +1,9 @@
 #include "core/parallel.h"
 
-#include <algorithm>
-#include <iterator>
-#include <thread>
-#include <vector>
-
-#include "core/kernels.h"
+#include "core/doc_accessor.h"
+#include "core/staircase_impl.h"
 
 namespace sj {
-namespace {
-
-using internal::Scan;
-using internal::ScanPartitionAnc;
-using internal::ScanPartitionDesc;
-
-/// Scans the descendant partitions of kept[lo, hi); partition k ends just
-/// before kept[k+1] (kept[hi] belongs to the next worker; the global last
-/// partition ends at the document end).
-void WorkerDesc(const DocTable& doc, const NodeSequence& kept, size_t lo,
-                size_t hi, bool or_self, const StaircaseOptions& options,
-                NodeSequence* result, JoinStats* stats) {
-  Scan s{doc.posts().data(),   doc.kinds().data(),
-         doc.levels().data(),  !options.keep_attributes,
-         options.use_exact_level, result,
-         JoinStats{}};
-  for (size_t k = lo; k < hi; ++k) {
-    NodeId c = kept[k];
-    uint64_t end = k + 1 < kept.size() ? kept[k + 1] - 1 : doc.size() - 1;
-    ++s.stats.pruned_context_size;
-    if (or_self) s.AppendSelf(c);
-    ScanPartitionDesc(s, options.skip_mode, static_cast<uint64_t>(c) + 1, end,
-                      doc.post(c));
-  }
-  s.stats.result_size = result->size();
-  *stats = s.stats;
-}
-
-/// Scans the ancestor partitions of kept[lo, hi); partition k starts just
-/// after kept[k-1] (the global first partition starts at the document
-/// begin).
-void WorkerAnc(const DocTable& doc, const NodeSequence& kept, size_t lo,
-               size_t hi, bool or_self, const StaircaseOptions& options,
-               NodeSequence* result, JoinStats* stats) {
-  Scan s{doc.posts().data(),   doc.kinds().data(),
-         doc.levels().data(),  !options.keep_attributes,
-         options.use_exact_level, result,
-         JoinStats{}};
-  for (size_t k = lo; k < hi; ++k) {
-    NodeId c = kept[k];
-    uint64_t start = k > 0 ? static_cast<uint64_t>(kept[k - 1]) + 1 : 0;
-    ++s.stats.pruned_context_size;
-    if (c > 0) {
-      ScanPartitionAnc(s, options.skip_mode, start, c - 1, doc.post(c));
-    }
-    if (or_self) s.AppendSelf(c);
-  }
-  s.stats.result_size = result->size();
-  *stats = s.stats;
-}
-
-}  // namespace
 
 Result<NodeSequence> ParallelStaircaseJoin(const DocTable& doc,
                                            const NodeSequence& context,
@@ -73,77 +17,9 @@ Result<NodeSequence> ParallelStaircaseJoin(const DocTable& doc,
   if ((!desc && !anc) || num_threads < 2 || context.size() < 2) {
     return StaircaseJoin(doc, context, axis, options, stats);
   }
-  if (context.back() >= doc.size()) {
-    return Status::InvalidArgument("context node out of range");
-  }
-  if (!IsDocumentOrder(context)) {
-    return Status::InvalidArgument(
-        "context must be duplicate-free and in document order");
-  }
-
-  NodeSequence kept = PruneContext(doc, context, axis);
-  unsigned workers = num_threads;
-  if (workers > kept.size()) workers = static_cast<unsigned>(kept.size());
-
-  std::vector<NodeSequence> results(workers);
-  std::vector<JoinStats> worker_stats(workers);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  const bool or_self =
-      axis == Axis::kDescendantOrSelf || axis == Axis::kAncestorOrSelf;
-  const size_t per = (kept.size() + workers - 1) / workers;
-  for (unsigned t = 0; t < workers; ++t) {
-    size_t lo = static_cast<size_t>(t) * per;
-    size_t hi = std::min(kept.size(), lo + per);
-    if (lo >= hi) break;
-    threads.emplace_back([&, lo, hi, t] {
-      if (desc) {
-        WorkerDesc(doc, kept, lo, hi, or_self, options, &results[t],
-                   &worker_stats[t]);
-      } else {
-        WorkerAnc(doc, kept, lo, hi, or_self, options, &results[t],
-                  &worker_stats[t]);
-      }
-    });
-  }
-  for (auto& th : threads) th.join();
-
-  size_t total = 0;
-  for (const auto& r : results) total += r.size();
-  NodeSequence result;
-  result.reserve(total);
-  for (auto& r : results) {
-    result.insert(result.end(), r.begin(), r.end());
-  }
-
-  // Pruned attribute context nodes of a descendant-or-self step are only
-  // reachable through partition scans, which filter attributes; merge those
-  // selves back in (same post-pass as the serial join).
-  if (axis == Axis::kDescendantOrSelf && !options.keep_attributes) {
-    NodeSequence lost;
-    for (NodeId c : context) {
-      if (doc.kind(c) == NodeKind::kAttribute &&
-          !std::binary_search(result.begin(), result.end(), c)) {
-        lost.push_back(c);
-      }
-    }
-    if (!lost.empty()) {
-      NodeSequence merged;
-      merged.reserve(result.size() + lost.size());
-      std::merge(result.begin(), result.end(), lost.begin(), lost.end(),
-                 std::back_inserter(merged));
-      result = std::move(merged);
-    }
-  }
-
-  if (stats != nullptr) {
-    JoinStats merged;
-    for (const auto& ws : worker_stats) merged.MergeFrom(ws);
-    merged.context_size = context.size();
-    merged.result_size = result.size();
-    *stats = merged;
-  }
-  return result;
+  return internal::ParallelStaircaseJoinOver(
+      [&doc] { return MemoryDocAccessor(doc); }, context, axis, options,
+      num_threads, stats);
 }
 
 }  // namespace sj

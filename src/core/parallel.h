@@ -1,10 +1,15 @@
-// Parallel partitioned staircase join.
+// Parallel partitioned staircase join (in-memory backend shim).
 //
 // Section 3.2 of the paper observes that the staircase partitions of the
 // pre/post plane are disjoint and jointly cover all candidate nodes, which
 // "naturally leads to a parallel XPath execution strategy": each worker
 // scans a contiguous run of partitions and the per-worker results
 // concatenate -- still duplicate-free and in document order.
+//
+// The partitioned driver itself is backend-generic
+// (core/staircase_impl.h); this entry point instantiates it with
+// MemoryDocAccessor, storage/paged_doc.h's ParallelPagedStaircaseJoin
+// with the buffer-pool cursor.
 
 #ifndef STAIRJOIN_CORE_PARALLEL_H_
 #define STAIRJOIN_CORE_PARALLEL_H_

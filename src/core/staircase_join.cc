@@ -1,282 +1,22 @@
 #include "core/staircase_join.h"
 
-#include <algorithm>
-#include <iterator>
-
-#include "core/kernels.h"
+#include "core/doc_accessor.h"
+#include "core/staircase_impl.h"
 
 namespace sj {
-namespace {
-
-using internal::Scan;
-using internal::ScanPartitionAnc;
-using internal::ScanPartitionDesc;
-
-Status ValidateContext(const DocTable& doc, const NodeSequence& context) {
-  if (context.empty()) return Status::OK();
-  if (context.back() >= doc.size()) {
-    return Status::InvalidArgument("context node out of range");
-  }
-  if (!IsDocumentOrder(context)) {
-    return Status::InvalidArgument(
-        "context must be duplicate-free and in document order");
-  }
-  return Status::OK();
-}
-
-/// Descendant / descendant-or-self driver with fused (on-the-fly) pruning:
-/// a context node whose postorder rank does not exceed the pending
-/// boundary is a descendant of the pending context node and is dropped
-/// (Algorithm 1 inlined into Algorithm 2's partition loop).
-void JoinDesc(const DocTable& doc, const NodeSequence& context, bool or_self,
-              SkipMode mode, Scan& s) {
-  const uint32_t* post = s.post;
-  NodeId pending = context.front();
-  ++s.stats.pruned_context_size;
-  for (size_t k = 1; k < context.size(); ++k) {
-    NodeId c = context[k];
-    if (post[c] < post[pending]) continue;  // pruned: c inside pending
-    ++s.stats.pruned_context_size;
-    if (or_self) s.AppendSelf(pending);
-    ScanPartitionDesc(s, mode, static_cast<uint64_t>(pending) + 1, c - 1,
-                      post[pending]);
-    pending = c;
-  }
-  if (or_self) s.AppendSelf(pending);
-  ScanPartitionDesc(s, mode, static_cast<uint64_t>(pending) + 1,
-                    doc.size() - 1, post[pending]);
-}
-
-/// Ancestor / ancestor-or-self driver with fused pruning: when the next
-/// context node is a descendant of the pending one, the pending node's
-/// ancestor set is covered and the pending node is dropped; its partition
-/// simply extends (descendants of a node are contiguous in pre order, so
-/// one-step lookahead suffices).
-void JoinAnc(const NodeSequence& context, bool or_self, SkipMode mode,
-             Scan& s) {
-  const uint32_t* post = s.post;
-  uint64_t window_start = 0;
-  NodeId pending = context.front();
-  for (size_t k = 1; k < context.size(); ++k) {
-    NodeId c = context[k];
-    if (post[pending] > post[c]) {  // pending is an ancestor of c: pruned
-      pending = c;
-      continue;
-    }
-    ++s.stats.pruned_context_size;
-    if (pending > 0) {
-      ScanPartitionAnc(s, mode, window_start, pending - 1, post[pending]);
-    }
-    if (or_self) s.AppendSelf(pending);
-    window_start = static_cast<uint64_t>(pending) + 1;
-    pending = c;
-  }
-  ++s.stats.pruned_context_size;
-  if (pending > 0) {
-    ScanPartitionAnc(s, mode, window_start, pending - 1, post[pending]);
-  }
-  if (or_self) s.AppendSelf(pending);
-}
-
-/// Following: pruning reduces the context to the node with the minimum
-/// postorder rank; the join degenerates to a single region query
-/// (Section 3.1). The first following node has pre rank
-/// post(m) + level(m) + 1, so after at most h scanned descendants the
-/// remainder is a pure copy.
-void JoinFollowing(const DocTable& doc, const NodeSequence& context,
-                   SkipMode mode, Scan& s) {
-  NodeId m = context.front();
-  uint32_t best = s.post[m];
-  for (NodeId c : context) {
-    if (s.post[c] < best) {
-      best = s.post[c];
-      m = c;
-    }
-  }
-  ++s.stats.pruned_context_size;
-  const uint64_t n = doc.size();
-  if (mode == SkipMode::kNone) {
-    // Basic region query: scan everything right of the context node.
-    for (uint64_t j = static_cast<uint64_t>(m) + 1; j < n; ++j) {
-      ++s.stats.nodes_scanned;
-      if (s.post[j] > best) s.Append(j);
-    }
-    return;
-  }
-  uint64_t i = std::max<uint64_t>(static_cast<uint64_t>(m) + 1,
-                                  static_cast<uint64_t>(best) + 1);
-  s.stats.nodes_skipped += i - (static_cast<uint64_t>(m) + 1);
-  // Scan phase: at most level(m) <= h descendants remain before the first
-  // following node.
-  for (; i < n; ++i) {
-    ++s.stats.nodes_scanned;
-    if (s.post[i] > best) {
-      s.Append(i);
-      ++i;
-      break;
-    }
-  }
-  // Copy phase: every node from the first following node onwards follows m.
-  for (; i < n; ++i) {
-    ++s.stats.nodes_copied;
-    s.Append(i);
-  }
-}
-
-/// Preceding: pruning keeps only the node with the maximum preorder rank
-/// (the last one, the context being pre-sorted). Everything left of it is
-/// preceding except its <= h ancestors, so the plain scan already touches
-/// only pre(M) nodes.
-void JoinPreceding(const NodeSequence& context, Scan& s) {
-  NodeId big = context.back();
-  ++s.stats.pruned_context_size;
-  uint32_t bound = s.post[big];
-  for (uint64_t i = 0; i < big; ++i) {
-    ++s.stats.nodes_scanned;
-    if (s.post[i] < bound) s.Append(i);
-  }
-}
-
-}  // namespace
 
 NodeSequence PruneContext(const DocTable& doc, const NodeSequence& context,
                           Axis axis) {
-  NodeSequence kept;
-  if (context.empty()) return kept;
-  const auto posts = doc.posts();
-  switch (axis) {
-    case Axis::kDescendant:
-    case Axis::kDescendantOrSelf: {
-      // Algorithm 1: keep nodes with strictly growing postorder ranks; a
-      // later node with a smaller rank lies inside the previous survivor.
-      uint32_t prev = 0;
-      bool first = true;
-      for (NodeId c : context) {
-        if (first || posts[c] > prev) {
-          kept.push_back(c);
-          prev = posts[c];
-          first = false;
-        }
-      }
-      return kept;
-    }
-    case Axis::kAncestor:
-    case Axis::kAncestorOrSelf: {
-      // Dual of Algorithm 1: drop nodes that are ancestors of a later
-      // context node (scan right-to-left keeping postorder minima).
-      uint32_t prev = 0;
-      bool first = true;
-      for (size_t k = context.size(); k-- > 0;) {
-        NodeId c = context[k];
-        if (first || posts[c] < prev) {
-          kept.push_back(c);
-          prev = posts[c];
-          first = false;
-        }
-      }
-      std::reverse(kept.begin(), kept.end());
-      return kept;
-    }
-    case Axis::kFollowing: {
-      // All context nodes except the one with the minimum postorder rank
-      // are covered (Section 3.1, via the empty S region of Fig. 7a).
-      NodeId m = context.front();
-      for (NodeId c : context) {
-        if (posts[c] < posts[m]) m = c;
-      }
-      kept.push_back(m);
-      return kept;
-    }
-    case Axis::kPreceding: {
-      // Dual: only the maximum preorder rank survives.
-      kept.push_back(context.back());
-      return kept;
-    }
-    default:
-      return context;  // non-staircase axes: nothing to prune
-  }
+  MemoryDocAccessor acc(doc);
+  return internal::PruneContextOver(acc, context, axis);
 }
 
 Result<NodeSequence> StaircaseJoin(const DocTable& doc,
                                    const NodeSequence& context, Axis axis,
                                    const StaircaseOptions& options,
                                    JoinStats* stats) {
-  if (!IsStaircaseAxis(axis)) {
-    return Status::Unsupported(std::string("staircase join on axis ") +
-                               std::string(AxisName(axis)));
-  }
-  SJ_RETURN_NOT_OK(ValidateContext(doc, context));
-
-  NodeSequence result;
-  JoinStats local;
-  local.context_size = context.size();
-  if (context.empty() || doc.empty()) {
-    if (stats != nullptr) *stats = local;
-    return result;
-  }
-
-  // A separate pruning pass when fused pruning is disabled (the fused loop
-  // below then finds nothing left to prune; see the ablation bench).
-  const NodeSequence* ctx = &context;
-  NodeSequence prepruned;
-  if (!options.prune_on_the_fly) {
-    prepruned = PruneContext(doc, context, axis);
-    ctx = &prepruned;
-  }
-
-  Scan s{doc.posts().data(),   doc.kinds().data(),
-         doc.levels().data(),  !options.keep_attributes,
-         options.use_exact_level, &result,
-         local};
-
-  switch (axis) {
-    case Axis::kDescendant:
-    case Axis::kDescendantOrSelf:
-      if (ctx->size() == 1) {  // exact reservation for single-context steps
-        result.reserve(doc.subtree_size(ctx->front()) + 1);
-      }
-      JoinDesc(doc, *ctx, axis == Axis::kDescendantOrSelf, options.skip_mode,
-               s);
-      break;
-    case Axis::kAncestor:
-    case Axis::kAncestorOrSelf:
-      JoinAnc(*ctx, axis == Axis::kAncestorOrSelf, options.skip_mode, s);
-      break;
-    case Axis::kFollowing:
-      JoinFollowing(doc, *ctx, options.skip_mode, s);
-      break;
-    case Axis::kPreceding:
-      JoinPreceding(*ctx, s);
-      break;
-    default:
-      return Status::Internal("unreachable");
-  }
-
-  // Self nodes are part of an -or-self result even when they are attribute
-  // nodes, but a *pruned* attribute context node is only reachable through
-  // another context node's partition scan, which filters attributes. Merge
-  // such selves back in (rare: attribute context nodes nested inside
-  // another context node's subtree).
-  if (axis == Axis::kDescendantOrSelf && !options.keep_attributes) {
-    NodeSequence lost;
-    for (NodeId c : context) {
-      if (doc.kind(c) == NodeKind::kAttribute &&
-          !std::binary_search(result.begin(), result.end(), c)) {
-        lost.push_back(c);
-      }
-    }
-    if (!lost.empty()) {
-      NodeSequence merged;
-      merged.reserve(result.size() + lost.size());
-      std::merge(result.begin(), result.end(), lost.begin(), lost.end(),
-                 std::back_inserter(merged));
-      result = std::move(merged);
-    }
-  }
-
-  s.stats.result_size = result.size();
-  if (stats != nullptr) *stats = s.stats;
-  return result;
+  MemoryDocAccessor acc(doc);
+  return internal::StaircaseJoinOver(acc, context, axis, options, stats);
 }
 
 }  // namespace sj

@@ -32,11 +32,16 @@ struct JoinStats {
   uint64_t duplicates_removed = 0;
   /// B+-tree index entries touched (SQL baseline only).
   uint64_t index_entries_scanned = 0;
+  /// Worker threads that actually scanned partitions (1 = serial; the
+  /// parallel drivers overwrite it with the spawned count, so a silent
+  /// fallback to the serial join is visible to EXPLAIN).
+  uint64_t workers = 1;
 
   /// Total nodes accessed (the y-axis of paper Fig. 11(c)).
   uint64_t nodes_accessed() const { return nodes_scanned + nodes_copied; }
 
-  /// Merges counters (used by the parallel join).
+  /// Merges counters (used by the parallel join). `workers` is not
+  /// summed; the parallel driver sets it explicitly.
   void MergeFrom(const JoinStats& other) {
     context_size += other.context_size;
     pruned_context_size += other.pruned_context_size;

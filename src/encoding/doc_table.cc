@@ -13,9 +13,10 @@ TagId TagDictionary::Intern(std::string_view name) {
   return id;
 }
 
-TagId TagDictionary::Lookup(std::string_view name) const {
+std::optional<TagId> TagDictionary::Lookup(std::string_view name) const {
   auto it = codes_.find(std::string(name));
-  return it == codes_.end() ? kNoTag : it->second;
+  if (it == codes_.end()) return std::nullopt;
+  return it->second;
 }
 
 bool IsDocumentOrder(const NodeSequence& seq) {

@@ -21,6 +21,7 @@
 #define STAIRJOIN_ENCODING_DOC_TABLE_H_
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <string_view>
@@ -42,7 +43,10 @@ inline constexpr NodeId kNilNode = bat::kNilOid;
 /// Dictionary code of an element/attribute name or PI target.
 using TagId = uint32_t;
 
-/// Tag code carried by nodes without a name (text, comments).
+/// Tag code carried by nodes without a name (text, comments). This is a
+/// *legitimate* value of the tag column, not an "absent" marker --
+/// TagDictionary::Lookup reports never-interned names as std::nullopt
+/// precisely so the two cases cannot be conflated.
 inline constexpr TagId kNoTag = 0xFFFFFFFFu;
 
 /// XPath data-model node categories stored in the `kind` column.
@@ -60,8 +64,10 @@ class TagDictionary {
   /// Returns the code for `name`, interning it on first use.
   TagId Intern(std::string_view name);
 
-  /// Returns the code for `name` or kNoTag when never interned.
-  TagId Lookup(std::string_view name) const;
+  /// Returns the code for `name`, or std::nullopt when never interned
+  /// (distinct from kNoTag, which is the tag column value of unnamed
+  /// nodes and could otherwise be confused with "unknown name").
+  std::optional<TagId> Lookup(std::string_view name) const;
 
   /// Returns the name for a valid code.
   const std::string& Name(TagId id) const { return names_[id]; }

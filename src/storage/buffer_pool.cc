@@ -15,7 +15,7 @@ Status SimulatedDisk::Read(PageId id, Page* out) const {
     return Status::OutOfRange("disk read past end: page " +
                               std::to_string(id));
   }
-  ++reads_;
+  reads_.fetch_add(1, std::memory_order_relaxed);
   std::memcpy(out->bytes, pages_[id]->bytes, kPageSize);
   return Status::OK();
 }
@@ -44,6 +44,7 @@ Status BufferPool::EvictOne() {
 }
 
 Result<const uint8_t*> BufferPool::Pin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   ++stats_.pins;
   auto it = frames_.find(id);
   if (it != frames_.end()) {
@@ -70,6 +71,7 @@ Result<const uint8_t*> BufferPool::Pin(PageId id) {
 }
 
 Status BufferPool::Unpin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end() || it->second->pin_count == 0) {
     return Status::InvalidArgument("Unpin of page that is not pinned");
@@ -84,6 +86,7 @@ Status BufferPool::Unpin(PageId id) {
 }
 
 void BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (PageId id : lru_) frames_.erase(id);
   lru_.clear();
 }

@@ -10,9 +10,11 @@
 #ifndef STAIRJOIN_STORAGE_BUFFER_POOL_H_
 #define STAIRJOIN_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -51,11 +53,12 @@ class SimulatedDisk {
   Status Write(PageId id, const Page& in);
 
   /// Total Read calls served (the "physical I/O" count).
-  uint64_t reads() const { return reads_; }
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
 
  private:
   std::vector<std::unique_ptr<Page>> pages_;
-  mutable uint64_t reads_ = 0;
+  // Atomic so that pools on different threads may share one disk.
+  mutable std::atomic<uint64_t> reads_{0};
 };
 
 /// Buffer pool counters.
@@ -71,6 +74,12 @@ struct PoolStats {
 /// Pin returns a stable pointer to the frame holding the page and holds
 /// the frame until the matching Unpin; unpinned frames are replaced in
 /// least-recently-used order when capacity is exceeded.
+///
+/// Thread safety: Pin/Unpin/FlushAll/ResetStats are serialized by an
+/// internal mutex, so independent cursors (e.g. the workers of the
+/// parallel paged staircase join) may share one pool. Frame pointers
+/// stay valid while pinned regardless of concurrent evictions. stats()
+/// returns a snapshot; read it quiesced for exact counts.
 class BufferPool {
  public:
   /// Creates a pool of `capacity_pages` frames over `disk` (borrowed).
@@ -83,17 +92,26 @@ class BufferPool {
   /// Releases one pin on `id`; InvalidArgument if not pinned.
   Status Unpin(PageId id);
 
-  /// Counters since construction.
-  const PoolStats& stats() const { return stats_; }
+  /// Counters since construction (copied under the lock).
+  PoolStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
 
   /// Zeroes the counters (keeps resident pages).
-  void ResetStats() { stats_ = PoolStats{}; }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = PoolStats{};
+  }
 
   /// Drops every unpinned frame (a cold start for experiments).
   void FlushAll();
 
   /// Number of frames currently holding pages.
-  size_t resident_pages() const { return frames_.size(); }
+  size_t resident_pages() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return frames_.size();
+  }
   size_t capacity() const { return capacity_; }
 
  private:
@@ -104,8 +122,9 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  Status EvictOne();
+  Status EvictOne();  // requires mu_ held
 
+  mutable std::mutex mu_;
   SimulatedDisk* disk_;
   size_t capacity_;
   std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;

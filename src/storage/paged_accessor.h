@@ -1,0 +1,142 @@
+// PagedDocAccessor: the buffer-pool backend of the staircase join.
+//
+// Implements the DocAccessor concept (core/doc_accessor.h) over a
+// PagedDocTable: every post/kind/level read pins the page holding the
+// rank through the BufferPool, and sequential scans hold exactly one page
+// per column so each page of a partition is pinned once. SkipTo releases
+// the held pages when a kernel jumps over an empty region, which is how
+// the paper's "nodes never touched" becomes disk pages never read.
+//
+// Error model: Pin can fail (e.g. every frame pinned in an undersized
+// pool). The accessor is sticky-error -- the first failure is recorded,
+// subsequent reads return 0 without touching the pool, and the join
+// driver surfaces status() once at the end (kernel loops stay branch-lean
+// and remain bounded because reads of 0 still advance the scans).
+
+#ifndef STAIRJOIN_STORAGE_PAGED_ACCESSOR_H_
+#define STAIRJOIN_STORAGE_PAGED_ACCESSOR_H_
+
+#include <cstring>
+
+#include "core/doc_accessor.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_doc.h"
+
+namespace sj::storage {
+
+/// Keeps at most one page pinned; switching to another page unpins the
+/// previous one. Sequential scans touch each page of their range once.
+class PageGuard {
+ public:
+  explicit PageGuard(BufferPool* pool) : pool_(pool) {}
+  ~PageGuard() { Release(); }
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  /// The bytes of page `id`, pinning it if needed; nullptr on pool
+  /// failure (the error lands in `status` if it is still OK).
+  const uint8_t* Get(PageId id, Status* status) {
+    if (holding_ && id == held_) return data_;
+    Release();
+    Result<const uint8_t*> pinned = pool_->Pin(id);
+    if (!pinned.ok()) {
+      if (status->ok()) *status = pinned.status();
+      return nullptr;
+    }
+    data_ = pinned.value();
+    held_ = id;
+    holding_ = true;
+    return data_;
+  }
+
+  /// Unpins the held page unless it is page `id`.
+  void ReleaseUnless(PageId id) {
+    if (holding_ && held_ != id) Release();
+  }
+
+  void Release() {
+    if (holding_) {
+      (void)pool_->Unpin(held_);
+      holding_ = false;
+    }
+  }
+
+ private:
+  BufferPool* pool_;
+  PageId held_ = 0;
+  bool holding_ = false;
+  const uint8_t* data_ = nullptr;
+};
+
+/// \brief DocAccessor over paged columns behind a buffer pool.
+///
+/// Borrows the table and the pool; both must outlive the accessor. One
+/// accessor holds up to three pinned pages (one per column). Accessors
+/// are not thread-safe, but independent accessors may share one pool
+/// (BufferPool is internally synchronized) -- the parallel paged join
+/// gives each worker its own accessor.
+class PagedDocAccessor {
+ public:
+  PagedDocAccessor(const PagedDocTable& doc, BufferPool* pool)
+      : doc_(&doc),
+        post_guard_(pool),
+        kind_guard_(pool),
+        level_guard_(pool) {}
+
+  size_t size() const { return doc_->size(); }
+
+  uint32_t Post(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    const uint8_t* page =
+        post_guard_.Get(doc_->PostPage(static_cast<NodeId>(pre)), &status_);
+    if (page == nullptr) return 0;
+    uint32_t value;
+    std::memcpy(&value, page + (pre % kRanksPerPage) * sizeof(uint32_t),
+                sizeof(uint32_t));
+    return value;
+  }
+
+  uint8_t Kind(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    const uint8_t* page =
+        kind_guard_.Get(doc_->KindPage(static_cast<NodeId>(pre)), &status_);
+    return page == nullptr ? 0 : page[pre % kPageSize];
+  }
+
+  uint8_t Level(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    const uint8_t* page =
+        level_guard_.Get(doc_->LevelPage(static_cast<NodeId>(pre)), &status_);
+    return page == nullptr ? 0 : page[pre % kPageSize];
+  }
+
+  /// A kernel jumps to pre rank `pre`: drop held pages the jump leaves
+  /// behind so the pool can evict them (pages in between are never read).
+  void SkipTo(uint64_t pre) {
+    if (pre >= doc_->size()) {
+      post_guard_.Release();
+      kind_guard_.Release();
+      level_guard_.Release();
+      return;
+    }
+    post_guard_.ReleaseUnless(doc_->PostPage(static_cast<NodeId>(pre)));
+    kind_guard_.ReleaseUnless(doc_->KindPage(static_cast<NodeId>(pre)));
+    level_guard_.ReleaseUnless(doc_->LevelPage(static_cast<NodeId>(pre)));
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  const PagedDocTable* doc_;
+  PageGuard post_guard_;
+  PageGuard kind_guard_;
+  PageGuard level_guard_;
+  Status status_;
+};
+
+static_assert(DocAccessor<PagedDocAccessor>);
+
+}  // namespace sj::storage
+
+#endif  // STAIRJOIN_STORAGE_PAGED_ACCESSOR_H_

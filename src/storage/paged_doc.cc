@@ -2,139 +2,46 @@
 
 #include <algorithm>
 #include <cstring>
-#include <iterator>
+
+#include "core/staircase_impl.h"
+#include "storage/paged_accessor.h"
 
 namespace sj::storage {
 namespace {
 
-/// Keeps at most one page pinned; switching to another page unpins the
-/// previous one. Sequential scans touch each page of their range once.
-class PageGuard {
- public:
-  explicit PageGuard(BufferPool* pool) : pool_(pool) {}
-  ~PageGuard() { Release(); }
-  PageGuard(const PageGuard&) = delete;
-  PageGuard& operator=(const PageGuard&) = delete;
-
-  Result<const uint8_t*> Get(PageId id) {
-    if (holding_ && id == held_) return data_;
-    Release();
-    SJ_ASSIGN_OR_RETURN(data_, pool_->Pin(id));
-    held_ = id;
-    holding_ = true;
-    return data_;
-  }
-
-  void Release() {
-    if (holding_) {
-      (void)pool_->Unpin(held_);
-      holding_ = false;
-    }
-  }
-
- private:
-  BufferPool* pool_;
-  PageId held_ = 0;
-  bool holding_ = false;
-  const uint8_t* data_ = nullptr;
-};
-
-constexpr uint8_t kAttrKind = static_cast<uint8_t>(NodeKind::kAttribute);
-
-/// Column access state shared by the paged kernels.
-struct PagedScan {
-  const PagedDocTable* doc;
-  PageGuard post_guard;
-  PageGuard kind_guard;
-  bool filter_attributes;
-  NodeSequence* result;
-  JoinStats stats;
-
-  PagedScan(const PagedDocTable* d, BufferPool* pool, bool filter,
-            NodeSequence* out)
-      : doc(d),
-        post_guard(pool),
-        kind_guard(pool),
-        filter_attributes(filter),
-        result(out) {}
-
-  Result<uint32_t> Post(uint64_t pre) {
-    SJ_ASSIGN_OR_RETURN(
-        const uint8_t* page,
-        post_guard.Get(doc->PostPage(static_cast<NodeId>(pre))));
-    uint32_t value;
-    std::memcpy(&value, page + (pre % kRanksPerPage) * sizeof(uint32_t),
-                sizeof(uint32_t));
-    return value;
-  }
-
-  Result<uint8_t> Kind(uint64_t pre) {
-    SJ_ASSIGN_OR_RETURN(
-        const uint8_t* page,
-        kind_guard.Get(doc->KindPage(static_cast<NodeId>(pre))));
-    return page[pre % kPageSize];
-  }
-
-  Status Append(uint64_t pre) {
-    if (filter_attributes) {
-      SJ_ASSIGN_OR_RETURN(uint8_t kind, Kind(pre));
-      if (kind == kAttrKind) return Status::OK();
-    }
-    result->push_back(static_cast<NodeId>(pre));
-    return Status::OK();
-  }
-};
-
-Status ScanPartitionDescPaged(PagedScan& s, SkipMode mode, uint64_t pre1,
-                              uint64_t pre2, uint32_t bound) {
-  if (pre1 > pre2) return Status::OK();
-  uint64_t i = pre1;
-  if (mode == SkipMode::kEstimated) {
-    // Copy phase: guaranteed descendants need no postorder page at all --
-    // on paged storage the estimation saves physical reads, not just
-    // comparisons.
-    uint64_t estimate = std::min<uint64_t>(pre2, bound);
-    for (; i <= estimate; ++i) {
-      ++s.stats.nodes_copied;
-      SJ_RETURN_NOT_OK(s.Append(i));
-    }
-  }
-  for (; i <= pre2; ++i) {
-    ++s.stats.nodes_scanned;
-    SJ_ASSIGN_OR_RETURN(uint32_t post, s.Post(i));
-    if (post < bound) {
-      SJ_RETURN_NOT_OK(s.Append(i));
-    } else if (mode != SkipMode::kNone) {
-      s.stats.nodes_skipped += pre2 - i;
-      return Status::OK();  // pages beyond i are never pinned
-    }
-  }
-  return Status::OK();
-}
-
-Status ScanPartitionAncPaged(PagedScan& s, SkipMode mode, uint64_t pre1,
-                             uint64_t pre2, uint32_t bound) {
-  if (pre1 > pre2) return Status::OK();
-  uint64_t i = pre1;
-  while (i <= pre2) {
-    ++s.stats.nodes_scanned;
-    SJ_ASSIGN_OR_RETURN(uint32_t post, s.Post(i));
-    if (post > bound) {
-      s.result->push_back(static_cast<NodeId>(i));
-      ++i;
-    } else if (mode == SkipMode::kNone) {
-      ++i;
-    } else {
-      uint64_t subtree = post >= i ? post - i : 0;
-      uint64_t next = std::min(i + subtree + 1, pre2 + 1);
-      s.stats.nodes_skipped += next - i - 1;
-      i = next;  // may leap whole pages
-    }
+/// Writes one byte-addressed column (kind/level) onto `disk`.
+Status WriteByteColumn(SimulatedDisk* disk, std::span<const uint8_t> column,
+                       std::vector<PageId>* pages) {
+  for (size_t start = 0; start < column.size(); start += kPageSize) {
+    PageId id = disk->Allocate();
+    Page page;
+    std::memset(page.bytes, 0, kPageSize);
+    size_t count = std::min<size_t>(kPageSize, column.size() - start);
+    std::memcpy(page.bytes, column.data() + start, count);
+    SJ_RETURN_NOT_OK(disk->Write(id, page));
+    pages->push_back(id);
   }
   return Status::OK();
 }
 
 }  // namespace
+
+uint64_t DocColumnsDigest(const DocTable& doc) {
+  uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  auto mix = [&h](uint64_t byte) {
+    h ^= byte;
+    h *= 0x100000001B3ULL;  // FNV prime
+  };
+  for (uint32_t post : doc.posts()) {
+    mix(post & 0xFF);
+    mix((post >> 8) & 0xFF);
+    mix((post >> 16) & 0xFF);
+    mix(post >> 24);
+  }
+  for (uint8_t kind : doc.kinds()) mix(kind);
+  for (uint8_t level : doc.levels()) mix(level);
+  return h;
+}
 
 Result<std::unique_ptr<PagedDocTable>> PagedDocTable::Create(
     const DocTable& doc, SimulatedDisk* disk) {
@@ -144,6 +51,7 @@ Result<std::unique_ptr<PagedDocTable>> PagedDocTable::Create(
   auto paged = std::unique_ptr<PagedDocTable>(new PagedDocTable());
   paged->size_ = doc.size();
   paged->height_ = doc.height();
+  paged->source_digest_ = DocColumnsDigest(doc);
 
   const auto posts = doc.posts();
   for (size_t start = 0; start < doc.size(); start += kRanksPerPage) {
@@ -155,16 +63,8 @@ Result<std::unique_ptr<PagedDocTable>> PagedDocTable::Create(
     SJ_RETURN_NOT_OK(disk->Write(id, page));
     paged->post_pages_.push_back(id);
   }
-  const auto kinds = doc.kinds();
-  for (size_t start = 0; start < doc.size(); start += kPageSize) {
-    PageId id = disk->Allocate();
-    Page page;
-    std::memset(page.bytes, 0, kPageSize);
-    size_t count = std::min<size_t>(kPageSize, doc.size() - start);
-    std::memcpy(page.bytes, kinds.data() + start, count);
-    SJ_RETURN_NOT_OK(disk->Write(id, page));
-    paged->kind_pages_.push_back(id);
-  }
+  SJ_RETURN_NOT_OK(WriteByteColumn(disk, doc.kinds(), &paged->kind_pages_));
+  SJ_RETURN_NOT_OK(WriteByteColumn(disk, doc.levels(), &paged->level_pages_));
   return paged;
 }
 
@@ -183,108 +83,37 @@ Result<NodeSequence> PagedStaircaseJoin(const PagedDocTable& doc,
                                         const NodeSequence& context, Axis axis,
                                         const StaircaseOptions& options,
                                         JoinStats* stats) {
-  const bool desc =
-      axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf;
-  const bool anc = axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
-  if (!desc && !anc) {
-    return Status::Unsupported("paged staircase join supports the "
-                               "descendant/ancestor axes");
-  }
   if (pool == nullptr) {
     return Status::InvalidArgument("pool must not be null");
   }
-  if (!context.empty() && context.back() >= doc.size()) {
-    return Status::InvalidArgument("context node out of range");
-  }
-  if (!IsDocumentOrder(context)) {
-    return Status::InvalidArgument(
-        "context must be duplicate-free and in document order");
-  }
-  const bool or_self =
-      axis == Axis::kDescendantOrSelf || axis == Axis::kAncestorOrSelf;
+  PagedDocAccessor acc(doc, pool);
+  return internal::StaircaseJoinOver(acc, context, axis, options, stats);
+}
 
-  NodeSequence result;
-  PagedScan s(&doc, pool, !options.keep_attributes, &result);
-  s.stats.context_size = context.size();
-  if (context.empty() || doc.size() == 0) {
-    if (stats != nullptr) *stats = s.stats;
-    return result;
+Result<NodeSequence> ParallelPagedStaircaseJoin(const PagedDocTable& doc,
+                                                BufferPool* pool,
+                                                const NodeSequence& context,
+                                                Axis axis,
+                                                const StaircaseOptions& options,
+                                                unsigned num_threads,
+                                                JoinStats* stats) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("pool must not be null");
   }
-
-  if (desc) {
-    NodeId pending = context.front();
-    SJ_ASSIGN_OR_RETURN(uint32_t pending_post, s.Post(pending));
-    ++s.stats.pruned_context_size;
-    for (size_t k = 1; k < context.size(); ++k) {
-      NodeId c = context[k];
-      SJ_ASSIGN_OR_RETURN(uint32_t c_post, s.Post(c));
-      if (c_post < pending_post) continue;  // pruned on the fly
-      ++s.stats.pruned_context_size;
-      if (or_self) s.result->push_back(pending);
-      SJ_RETURN_NOT_OK(ScanPartitionDescPaged(
-          s, options.skip_mode, static_cast<uint64_t>(pending) + 1, c - 1,
-          pending_post));
-      pending = c;
-      pending_post = c_post;
-    }
-    if (or_self) s.result->push_back(pending);
-    SJ_RETURN_NOT_OK(ScanPartitionDescPaged(
-        s, options.skip_mode, static_cast<uint64_t>(pending) + 1,
-        doc.size() - 1, pending_post));
-  } else {
-    uint64_t window_start = 0;
-    NodeId pending = context.front();
-    SJ_ASSIGN_OR_RETURN(uint32_t pending_post, s.Post(pending));
-    for (size_t k = 1; k < context.size(); ++k) {
-      NodeId c = context[k];
-      SJ_ASSIGN_OR_RETURN(uint32_t c_post, s.Post(c));
-      if (pending_post > c_post) {  // pending is an ancestor of c: pruned
-        pending = c;
-        pending_post = c_post;
-        continue;
-      }
-      ++s.stats.pruned_context_size;
-      if (pending > 0) {
-        SJ_RETURN_NOT_OK(ScanPartitionAncPaged(s, options.skip_mode,
-                                               window_start, pending - 1,
-                                               pending_post));
-      }
-      if (or_self) s.result->push_back(pending);
-      window_start = static_cast<uint64_t>(pending) + 1;
-      pending = c;
-      pending_post = c_post;
-    }
-    ++s.stats.pruned_context_size;
-    if (pending > 0) {
-      SJ_RETURN_NOT_OK(ScanPartitionAncPaged(
-          s, options.skip_mode, window_start, pending - 1, pending_post));
-    }
-    if (or_self) s.result->push_back(pending);
+  const bool desc =
+      axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf;
+  const bool anc = axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
+  // Each worker holds up to three pinned pages (one per column), and the
+  // driver's own accessor holds one more during pruning; leave room so
+  // no worker starves the pool.
+  unsigned max_workers = static_cast<unsigned>((pool->capacity() - 1) / 3);
+  unsigned workers = std::min(num_threads, std::max(1u, max_workers));
+  if ((!desc && !anc) || workers < 2 || context.size() < 2) {
+    return PagedStaircaseJoin(doc, pool, context, axis, options, stats);
   }
-
-  // Same post-pass as the in-memory join: pruned attribute context nodes
-  // of a descendant-or-self step re-enter as selves.
-  if (axis == Axis::kDescendantOrSelf && !options.keep_attributes) {
-    NodeSequence lost;
-    for (NodeId c : context) {
-      SJ_ASSIGN_OR_RETURN(uint8_t kind, s.Kind(c));
-      if (kind == kAttrKind &&
-          !std::binary_search(result.begin(), result.end(), c)) {
-        lost.push_back(c);
-      }
-    }
-    if (!lost.empty()) {
-      NodeSequence merged;
-      merged.reserve(result.size() + lost.size());
-      std::merge(result.begin(), result.end(), lost.begin(), lost.end(),
-                 std::back_inserter(merged));
-      result = std::move(merged);
-    }
-  }
-
-  s.stats.result_size = result.size();
-  if (stats != nullptr) *stats = s.stats;
-  return result;
+  return internal::ParallelStaircaseJoinOver(
+      [&doc, pool] { return PagedDocAccessor(doc, pool); }, context, axis,
+      options, workers, stats);
 }
 
 }  // namespace sj::storage

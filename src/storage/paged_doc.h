@@ -1,11 +1,14 @@
-// Paged document columns and the paged staircase join.
+// Paged document columns and the paged staircase join shims.
 //
-// PagedDocTable lays the doc encoding's post/kind columns out in disk
-// pages (column-wise, 2048 post ranks or 8192 kind bytes per page) behind
-// a BufferPool. PagedStaircaseJoin then runs the Section 3 algorithms over
-// pinned pages: a partition scan pins each page of its pre-rank range
-// once, and skipping jumps over whole pages -- turning the paper's
-// "nodes never touched" directly into disk pages never read.
+// PagedDocTable lays the doc encoding's post/kind/level columns out in
+// disk pages (column-wise, 2048 post ranks or 8192 kind/level bytes per
+// page) behind a BufferPool. The staircase-join algorithms themselves
+// live ONCE in core/ (core/staircase_impl.h), generic over the
+// DocAccessor cursor concept; PagedStaircaseJoin and
+// ParallelPagedStaircaseJoin below are thin shims that instantiate those
+// kernels with the PagedDocAccessor backend (storage/paged_accessor.h).
+// Skipping then turns the paper's "nodes never touched" directly into
+// disk pages never read.
 
 #ifndef STAIRJOIN_STORAGE_PAGED_DOC_H_
 #define STAIRJOIN_STORAGE_PAGED_DOC_H_
@@ -22,7 +25,13 @@ namespace sj::storage {
 inline constexpr uint32_t kRanksPerPage =
     static_cast<uint32_t>(kPageSize / sizeof(uint32_t));
 
-/// \brief Column-wise paged image of a DocTable (post + kind columns).
+/// FNV-1a digest over the post/kind/level columns. Identifies the
+/// encoding a PagedDocTable images, so consumers holding both a DocTable
+/// and a PagedDocTable can detect mismatched pairs (two different
+/// documents can share a node count).
+uint64_t DocColumnsDigest(const DocTable& doc);
+
+/// \brief Column-wise paged image of a DocTable (post/kind/level columns).
 class PagedDocTable {
  public:
   /// Writes `doc`'s columns onto `disk` (borrowed; must outlive this).
@@ -40,9 +49,14 @@ class PagedDocTable {
   }
   /// Page holding kind(v).
   PageId KindPage(NodeId v) const { return kind_pages_[v / kPageSize]; }
+  /// Page holding level(v).
+  PageId LevelPage(NodeId v) const { return level_pages_[v / kPageSize]; }
 
   /// Total pages used by the post column.
   size_t post_page_count() const { return post_pages_.size(); }
+
+  /// DocColumnsDigest of the source table, captured at Create time.
+  uint64_t source_digest() const { return source_digest_; }
 
   /// Reads post(v) through the pool (pins and unpins one page).
   Result<uint32_t> PostAt(BufferPool* pool, NodeId v) const;
@@ -50,29 +64,39 @@ class PagedDocTable {
  private:
   PagedDocTable() = default;
 
-  friend Result<NodeSequence> PagedStaircaseJoin(const PagedDocTable&,
-                                                 BufferPool*,
-                                                 const NodeSequence&, Axis,
-                                                 const StaircaseOptions&,
-                                                 JoinStats*);
-
   size_t size_ = 0;
   uint32_t height_ = 0;
+  uint64_t source_digest_ = 0;
   std::vector<PageId> post_pages_;
   std::vector<PageId> kind_pages_;
+  std::vector<PageId> level_pages_;
 };
 
 /// \brief Staircase join over paged columns.
 ///
-/// Semantics identical to StaircaseJoin for kDescendant/kAncestor (+
-/// -or-self); `stats` counts touched nodes as usual while the pool's
-/// PoolStats counts page pins/faults. Context node ranks are read through
-/// the pool as well (they are doc rows, as the paper stresses).
+/// A shim over the backend-generic staircase join (core/staircase_impl.h)
+/// instantiated with PagedDocAccessor. Semantics identical to
+/// StaircaseJoin for every staircase axis; `stats` counts touched nodes
+/// as usual while the pool's PoolStats counts page pins/faults. Context
+/// node ranks are read through the pool as well (they are doc rows, as
+/// the paper stresses).
 Result<NodeSequence> PagedStaircaseJoin(const PagedDocTable& doc,
                                         BufferPool* pool,
                                         const NodeSequence& context, Axis axis,
                                         const StaircaseOptions& options = {},
                                         JoinStats* stats = nullptr);
+
+/// \brief Partitioned parallel staircase join over paged columns.
+///
+/// Each worker runs the shared partition kernels through its own
+/// PagedDocAccessor over the (thread-safe) pool. The worker count is
+/// capped so every worker can hold its column pages pinned concurrently
+/// (three pages per worker); descendant/ancestor axes only, other
+/// staircase axes and num_threads < 2 delegate to PagedStaircaseJoin.
+Result<NodeSequence> ParallelPagedStaircaseJoin(
+    const PagedDocTable& doc, BufferPool* pool, const NodeSequence& context,
+    Axis axis, const StaircaseOptions& options = {}, unsigned num_threads = 1,
+    JoinStats* stats = nullptr);
 
 }  // namespace sj::storage
 

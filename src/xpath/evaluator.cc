@@ -18,11 +18,33 @@ NodeKind PrincipalKind(Axis axis) {
 }  // namespace
 
 Evaluator::Evaluator(const DocTable& doc, EvalOptions options)
-    : doc_(doc), options_(options) {}
+    : doc_(doc), options_(options) {
+  // Paid up front so the O(doc) digest pass never lands inside a timed
+  // query (Evaluate would otherwise compute it lazily).
+  if (options_.backend == StorageBackend::kPaged) {
+    doc_digest_ = storage::DocColumnsDigest(doc_);
+  }
+}
 
 Result<NodeSequence> Evaluator::Evaluate(const LocationPath& path,
                                          const NodeSequence& context) {
   trace_.clear();
+  if (options_.backend == StorageBackend::kPaged) {
+    if (options_.paged_doc == nullptr || options_.pool == nullptr) {
+      return Status::InvalidArgument(
+          "paged backend requires EvalOptions::paged_doc and pool");
+    }
+    // Size alone cannot identify the document (two documents can share a
+    // node count); compare column digests, computed once per evaluator.
+    if (!doc_digest_.has_value()) {
+      doc_digest_ = storage::DocColumnsDigest(doc_);
+    }
+    if (options_.paged_doc->size() != doc_.size() ||
+        options_.paged_doc->source_digest() != *doc_digest_) {
+      return Status::InvalidArgument(
+          "paged table does not image the evaluator's document");
+    }
+  }
   NodeSequence start = context;
   if (path.absolute) {
     start = doc_.empty() ? NodeSequence{} : NodeSequence{doc_.root()};
@@ -258,42 +280,72 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
   }
 
   const bool staircase_axis = IsStaircaseAxis(step.axis);
-  TagId tag = kNoTag;
+  // std::nullopt: the step's name test references a never-interned name
+  // and can only produce the empty sequence (a trace entry is still
+  // recorded below). Distinct from a text/comment node's kNoTag column
+  // value, which Lookup can never return.
+  std::optional<TagId> tag;
   if (step.test.kind == NodeTestKind::kName) {
     tag = doc_.tags().Lookup(step.test.name);
-    if (tag == kNoTag && step.axis != Axis::kAttribute) {
-      // Unknown tag: the step can only produce the empty sequence, but a
-      // trace entry is still recorded below.
-    }
   }
 
+  // Whether the branch taken below produced raw axis results that still
+  // need the node-test filter (pushdown already filters via the view;
+  // node() keeps every node, so the pass is skipped for kAnyNode).
+  bool filter_after = false;
   if (options_.engine == EngineMode::kStaircase && staircase_axis) {
-    if (step.test.kind == NodeTestKind::kName && tag == kNoTag) {
+    if (step.test.kind == NodeTestKind::kName && !tag.has_value()) {
       trace.description = ToString(step) + " -> empty (unknown tag)";
       result.clear();
-    } else if (ShouldPushdown(step, tag)) {
+    } else if (tag.has_value() && ShouldPushdown(step, *tag)) {
       SJ_ASSIGN_OR_RETURN(
-          result, StaircaseJoinView(doc_, options_.tag_index->view(tag),
+          result, StaircaseJoinView(doc_, options_.tag_index->view(*tag),
                                     context, step.axis, options_.staircase,
                                     &stats));
       trace.description =
           ToString(step) + " via staircase join over tag fragment '" +
           step.test.name + "' (name-test pushdown)";
+    } else if (options_.backend == StorageBackend::kPaged) {
+      // The unified kernels over the buffer-pool cursor: the same join,
+      // IO-conscious. PoolStats accumulate on options_.pool.
+      if (options_.num_threads > 1) {
+        SJ_ASSIGN_OR_RETURN(
+            result, storage::ParallelPagedStaircaseJoin(
+                        *options_.paged_doc, options_.pool, context, step.axis,
+                        options_.staircase, options_.num_threads, &stats));
+      } else {
+        SJ_ASSIGN_OR_RETURN(
+            result, storage::PagedStaircaseJoin(*options_.paged_doc,
+                                                options_.pool, context,
+                                                step.axis, options_.staircase,
+                                                &stats));
+      }
+      // stats.workers reports what actually ran: the parallel driver
+      // falls back to the serial join for small contexts, degenerate
+      // axes, or undersized pools.
+      trace.description =
+          stats.workers > 1
+              ? ToString(step) + " via parallel paged staircase join (" +
+                    std::to_string(stats.workers) + " workers)"
+              : ToString(step) + " via paged staircase join (buffer pool)";
+      filter_after = true;
     } else {
       if (options_.num_threads > 1) {
         SJ_ASSIGN_OR_RETURN(
             result, ParallelStaircaseJoin(doc_, context, step.axis,
                                           options_.staircase,
                                           options_.num_threads, &stats));
-        trace.description = ToString(step) + " via parallel staircase join (" +
-                            std::to_string(options_.num_threads) + " workers)";
       } else {
         SJ_ASSIGN_OR_RETURN(result,
                             StaircaseJoin(doc_, context, step.axis,
                                           options_.staircase, &stats));
-        trace.description = ToString(step) + " via staircase join";
       }
-      result = FilterByTest(step, result);
+      trace.description =
+          stats.workers > 1
+              ? ToString(step) + " via parallel staircase join (" +
+                    std::to_string(stats.workers) + " workers)"
+              : ToString(step) + " via staircase join";
+      filter_after = true;
     }
   } else {
     // Naive engine, or a non-staircase axis: per-context evaluation with
@@ -301,6 +353,9 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
     SJ_ASSIGN_OR_RETURN(result, NaiveAxisStep(doc_, context, step.axis,
                                               &stats));
     trace.description = ToString(step) + " via per-context evaluation";
+    filter_after = true;
+  }
+  if (filter_after && step.test.kind != NodeTestKind::kAnyNode) {
     result = FilterByTest(step, result);
   }
 

@@ -12,6 +12,7 @@
 #ifndef STAIRJOIN_XPATH_EVALUATOR_H_
 #define STAIRJOIN_XPATH_EVALUATOR_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -20,6 +21,7 @@
 #include "core/staircase_join.h"
 #include "core/tag_view.h"
 #include "encoding/doc_table.h"
+#include "storage/paged_doc.h"
 #include "util/result.h"
 #include "xpath/ast.h"
 #include "xpath/parser.h"
@@ -30,6 +32,12 @@ namespace sj::xpath {
 enum class EngineMode : uint8_t {
   kStaircase,  ///< staircase join (the paper's operator)
   kNaive,      ///< per-context evaluation + duplicate elimination
+};
+
+/// Which storage backend the staircase joins read the doc columns from.
+enum class StorageBackend : uint8_t {
+  kMemory,  ///< in-memory DocTable BATs
+  kPaged,   ///< paged columns behind a BufferPool (IO-conscious)
 };
 
 /// Whether name tests are pushed through the staircase join.
@@ -51,6 +59,15 @@ struct EvalOptions {
   double pushdown_selectivity = 0.125;
   /// >1 runs the partitioned parallel staircase join with this many workers.
   unsigned num_threads = 1;
+  /// Storage backend for the staircase-axis joins. With kPaged, every
+  /// staircase step (except pushed-down name tests, which run over the
+  /// in-memory tag fragments) reads post/kind/level through `pool`;
+  /// `paged_doc` and `pool` are then required and must image the same
+  /// document the evaluator is bound to. Name tests, predicates and the
+  /// non-staircase axes keep using the resident tag/parent columns.
+  StorageBackend backend = StorageBackend::kMemory;
+  const storage::PagedDocTable* paged_doc = nullptr;
+  storage::BufferPool* pool = nullptr;
 };
 
 /// Per-step diagnostics (an EXPLAIN of the executed plan).
@@ -106,6 +123,10 @@ class Evaluator {
   const DocTable& doc_;
   EvalOptions options_;
   std::vector<StepTrace> trace_;
+  /// Lazily computed DocColumnsDigest of doc_, used to check that a
+  /// paged backend images the same document (computed on first paged
+  /// query).
+  std::optional<uint64_t> doc_digest_;
 };
 
 }  // namespace sj::xpath

@@ -103,7 +103,7 @@ TEST(SqlPlanTest, MatchesStaircaseOnStaircaseAxes) {
 TEST(SqlPlanTest, EarlyNameTestMatchesLateFilter) {
   auto doc = RandomDocument(21);
   SqlPlanEvaluator sql(*doc);
-  TagId tag = doc->tags().Lookup("t1");
+  TagId tag = doc->tags().Lookup("t1").value();
   ASSERT_NE(tag, kNoTag);
   Rng rng(4);
   NodeSequence ctx = RandomContext(rng, *doc, 20);
@@ -155,7 +155,7 @@ TEST(SqlPlanTest, ProducesDuplicatesOnNestedContexts) {
 TEST(SqlPlanTest, FilterHasDescendant) {
   auto doc = LoadPaperExample();
   SqlPlanEvaluator sql(*doc);
-  TagId g = doc->tags().Lookup("g");
+  TagId g = doc->tags().Lookup("g").value();
   // Nodes with a descendant named g: a (0), e (4), f (5).
   NodeSequence all_elements;
   for (NodeId v = 0; v < doc->size(); ++v) all_elements.push_back(v);
@@ -173,13 +173,13 @@ TEST(SqlPlanTest, SemijoinStepMatchesStaircasePlusFilter) {
     for (Axis axis : {Axis::kDescendant, Axis::kDescendantOrSelf,
                       Axis::kAncestor, Axis::kAncestorOrSelf}) {
       for (const char* tag_name : {"t0", "t1"}) {
-        TagId tag = doc->tags().Lookup(tag_name);
-        if (tag == kNoTag) continue;
+        std::optional<TagId> tag = doc->tags().Lookup(tag_name);
+        if (!tag.has_value()) continue;
         JoinStats stats;
-        auto got = sql.SemijoinStep(ctx, axis, tag, &stats);
+        auto got = sql.SemijoinStep(ctx, axis, *tag, &stats);
         ASSERT_TRUE(got.ok()) << got.status();
         auto expected =
-            StaircaseJoinView(*doc, index.view(tag), ctx, axis).value();
+            StaircaseJoinView(*doc, index.view(*tag), ctx, axis).value();
         EXPECT_EQ(got.value(), expected)
             << AxisName(axis) << " " << tag_name << " seed " << seed;
         // The semijoin never produces duplicates; the outer scan covers
@@ -225,7 +225,7 @@ TEST(MpmgjnTest, MatchesStaircaseJoinSemantics) {
     Rng rng(seed);
     NodeSequence ctx = RandomContext(rng, *doc, 20);
     // ctx/descendant over all element nodes with tag t0 as candidates.
-    TagView view = BuildTagView(*doc, doc->tags().Lookup("t0"));
+    TagView view = BuildTagView(*doc, doc->tags().Lookup("t0").value());
     JoinList ancestors = MakeJoinList(*doc, ctx);
     JoinList candidates;
     candidates.pre = view.pre;
@@ -252,7 +252,7 @@ TEST(MpmgjnTest, TouchesMoreNodesThanStaircaseOnNestedInput) {
   JoinList a = MakeJoinList(*doc, PruneContext(*doc, all, Axis::kDescendant));
   // Nested candidates deliberately NOT pruned: the tree-unaware algorithm
   // takes every t0 as an interval.
-  TagView t0 = BuildTagView(*doc, doc->tags().Lookup("t0"));
+  TagView t0 = BuildTagView(*doc, doc->tags().Lookup("t0").value());
   JoinList nested;
   nested.pre = t0.pre;
   nested.post = t0.post;

@@ -26,7 +26,9 @@ TEST(TagDictionaryTest, InternAndLookup) {
   EXPECT_NE(a, b);
   EXPECT_EQ(dict.Intern("site"), a);
   EXPECT_EQ(dict.Lookup("item"), b);
-  EXPECT_EQ(dict.Lookup("nope"), kNoTag);
+  // Never-interned names are std::nullopt, NOT kNoTag: kNoTag is the
+  // legitimate tag column value of text/comment nodes.
+  EXPECT_EQ(dict.Lookup("nope"), std::nullopt);
   EXPECT_EQ(dict.Name(a), "site");
   EXPECT_EQ(dict.size(), 2u);
 }

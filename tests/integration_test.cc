@@ -78,8 +78,8 @@ TEST_F(XMarkPipelineTest, Q2AllStrategiesAgreeIncludingRewrite) {
 
 TEST_F(XMarkPipelineTest, Q2StepsMatchSqlPlanAndMpmgjn) {
   // Step 1: /descendant::increase.
-  TagId increase = doc_->tags().Lookup("increase");
-  TagId bidder = doc_->tags().Lookup("bidder");
+  TagId increase = doc_->tags().Lookup("increase").value();
+  TagId bidder = doc_->tags().Lookup("bidder").value();
   NodeSequence s1 =
       StaircaseJoinView(*doc_, index_->view(increase), {doc_->root()},
                         Axis::kDescendant)
@@ -112,7 +112,7 @@ TEST_F(XMarkPipelineTest, Q2StepsMatchSqlPlanAndMpmgjn) {
 TEST_F(XMarkPipelineTest, DuplicateRatioMatchesPaperExperiment1) {
   // Experiment 1: the naive ancestor step of Q2 produces ~70-75% duplicates
   // (increase nodes sit at level 4; many paths share open_auction etc.).
-  TagId increase = doc_->tags().Lookup("increase");
+  TagId increase = doc_->tags().Lookup("increase").value();
   NodeSequence s1 =
       StaircaseJoinView(*doc_, index_->view(increase), {doc_->root()},
                         Axis::kDescendant)
@@ -129,7 +129,7 @@ TEST_F(XMarkPipelineTest, DuplicateRatioMatchesPaperExperiment1) {
 
 TEST_F(XMarkPipelineTest, SkippingBoundHoldsOnXMark) {
   // Section 3.3: |touched| <= |result| + |context| for the descendant step.
-  TagId profile = doc_->tags().Lookup("profile");
+  TagId profile = doc_->tags().Lookup("profile").value();
   NodeSequence profiles = index_->view(profile).pre;
   StaircaseOptions opt;
   opt.skip_mode = SkipMode::kSkip;
@@ -167,7 +167,7 @@ TEST_F(XMarkPipelineTest, SerializeParseRoundTripPreservesQueries) {
 }
 
 TEST_F(XMarkPipelineTest, ParallelAgreesOnXMark) {
-  TagId profile = doc_->tags().Lookup("profile");
+  TagId profile = doc_->tags().Lookup("profile").value();
   NodeSequence profiles = index_->view(profile).pre;
   NodeSequence serial =
       StaircaseJoin(*doc_, profiles, Axis::kDescendant).value();

@@ -345,5 +345,25 @@ TEST(StaircaseJoinTest, SkippingNeverScansMoreThanBasic) {
   }
 }
 
+TEST(StaircaseJoinTest, DeepLeafSingleContextDescendant) {
+  // Regression: for a leaf at level >= 2, post(v) < pre(v); the
+  // single-context result reservation must use the full Eq. (1)
+  // (post - pre + level), not post - pre, or it wraps and requests
+  // gigabytes. Node d here has pre=3, post=0.
+  auto doc = LoadDocument("<a><b><c><d/></c></b></a>").value();
+  for (SkipMode mode :
+       {SkipMode::kNone, SkipMode::kSkip, SkipMode::kEstimated}) {
+    StaircaseOptions opt;
+    opt.skip_mode = mode;
+    auto r = StaircaseJoin(*doc, {3}, Axis::kDescendant, opt);
+    ASSERT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(r.value().empty());
+    EXPECT_LT(r.value().capacity(), 16u);  // no runaway reservation
+    auto or_self = StaircaseJoin(*doc, {3}, Axis::kDescendantOrSelf, opt);
+    ASSERT_TRUE(or_self.ok()) << or_self.status();
+    EXPECT_EQ(or_self.value(), NodeSequence{3});
+  }
+}
+
 }  // namespace
 }  // namespace sj

@@ -1,0 +1,265 @@
+// Backend equivalence for the unified staircase join: the ONE set of
+// Section 3/4 kernels (core/staircase_impl.h), instantiated with the
+// in-memory cursor and with the buffer-pool cursor, must return
+// byte-identical NodeSequences for every staircase axis and skip mode --
+// and the paged instantiation must turn skipping into page faults saved.
+// Also drives xpath::Evaluator end-to-end over the paged backend.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/doc_accessor.h"
+#include "storage/paged_accessor.h"
+#include "storage/paged_doc.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "xpath/evaluator.h"
+
+namespace sj::storage {
+namespace {
+
+using sj::testing::RandomContext;
+using sj::testing::RandomDocOptions;
+using sj::testing::RandomDocument;
+
+constexpr Axis kStaircaseAxes[] = {
+    Axis::kDescendant, Axis::kDescendantOrSelf, Axis::kAncestor,
+    Axis::kAncestorOrSelf, Axis::kFollowing, Axis::kPreceding,
+};
+constexpr SkipMode kSkipModes[] = {SkipMode::kNone, SkipMode::kSkip,
+                                   SkipMode::kEstimated};
+
+/// Bytewise equality: the acceptance bar is byte-identical sequences, not
+/// just element-wise EXPECT_EQ.
+bool BytesEqual(const NodeSequence& a, const NodeSequence& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(NodeId)) == 0);
+}
+
+TEST(DocAccessorTest, MemoryAndPagedCursorsReadTheSameColumns) {
+  // Seeds are chosen so the generator actually produces multi-page
+  // documents (its top-level fanout is seed-sensitive).
+  auto doc = RandomDocument(11, {.target_nodes = 60000});
+  ASSERT_GT(doc->size(), 10000u);
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 8);
+  MemoryDocAccessor mem(*doc);
+  PagedDocAccessor io(*paged, &pool);
+  ASSERT_EQ(mem.size(), io.size());
+  Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t pre = rng.Below(doc->size());
+    EXPECT_EQ(mem.Post(pre), io.Post(pre)) << "pre " << pre;
+    EXPECT_EQ(mem.Kind(pre), io.Kind(pre)) << "pre " << pre;
+    EXPECT_EQ(mem.Level(pre), io.Level(pre)) << "pre " << pre;
+    if (i % 7 == 0) io.SkipTo(rng.Below(doc->size() + 1));
+  }
+  EXPECT_TRUE(io.ok()) << io.status();
+}
+
+TEST(DocAccessorTest, PagedCursorIsStickyOnPoolExhaustion) {
+  auto doc = RandomDocument(78, {.target_nodes = 500});
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 1);
+  // Starve the accessor: an outside pin occupies the single frame.
+  ASSERT_TRUE(pool.Pin(paged->KindPage(0)).ok());
+  PagedDocAccessor io(*paged, &pool);
+  (void)io.Post(0);
+  EXPECT_FALSE(io.ok());
+  (void)io.Post(1);  // still failed, no crash, no new pins
+  EXPECT_FALSE(io.status().ok());
+  // And the join surfaces the error instead of returning garbage.
+  auto r = PagedStaircaseJoin(*paged, &pool, {0}, Axis::kDescendant);
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(pool.Unpin(paged->KindPage(0)).ok());
+}
+
+class BackendEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// The satellite acceptance matrix: all staircase axes x all skip modes x
+/// both pruning flavors on randomized mixed-kind trees, serial and
+/// parallel paged joins both byte-identical to the in-memory join.
+TEST_P(BackendEquivalenceTest, PagedJoinsAreByteIdenticalToMemoryJoins) {
+  const uint64_t seed = GetParam();
+  RandomDocOptions doc_opt;
+  doc_opt.target_nodes = 60000;  // seeds below yield 11k-29k actual nodes
+  auto doc = RandomDocument(seed, doc_opt);
+  ASSERT_GT(doc->size(), 10000u) << "degenerate random doc for seed " << seed;
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 16);
+  Rng rng(seed * 31 + 7);
+  for (uint32_t percent : {2u, 25u}) {
+    NodeSequence ctx = RandomContext(rng, *doc, percent);
+    for (Axis axis : kStaircaseAxes) {
+      for (SkipMode mode : kSkipModes) {
+        for (bool fused : {true, false}) {
+          StaircaseOptions opt;
+          opt.skip_mode = mode;
+          opt.prune_on_the_fly = fused;
+          JoinStats mem_stats, io_stats;
+          auto expected = StaircaseJoin(*doc, ctx, axis, opt, &mem_stats);
+          ASSERT_TRUE(expected.ok()) << expected.status();
+          auto got = PagedStaircaseJoin(*paged, &pool, ctx, axis, opt,
+                                        &io_stats);
+          ASSERT_TRUE(got.ok()) << got.status();
+          EXPECT_TRUE(BytesEqual(got.value(), expected.value()))
+              << AxisName(axis) << " mode " << static_cast<int>(mode)
+              << " fused " << fused << " seed " << seed;
+          // The unified kernels also touch the same number of nodes.
+          EXPECT_EQ(io_stats.nodes_scanned, mem_stats.nodes_scanned);
+          EXPECT_EQ(io_stats.nodes_copied, mem_stats.nodes_copied);
+          EXPECT_EQ(io_stats.nodes_skipped, mem_stats.nodes_skipped);
+
+          auto par = ParallelPagedStaircaseJoin(*paged, &pool, ctx, axis,
+                                                opt, 4);
+          ASSERT_TRUE(par.ok()) << par.status();
+          EXPECT_TRUE(BytesEqual(par.value(), expected.value()))
+              << "parallel " << AxisName(axis) << " seed " << seed;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalenceTest,
+                         ::testing::Values(11, 13, 17, 21, 29));
+
+TEST(BackendEquivalenceTest, KeepAttributesAndExactLevelMatchToo) {
+  auto doc = RandomDocument(13, {.target_nodes = 20000,
+                                 .attribute_percent = 60});
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 16);
+  Rng rng(17);
+  NodeSequence ctx = RandomContext(rng, *doc, 10);
+  for (Axis axis : kStaircaseAxes) {
+    for (bool keep_attributes : {false, true}) {
+      StaircaseOptions opt;
+      opt.keep_attributes = keep_attributes;
+      opt.use_exact_level = true;  // exercises the paged level column
+      auto expected = StaircaseJoin(*doc, ctx, axis, opt);
+      auto got = PagedStaircaseJoin(*paged, &pool, ctx, axis, opt);
+      ASSERT_TRUE(got.ok()) << got.status();
+      EXPECT_TRUE(BytesEqual(got.value(), expected.value()))
+          << AxisName(axis) << " keep_attributes " << keep_attributes;
+    }
+  }
+}
+
+TEST(PagedEvaluatorTest, MultiStepPathsMatchMemoryBackend) {
+  auto doc = RandomDocument(13, {.target_nodes = 60000});
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 32);
+
+  xpath::EvalOptions mem_opt;
+  xpath::EvalOptions io_opt;
+  io_opt.backend = xpath::StorageBackend::kPaged;
+  io_opt.paged_doc = paged.get();
+  io_opt.pool = &pool;
+  xpath::Evaluator mem(*doc, mem_opt);
+  xpath::Evaluator io(*doc, io_opt);
+
+  const char* queries[] = {
+      "/descendant::t0/descendant::t1",
+      "/descendant-or-self::node()/ancestor::t2",
+      "/descendant::t1/following::t0",
+      "/descendant::t3/preceding::node()",
+      "/descendant::t0[descendant::t1]/descendant::node()",
+  };
+  for (const char* q : queries) {
+    auto expected = mem.EvaluateString(q);
+    auto got = io.EvaluateString(q);
+    ASSERT_TRUE(expected.ok()) << q << ": " << expected.status();
+    ASSERT_TRUE(got.ok()) << q << ": " << got.status();
+    EXPECT_TRUE(BytesEqual(got.value(), expected.value())) << q;
+  }
+  EXPECT_GT(pool.stats().pins, 0u);
+}
+
+TEST(PagedEvaluatorTest, ParallelWorkersMatchOverSharedPool) {
+  auto doc = RandomDocument(17, {.target_nodes = 60000});
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 32);
+
+  xpath::EvalOptions io_opt;
+  io_opt.backend = xpath::StorageBackend::kPaged;
+  io_opt.paged_doc = paged.get();
+  io_opt.pool = &pool;
+  io_opt.num_threads = 4;
+  xpath::Evaluator mem(*doc);
+  xpath::Evaluator io(*doc, io_opt);
+  auto expected = mem.EvaluateString("/descendant::t0/descendant::node()");
+  auto got = io.EvaluateString("/descendant::t0/descendant::node()");
+  ASSERT_TRUE(got.ok()) << got.status();
+  EXPECT_TRUE(BytesEqual(got.value(), expected.value()));
+}
+
+TEST(PagedEvaluatorTest, RejectsIncompletePagedConfiguration) {
+  auto doc = RandomDocument(9, {.target_nodes = 500});
+  xpath::EvalOptions io_opt;
+  io_opt.backend = xpath::StorageBackend::kPaged;  // no paged_doc/pool
+  xpath::Evaluator io(*doc, io_opt);
+  EXPECT_FALSE(io.EvaluateString("/descendant::t0").ok());
+
+  auto other = RandomDocument(10, {.target_nodes = 800});
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*other, &disk).value();
+  BufferPool pool(&disk, 8);
+  io_opt.paged_doc = paged.get();  // images a different document
+  io_opt.pool = &pool;
+  xpath::Evaluator mismatched(*doc, io_opt);
+  EXPECT_FALSE(mismatched.EvaluateString("/descendant::t0").ok());
+
+  // Equal node counts are not enough: a chain and a flat tree of the
+  // same size have different post columns, caught by the digest check.
+  auto chain = sj::LoadDocument("<a><b><c/></b></a>").value();
+  auto flat = sj::LoadDocument("<a><b/><c/></a>").value();
+  ASSERT_EQ(chain->size(), flat->size());
+  SimulatedDisk disk2;
+  auto paged_chain = PagedDocTable::Create(*chain, &disk2).value();
+  BufferPool pool2(&disk2, 8);
+  xpath::EvalOptions spoofed;
+  spoofed.backend = xpath::StorageBackend::kPaged;
+  spoofed.paged_doc = paged_chain.get();
+  spoofed.pool = &pool2;
+  xpath::Evaluator wrong_doc(*flat, spoofed);
+  EXPECT_FALSE(wrong_doc.EvaluateString("/descendant::b").ok());
+  xpath::Evaluator right_doc(*chain, spoofed);
+  EXPECT_TRUE(right_doc.EvaluateString("/descendant::b").ok());
+}
+
+TEST(PagedEvaluatorTest, SkippingSavesFaultsOnMultiStepQuery) {
+  // The acceptance-criteria experiment in test form: a full location path
+  // over the buffer-pool backend faults fewer pages under kEstimated than
+  // under kNone.
+  auto doc = RandomDocument(21, {.target_nodes = 60000});
+  ASSERT_GT(doc->size(), 20000u);
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*doc, &disk).value();
+
+  auto faults_with = [&](SkipMode mode) {
+    BufferPool pool(&disk, 8);
+    xpath::EvalOptions opt;
+    opt.backend = xpath::StorageBackend::kPaged;
+    opt.paged_doc = paged.get();
+    opt.pool = &pool;
+    opt.staircase.skip_mode = mode;
+    xpath::Evaluator io(*doc, opt);
+    auto r = io.EvaluateString("/descendant::t0/descendant::t1");
+    EXPECT_TRUE(r.ok()) << r.status();
+    return pool.stats().faults;
+  };
+  uint64_t faults_none = faults_with(SkipMode::kNone);
+  uint64_t faults_est = faults_with(SkipMode::kEstimated);
+  EXPECT_LT(faults_est, faults_none);
+}
+
+}  // namespace
+}  // namespace sj::storage

@@ -161,7 +161,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(
         ::testing::Values(11, 12),
         ::testing::Values(Axis::kDescendant, Axis::kDescendantOrSelf,
-                          Axis::kAncestor, Axis::kAncestorOrSelf),
+                          Axis::kAncestor, Axis::kAncestorOrSelf,
+                          Axis::kFollowing, Axis::kPreceding),
         ::testing::Values(SkipMode::kNone, SkipMode::kSkip,
                           SkipMode::kEstimated),
         ::testing::Values(size_t{3}, size_t{64})));
@@ -198,8 +199,10 @@ TEST(PagedJoinTest, RejectsBadInput) {
   BufferPool pool(&disk, 4);
   EXPECT_FALSE(
       PagedStaircaseJoin(*paged, &pool, {3, 1}, Axis::kDescendant).ok());
-  EXPECT_FALSE(
-      PagedStaircaseJoin(*paged, &pool, {0}, Axis::kFollowing).ok());
+  // Non-staircase axes are rejected; following/preceding are supported
+  // since the join runs through the backend-generic kernels.
+  EXPECT_FALSE(PagedStaircaseJoin(*paged, &pool, {0}, Axis::kChild).ok());
+  EXPECT_TRUE(PagedStaircaseJoin(*paged, &pool, {0}, Axis::kFollowing).ok());
   EXPECT_FALSE(
       PagedStaircaseJoin(*paged, nullptr, {0}, Axis::kDescendant).ok());
   EXPECT_FALSE(PagedDocTable::Create(*doc, nullptr).ok());

@@ -29,14 +29,14 @@ NodeSequence JoinThenFilter(const DocTable& doc, const NodeSequence& ctx,
 
 TEST(TagViewTest, BuildContainsExactlyTaggedElements) {
   auto doc = LoadDocument("<a><b/><a x=\"1\"><b/></a><c/></a>").value();
-  TagId a = doc->tags().Lookup("a");
+  TagId a = doc->tags().Lookup("a").value();
   TagView view = BuildTagView(*doc, a);
   EXPECT_EQ(view.pre, (std::vector<NodeId>{0, 2}));
   for (size_t i = 0; i < view.size(); ++i) {
     EXPECT_EQ(view.post[i], doc->post(view.pre[i]));
   }
   // Attribute tags never produce view entries.
-  TagView xview = BuildTagView(*doc, doc->tags().Lookup("x"));
+  TagView xview = BuildTagView(*doc, doc->tags().Lookup("x").value());
   EXPECT_EQ(xview.size(), 0u);
 }
 
@@ -74,15 +74,15 @@ TEST_P(TagViewPropertyTest, ViewJoinEqualsJoinThenFilter) {
   for (uint32_t percent : {5u, 40u}) {
     NodeSequence ctx = RandomContext(rng, *doc, percent);
     for (const char* tag_name : {"t0", "t3"}) {
-      TagId tag = doc->tags().Lookup(tag_name);
-      if (tag == kNoTag) continue;
+      std::optional<TagId> tag = doc->tags().Lookup(tag_name);
+      if (!tag.has_value()) continue;
       StaircaseOptions opt;
       opt.skip_mode = mode;
       JoinStats stats;
       auto got =
-          StaircaseJoinView(*doc, index.view(tag), ctx, axis, opt, &stats);
+          StaircaseJoinView(*doc, index.view(*tag), ctx, axis, opt, &stats);
       ASSERT_TRUE(got.ok()) << got.status();
-      EXPECT_EQ(got.value(), JoinThenFilter(*doc, ctx, axis, tag))
+      EXPECT_EQ(got.value(), JoinThenFilter(*doc, ctx, axis, *tag))
           << AxisName(axis) << " tag " << tag_name << " seed " << seed;
       EXPECT_TRUE(IsDocumentOrder(got.value()));
       EXPECT_EQ(stats.result_size, got.value().size());

@@ -115,7 +115,7 @@ TEST_P(ShapeTest, CombMatchesOracle) {
   StaircaseOptions opt;
   opt.skip_mode = GetParam();
   // Context: all the leaf 'a' nodes (every other node on the spine).
-  TagId a = doc->tags().Lookup("a");
+  TagId a = doc->tags().Lookup("a").value();
   NodeSequence as;
   for (NodeId v = 0; v < doc->size(); ++v) {
     if (doc->tag(v) == a) as.push_back(v);
@@ -168,7 +168,7 @@ TEST(ShapeTest2, WideAndDeepMixed) {
   }
   xml += "</r>";
   auto doc = LoadDocument(xml).value();
-  TagId y = doc->tags().Lookup("y");
+  TagId y = doc->tags().Lookup("y").value();
   NodeSequence ys;
   for (NodeId v = 0; v < doc->size(); ++v) {
     if (doc->tag(v) == y) ys.push_back(v);

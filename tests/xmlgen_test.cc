@@ -75,8 +75,8 @@ TEST(XMarkTest, NodeCountScalesLinearly) {
 
 TEST(XMarkTest, IncreaseSitsAtLevelFourUnderBidder) {
   auto doc = GenerateXMarkDocument(Small()).value();
-  TagId increase = doc->tags().Lookup("increase");
-  TagId bidder = doc->tags().Lookup("bidder");
+  TagId increase = doc->tags().Lookup("increase").value();
+  TagId bidder = doc->tags().Lookup("bidder").value();
   ASSERT_NE(increase, kNoTag);
   ASSERT_NE(bidder, kNoTag);
   uint64_t increases = 0, bidders = 0;
@@ -103,7 +103,7 @@ TEST(XMarkTest, Table1RatiosApproximatelyHold) {
   auto doc = GenerateXMarkDocument(opt).value();
   TagIndex index(*doc);
   auto count = [&](const char* tag) {
-    return static_cast<double>(index.tag_count(doc->tags().Lookup(tag)));
+    return static_cast<double>(index.tag_count(doc->tags().Lookup(tag).value()));
   };
   const double mb = opt.size_mb;
 
@@ -136,7 +136,7 @@ TEST(XMarkTest, Q1IntermediateShapeMatchesTable1) {
   // 1,849,360 / 127,984 = 14.5 non-attribute descendants per profile.
   auto doc = GenerateXMarkDocument(Small()).value();
   TagIndex index(*doc);
-  NodeSequence profiles = index.view(doc->tags().Lookup("profile")).pre;
+  NodeSequence profiles = index.view(doc->tags().Lookup("profile").value()).pre;
   JoinStats stats;
   NodeSequence desc =
       StaircaseJoin(*doc, profiles, Axis::kDescendant, {}, &stats).value();
