@@ -1,120 +1,10 @@
 #include "core/tag_view.h"
 
-#include <algorithm>
+#include "core/doc_accessor.h"
+#include "core/fragment_cursor.h"
+#include "core/fragment_impl.h"
 
 namespace sj {
-namespace {
-
-/// First view position with pre rank >= bound.
-size_t LowerBound(const TagView& view, uint64_t bound) {
-  return static_cast<size_t>(
-      std::lower_bound(view.pre.begin(), view.pre.end(), bound) -
-      view.pre.begin());
-}
-
-void ViewJoinDesc(const TagView& view, const NodeSequence& kept,
-                  const DocTable& doc, bool or_self, TagId tag,
-                  const StaircaseOptions& options, NodeSequence* result,
-                  JoinStats* stats) {
-  const uint64_t n = doc.size();
-  for (size_t k = 0; k < kept.size(); ++k) {
-    NodeId c = kept[k];
-    uint64_t limit = k + 1 < kept.size() ? kept[k + 1] - 1 : n - 1;
-    uint32_t bound = doc.post(c);
-    if (or_self && doc.kind(c) == NodeKind::kElement && doc.tag(c) == tag) {
-      result->push_back(c);
-    }
-    size_t j = LowerBound(view, static_cast<uint64_t>(c) + 1);
-    if (options.skip_mode == SkipMode::kEstimated) {
-      // Copy phase: view nodes with pre <= post(c) are guaranteed
-      // descendants of c (Eq. (1)); no postorder comparison needed.
-      size_t guaranteed = LowerBound(view, static_cast<uint64_t>(bound) + 1);
-      for (; j < guaranteed; ++j) {
-        ++stats->nodes_copied;
-        result->push_back(view.pre[j]);
-      }
-    }
-    for (; j < view.size() && view.pre[j] <= limit; ++j) {
-      ++stats->nodes_scanned;
-      if (view.post[j] < bound) {
-        result->push_back(view.pre[j]);
-      } else if (options.skip_mode != SkipMode::kNone) {
-        break;  // Z region: no later view node in this partition matches
-      }
-    }
-  }
-}
-
-void ViewJoinAnc(const TagView& view, const NodeSequence& kept,
-                 const DocTable& doc, bool or_self, TagId tag,
-                 const StaircaseOptions& options, NodeSequence* result,
-                 JoinStats* stats) {
-  uint64_t window_start = 0;
-  for (size_t k = 0; k < kept.size(); ++k) {
-    NodeId c = kept[k];
-    uint32_t bound = doc.post(c);
-    size_t j = LowerBound(view, window_start);
-    size_t end = LowerBound(view, c);  // view nodes with pre < pre(c)
-    while (j < end) {
-      ++stats->nodes_scanned;
-      if (view.post[j] > bound) {
-        result->push_back(view.pre[j]);
-        ++j;
-      } else if (options.skip_mode == SkipMode::kNone) {
-        ++j;
-      } else {
-        // The whole subtree of view.pre[j] precedes c; its descendants have
-        // pre ranks <= post + level, so resume past the postorder rank.
-        size_t next = LowerBound(
-            view, static_cast<uint64_t>(view.post[j]) + 1);
-        stats->nodes_skipped += (next > j ? next - j : 1) - 1;
-        j = std::max(next, j + 1);
-      }
-    }
-    if (or_self && doc.kind(c) == NodeKind::kElement && doc.tag(c) == tag) {
-      result->push_back(c);
-    }
-    window_start = static_cast<uint64_t>(c) + 1;
-  }
-}
-
-void ViewJoinFollowing(const TagView& view, NodeId m, const DocTable& doc,
-                       const StaircaseOptions& options, NodeSequence* result,
-                       JoinStats* stats) {
-  uint32_t bound = doc.post(m);
-  size_t j = LowerBound(view, static_cast<uint64_t>(m) + 1);
-  if (options.skip_mode != SkipMode::kNone) {
-    // First following node has pre > post(m); everything before is desc.
-    size_t start = LowerBound(view, static_cast<uint64_t>(bound) + 1);
-    stats->nodes_skipped += start > j ? start - j : 0;
-    j = std::max(j, start);
-  }
-  bool copying = false;
-  for (; j < view.size(); ++j) {
-    if (copying) {
-      ++stats->nodes_copied;
-      result->push_back(view.pre[j]);
-      continue;
-    }
-    ++stats->nodes_scanned;
-    if (view.post[j] > bound) {
-      result->push_back(view.pre[j]);
-      if (options.skip_mode != SkipMode::kNone) copying = true;
-    }
-  }
-}
-
-void ViewJoinPreceding(const TagView& view, NodeId big, const DocTable& doc,
-                       NodeSequence* result, JoinStats* stats) {
-  uint32_t bound = doc.post(big);
-  size_t end = LowerBound(view, big);
-  for (size_t j = 0; j < end; ++j) {
-    ++stats->nodes_scanned;
-    if (view.post[j] < bound) result->push_back(view.pre[j]);
-  }
-}
-
-}  // namespace
 
 TagView BuildTagView(const DocTable& doc, TagId tag) {
   TagView view;
@@ -164,68 +54,17 @@ uint64_t TagIndex::memory_bytes() const {
   return bytes;
 }
 
+// A shim over the backend-generic fragment staircase join
+// (core/fragment_impl.h) instantiated with the in-memory cursors.
 Result<NodeSequence> StaircaseJoinView(const DocTable& doc,
                                        const TagView& view,
                                        const NodeSequence& context, Axis axis,
                                        const StaircaseOptions& options,
                                        JoinStats* stats) {
-  if (!IsStaircaseAxis(axis)) {
-    return Status::Unsupported(std::string("staircase view join on axis ") +
-                               std::string(AxisName(axis)));
-  }
-  if (!context.empty() && context.back() >= doc.size()) {
-    return Status::InvalidArgument("context node out of range");
-  }
-  if (!IsDocumentOrder(context)) {
-    return Status::InvalidArgument(
-        "context must be duplicate-free and in document order");
-  }
-
-  NodeSequence result;
-  JoinStats local;
-  local.context_size = context.size();
-  if (context.empty() || view.size() == 0) {
-    // -or-self can still contribute selves with matching tags.
-    if (IsStaircaseAxis(axis) &&
-        (axis == Axis::kDescendantOrSelf || axis == Axis::kAncestorOrSelf)) {
-      for (NodeId c : context) {
-        if (doc.kind(c) == NodeKind::kElement && doc.tag(c) == view.tag) {
-          result.push_back(c);
-        }
-      }
-    }
-    local.result_size = result.size();
-    if (stats != nullptr) *stats = local;
-    return result;
-  }
-
-  NodeSequence kept = PruneContext(doc, context, axis);
-  local.pruned_context_size = kept.size();
-
-  switch (axis) {
-    case Axis::kDescendant:
-    case Axis::kDescendantOrSelf:
-      ViewJoinDesc(view, kept, doc, axis == Axis::kDescendantOrSelf, view.tag,
-                   options, &result, &local);
-      break;
-    case Axis::kAncestor:
-    case Axis::kAncestorOrSelf:
-      ViewJoinAnc(view, kept, doc, axis == Axis::kAncestorOrSelf, view.tag,
-                  options, &result, &local);
-      break;
-    case Axis::kFollowing:
-      ViewJoinFollowing(view, kept.front(), doc, options, &result, &local);
-      break;
-    case Axis::kPreceding:
-      ViewJoinPreceding(view, kept.front(), doc, &result, &local);
-      break;
-    default:
-      return Status::Internal("unreachable");
-  }
-
-  local.result_size = result.size();
-  if (stats != nullptr) *stats = local;
-  return result;
+  MemoryFragmentCursor frag(view);
+  MemoryDocAccessor acc(doc);
+  return internal::FragmentStaircaseJoinOver(frag, acc, context, axis, options,
+                                             stats);
 }
 
 }  // namespace sj

@@ -60,10 +60,15 @@ class TagIndex {
 /// \brief Staircase join over a tag view: evaluates `context/axis::tag` in
 /// one pass over the (usually tiny) projection instead of the document.
 ///
+/// A thin shim over the backend-generic fragment join
+/// (core/fragment_impl.h) instantiated with MemoryFragmentCursor; the
+/// paged twin is storage::PagedStaircaseJoinView.
+///
 /// Supports the staircase axes. Skipping uses binary search on the
 /// projection's pre column instead of pre-rank arithmetic. The context is
 /// a sequence of *document* nodes; the result contains view nodes only and
-/// is in document order, duplicate free.
+/// is in document order, duplicate free. For the -or-self axes a context
+/// node contributes itself iff it is a member of the view.
 Result<NodeSequence> StaircaseJoinView(const DocTable& doc,
                                        const TagView& view,
                                        const NodeSequence& context, Axis axis,

@@ -26,21 +26,40 @@ Status WriteByteColumn(SimulatedDisk* disk, std::span<const uint8_t> column,
 
 }  // namespace
 
+uint64_t FnvMixU32(uint64_t h, uint32_t value) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    h ^= (value >> shift) & 0xFF;
+    h *= 0x100000001B3ULL;  // FNV prime
+  }
+  return h;
+}
+
 uint64_t DocColumnsDigest(const DocTable& doc) {
   uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
-  auto mix = [&h](uint64_t byte) {
-    h ^= byte;
-    h *= 0x100000001B3ULL;  // FNV prime
-  };
-  for (uint32_t post : doc.posts()) {
-    mix(post & 0xFF);
-    mix((post >> 8) & 0xFF);
-    mix((post >> 16) & 0xFF);
-    mix(post >> 24);
+  for (uint32_t post : doc.posts()) h = FnvMixU32(h, post);
+  for (uint8_t kind : doc.kinds()) {
+    h ^= kind;
+    h *= 0x100000001B3ULL;
   }
-  for (uint8_t kind : doc.kinds()) mix(kind);
-  for (uint8_t level : doc.levels()) mix(level);
+  for (uint8_t level : doc.levels()) {
+    h ^= level;
+    h *= 0x100000001B3ULL;
+  }
   return h;
+}
+
+Status WriteRankColumn(SimulatedDisk* disk, std::span<const uint32_t> column,
+                       std::vector<PageId>* pages) {
+  for (size_t start = 0; start < column.size(); start += kRanksPerPage) {
+    PageId id = disk->Allocate();
+    Page page;
+    std::memset(page.bytes, 0, kPageSize);
+    size_t count = std::min<size_t>(kRanksPerPage, column.size() - start);
+    std::memcpy(page.bytes, column.data() + start, count * sizeof(uint32_t));
+    SJ_RETURN_NOT_OK(disk->Write(id, page));
+    pages->push_back(id);
+  }
+  return Status::OK();
 }
 
 Result<std::unique_ptr<PagedDocTable>> PagedDocTable::Create(
@@ -53,16 +72,7 @@ Result<std::unique_ptr<PagedDocTable>> PagedDocTable::Create(
   paged->height_ = doc.height();
   paged->source_digest_ = DocColumnsDigest(doc);
 
-  const auto posts = doc.posts();
-  for (size_t start = 0; start < doc.size(); start += kRanksPerPage) {
-    PageId id = disk->Allocate();
-    Page page;
-    std::memset(page.bytes, 0, kPageSize);
-    size_t count = std::min<size_t>(kRanksPerPage, doc.size() - start);
-    std::memcpy(page.bytes, posts.data() + start, count * sizeof(uint32_t));
-    SJ_RETURN_NOT_OK(disk->Write(id, page));
-    paged->post_pages_.push_back(id);
-  }
+  SJ_RETURN_NOT_OK(WriteRankColumn(disk, doc.posts(), &paged->post_pages_));
   SJ_RETURN_NOT_OK(WriteByteColumn(disk, doc.kinds(), &paged->kind_pages_));
   SJ_RETURN_NOT_OK(WriteByteColumn(disk, doc.levels(), &paged->level_pages_));
   return paged;

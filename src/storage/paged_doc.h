@@ -31,6 +31,19 @@ inline constexpr uint32_t kRanksPerPage =
 /// documents can share a node count).
 uint64_t DocColumnsDigest(const DocTable& doc);
 
+/// Continues an FNV-1a digest over one little-endian uint32 value. The
+/// shared mixing step of DocColumnsDigest and FragmentColumnsDigest --
+/// the latter is defined as a continuation of the former, so both must
+/// mix identically.
+uint64_t FnvMixU32(uint64_t h, uint32_t value);
+
+/// Lays one uint32 rank column out on `disk` (kRanksPerPage values per
+/// page, zero-padded) and appends the page ids to `pages`. The shared
+/// page format of the document post column and the fragment pre/post
+/// columns -- they live behind the same BufferPool.
+Status WriteRankColumn(SimulatedDisk* disk, std::span<const uint32_t> column,
+                       std::vector<PageId>* pages);
+
 /// \brief Column-wise paged image of a DocTable (post/kind/level columns).
 class PagedDocTable {
  public:

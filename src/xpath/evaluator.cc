@@ -19,16 +19,24 @@ NodeKind PrincipalKind(Axis axis) {
 
 Evaluator::Evaluator(const DocTable& doc, EvalOptions options)
     : doc_(doc), options_(options) {
-  // Paid up front so the O(doc) digest pass never lands inside a timed
-  // query (Evaluate would otherwise compute it lazily).
+  // Paid up front so the O(doc) digest passes never land inside a timed
+  // query (Evaluate would otherwise compute them lazily).
   if (options_.backend == StorageBackend::kPaged) {
     doc_digest_ = storage::DocColumnsDigest(doc_);
+    if (options_.paged_tags != nullptr) {
+      frag_digest_ = storage::FragmentColumnsDigest(doc_, *doc_digest_);
+    }
   }
 }
 
 Result<NodeSequence> Evaluator::Evaluate(const LocationPath& path,
                                          const NodeSequence& context) {
   trace_.clear();
+  return EvaluateKeepTrace(path, context);
+}
+
+Result<NodeSequence> Evaluator::EvaluateKeepTrace(const LocationPath& path,
+                                                  const NodeSequence& context) {
   if (options_.backend == StorageBackend::kPaged) {
     if (options_.paged_doc == nullptr || options_.pool == nullptr) {
       return Status::InvalidArgument(
@@ -43,6 +51,15 @@ Result<NodeSequence> Evaluator::Evaluate(const LocationPath& path,
         options_.paged_doc->source_digest() != *doc_digest_) {
       return Status::InvalidArgument(
           "paged table does not image the evaluator's document");
+    }
+    if (options_.paged_tags != nullptr) {
+      if (!frag_digest_.has_value()) {
+        frag_digest_ = storage::FragmentColumnsDigest(doc_, *doc_digest_);
+      }
+      if (options_.paged_tags->source_digest() != *frag_digest_) {
+        return Status::InvalidArgument(
+            "paged tag index does not image the evaluator's document");
+      }
     }
   }
   NodeSequence start = context;
@@ -71,9 +88,12 @@ Result<NodeSequence> Evaluator::EvaluateString(std::string_view xpath) {
 
 Result<NodeSequence> Evaluator::Evaluate(const UnionExpr& expr,
                                          const NodeSequence& context) {
+  // One trace for the whole union: clearing per branch would leave
+  // ExplainLastQuery reporting only the final branch's steps.
+  trace_.clear();
   NodeSequence merged;
   for (const LocationPath& branch : expr.branches) {
-    SJ_ASSIGN_OR_RETURN(NodeSequence r, Evaluate(branch, context));
+    SJ_ASSIGN_OR_RETURN(NodeSequence r, EvaluateKeepTrace(branch, context));
     NodeSequence next;
     next.reserve(merged.size() + r.size());
     std::merge(merged.begin(), merged.end(), r.begin(), r.end(),
@@ -103,7 +123,15 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
 
 bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
   if (options_.engine != EngineMode::kStaircase) return false;
-  if (options_.tag_index == nullptr) return false;
+  // Backend-aware fragment selection: an IO-conscious query must read
+  // fragments through the pool, so on the paged backend only a paged tag
+  // index qualifies -- a memory-resident TagIndex would silently bypass
+  // the buffer pool and charge no faults.
+  const bool paged = options_.backend == StorageBackend::kPaged;
+  if (paged ? options_.paged_tags == nullptr
+            : options_.tag_index == nullptr) {
+    return false;
+  }
   if (step.test.kind != NodeTestKind::kName) return false;
   if (!IsStaircaseAxis(step.axis)) return false;
   switch (options_.pushdown) {
@@ -113,8 +141,11 @@ bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
       return true;
     case PushdownMode::kAuto: {
       // "...obviously makes sense for selective name tests only"
-      // (Section 4.4). The fragment size is the exact selectivity.
-      double count = static_cast<double>(options_.tag_index->tag_count(tag));
+      // (Section 4.4). The fragment size is the exact selectivity; both
+      // indexes keep it resident.
+      double count = static_cast<double>(
+          paged ? options_.paged_tags->tag_count(tag)
+                : options_.tag_index->tag_count(tag));
       return count <=
              options_.pushdown_selectivity * static_cast<double>(doc_.size());
     }
@@ -180,6 +211,13 @@ Result<NodeSequence> Evaluator::ApplyPredicates(const Step& step,
                                                 NodeSequence nodes) {
   for (const Predicate& pred : step.predicates) {
     if (nodes.empty()) break;
+    if (pred.path != nullptr && pred.path->absolute) {
+      // An absolute predicate path is context-invariant: one evaluation
+      // settles the verdict for every node of the step.
+      SJ_ASSIGN_OR_RETURN(bool holds, PredicateHolds(pred, nodes.front()));
+      if (!holds) nodes.clear();
+      continue;
+    }
     NodeSequence kept;
     kept.reserve(nodes.size());
     for (NodeId v : nodes) {
@@ -214,6 +252,9 @@ static bool IsReverseAxis(Axis axis) {
 Result<NodeSequence> Evaluator::EvalStepPositional(
     const Step& step, const NodeSequence& context) {
   NodeSequence collected;
+  // Absolute existence predicates are context-invariant; memoize the
+  // verdict once per step instead of re-evaluating per context node.
+  std::vector<std::optional<bool>> absolute_verdict(step.predicates.size());
   for (NodeId c : context) {
     JoinStats ignored;
     SJ_ASSIGN_OR_RETURN(NodeSequence axis_nodes,
@@ -224,7 +265,8 @@ Result<NodeSequence> Evaluator::EvalStepPositional(
     }
     // Predicates apply in order; each positional predicate indexes the
     // list surviving the previous ones.
-    for (const Predicate& pred : step.predicates) {
+    for (size_t p = 0; p < step.predicates.size(); ++p) {
+      const Predicate& pred = step.predicates[p];
       if (axis_nodes.empty()) break;
       NodeSequence kept;
       switch (pred.kind) {
@@ -237,6 +279,15 @@ Result<NodeSequence> Evaluator::EvalStepPositional(
           kept.push_back(axis_nodes.back());
           break;
         case Predicate::Kind::kExists:
+          if (pred.path != nullptr && pred.path->absolute) {
+            if (!absolute_verdict[p].has_value()) {
+              SJ_ASSIGN_OR_RETURN(bool holds,
+                                  PredicateHolds(pred, axis_nodes.front()));
+              absolute_verdict[p] = holds;
+            }
+            if (*absolute_verdict[p]) kept = std::move(axis_nodes);
+            break;
+          }
           for (NodeId v : axis_nodes) {
             SJ_ASSIGN_OR_RETURN(bool holds, PredicateHolds(pred, v));
             if (holds) kept.push_back(v);
@@ -298,13 +349,27 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
       trace.description = ToString(step) + " -> empty (unknown tag)";
       result.clear();
     } else if (tag.has_value() && ShouldPushdown(step, *tag)) {
-      SJ_ASSIGN_OR_RETURN(
-          result, StaircaseJoinView(doc_, options_.tag_index->view(*tag),
-                                    context, step.axis, options_.staircase,
-                                    &stats));
-      trace.description =
-          ToString(step) + " via staircase join over tag fragment '" +
-          step.test.name + "' (name-test pushdown)";
+      if (options_.backend == StorageBackend::kPaged) {
+        // The unified fragment join over the buffer-pool cursor: the
+        // pushed-down step's fragment pages AND its context postorder
+        // reads are charged to options_.pool.
+        SJ_ASSIGN_OR_RETURN(
+            result, storage::PagedStaircaseJoinView(
+                        *options_.paged_tags, *tag, *options_.paged_doc,
+                        options_.pool, context, step.axis, options_.staircase,
+                        &stats));
+        trace.description =
+            ToString(step) + " via paged staircase join over tag fragment '" +
+            step.test.name + "' (name-test pushdown)";
+      } else {
+        SJ_ASSIGN_OR_RETURN(
+            result, StaircaseJoinView(doc_, options_.tag_index->view(*tag),
+                                      context, step.axis, options_.staircase,
+                                      &stats));
+        trace.description =
+            ToString(step) + " via staircase join over tag fragment '" +
+            step.test.name + "' (name-test pushdown)";
+      }
     } else if (options_.backend == StorageBackend::kPaged) {
       // The unified kernels over the buffer-pool cursor: the same join,
       // IO-conscious. PoolStats accumulate on options_.pool.

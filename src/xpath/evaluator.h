@@ -22,6 +22,7 @@
 #include "core/tag_view.h"
 #include "encoding/doc_table.h"
 #include "storage/paged_doc.h"
+#include "storage/paged_tags.h"
 #include "util/result.h"
 #include "xpath/ast.h"
 #include "xpath/parser.h"
@@ -52,7 +53,9 @@ struct EvalOptions {
   EngineMode engine = EngineMode::kStaircase;
   StaircaseOptions staircase;
   PushdownMode pushdown = PushdownMode::kAuto;
-  /// Tag fragments; required for pushdown (pass null to disable).
+  /// Tag fragments for pushdown on the memory backend (pass null to
+  /// disable). Never consulted on the paged backend -- a memory-resident
+  /// fragment would silently bypass the buffer pool; see `paged_tags`.
   const TagIndex* tag_index = nullptr;
   /// kAuto pushes a name test down iff the tag's node count is below this
   /// fraction of the document size ("selective name tests only").
@@ -60,14 +63,19 @@ struct EvalOptions {
   /// >1 runs the partitioned parallel staircase join with this many workers.
   unsigned num_threads = 1;
   /// Storage backend for the staircase-axis joins. With kPaged, every
-  /// staircase step (except pushed-down name tests, which run over the
-  /// in-memory tag fragments) reads post/kind/level through `pool`;
-  /// `paged_doc` and `pool` are then required and must image the same
-  /// document the evaluator is bound to. Name tests, predicates and the
-  /// non-staircase axes keep using the resident tag/parent columns.
+  /// staircase step reads post/kind/level through `pool`; `paged_doc` and
+  /// `pool` are then required and must image the same document the
+  /// evaluator is bound to. Name tests, predicates and the non-staircase
+  /// axes keep using the resident tag/parent columns.
   StorageBackend backend = StorageBackend::kMemory;
   const storage::PagedDocTable* paged_doc = nullptr;
   storage::BufferPool* pool = nullptr;
+  /// Paged tag fragments for pushdown on the paged backend (pass null to
+  /// disable pushdown there). Must image the same document as the
+  /// evaluator (digest-checked) and share `pool`'s disk. Pushed-down
+  /// steps then charge their fragment page reads to `pool` instead of
+  /// diving into the memory-resident TagIndex.
+  const storage::PagedTagIndex* paged_tags = nullptr;
 };
 
 /// Per-step diagnostics (an EXPLAIN of the executed plan).
@@ -109,6 +117,9 @@ class Evaluator {
   std::string ExplainLastQuery() const;
 
  private:
+  /// Evaluate() minus the trace reset: union branches share one trace.
+  Result<NodeSequence> EvaluateKeepTrace(const LocationPath& path,
+                                         const NodeSequence& context);
   Result<NodeSequence> EvalSteps(const std::vector<Step>& steps, size_t first,
                                  NodeSequence context, bool top_level);
   Result<NodeSequence> EvalStep(const Step& step, const NodeSequence& context,
@@ -127,6 +138,9 @@ class Evaluator {
   /// paged backend images the same document (computed on first paged
   /// query).
   std::optional<uint64_t> doc_digest_;
+  /// Lazily computed FragmentColumnsDigest of doc_, the matching check
+  /// for EvalOptions::paged_tags.
+  std::optional<uint64_t> frag_digest_;
 };
 
 }  // namespace sj::xpath

@@ -1,0 +1,363 @@
+// Backend equivalence for the unified *fragment* staircase join: the ONE
+// set of Section 4.4 pushdown drivers (core/fragment_impl.h),
+// instantiated with the in-memory TagView cursor and with the
+// buffer-pool fragment cursor, must return byte-identical NodeSequences
+// -- equal to FilterByTest(StaircaseJoin(...)) -- for every staircase
+// axis x skip mode x random tree shape, with JoinStats meaning the same
+// thing as the kernels.h stats. Also drives the paged name-test pushdown
+// end-to-end through xpath::Evaluator: faults are charged to the pool,
+// EXPLAIN names the paged fragment path, and digest mismatches are
+// rejected.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "core/fragment_cursor.h"
+#include "core/staircase_join.h"
+#include "core/tag_view.h"
+#include "encoding/loader.h"
+#include "storage/paged_tags.h"
+#include "test_util.h"
+#include "util/rng.h"
+#include "xpath/evaluator.h"
+
+namespace sj::storage {
+namespace {
+
+using sj::testing::RandomContext;
+using sj::testing::RandomDocument;
+
+constexpr Axis kStaircaseAxes[] = {
+    Axis::kDescendant, Axis::kDescendantOrSelf, Axis::kAncestor,
+    Axis::kAncestorOrSelf, Axis::kFollowing, Axis::kPreceding,
+};
+constexpr SkipMode kSkipModes[] = {SkipMode::kNone, SkipMode::kSkip,
+                                   SkipMode::kEstimated};
+
+bool BytesEqual(const NodeSequence& a, const NodeSequence& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(NodeId)) == 0);
+}
+
+bool StatsEqual(const JoinStats& a, const JoinStats& b) {
+  return a.context_size == b.context_size &&
+         a.pruned_context_size == b.pruned_context_size &&
+         a.nodes_scanned == b.nodes_scanned &&
+         a.nodes_copied == b.nodes_copied &&
+         a.nodes_skipped == b.nodes_skipped && a.result_size == b.result_size;
+}
+
+/// The pushdown-equivalence oracle: join over the document, filter the
+/// name test afterwards (elements of `tag` only).
+NodeSequence JoinThenFilter(const DocTable& doc, const NodeSequence& ctx,
+                            Axis axis, TagId tag, const StaircaseOptions& opt) {
+  NodeSequence joined = StaircaseJoin(doc, ctx, axis, opt).value();
+  NodeSequence out;
+  for (NodeId v : joined) {
+    if (doc.kind(v) == NodeKind::kElement && doc.tag(v) == tag) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// A context guaranteed to contain fragment members (so the -or-self
+/// axes exercise matching selves), mixed with other random nodes.
+NodeSequence SelfMatchingContext(Rng& rng, const DocTable& doc,
+                                 const TagView& view) {
+  NodeSequence ctx = RandomContext(rng, doc, 10);
+  for (size_t i = 0; i < view.size(); i += 3) {
+    ctx.push_back(view.pre[i]);
+  }
+  std::sort(ctx.begin(), ctx.end());
+  ctx.erase(std::unique(ctx.begin(), ctx.end()), ctx.end());
+  return ctx;
+}
+
+class FragmentBackendTest : public ::testing::TestWithParam<uint64_t> {};
+
+/// The satellite acceptance matrix: both fragment backends equal the
+/// join-then-filter oracle for every staircase axis x skip mode on
+/// randomized mixed-kind trees, with byte-identical results, identical
+/// JoinStats between the backends, and kernels-consistent stats
+/// semantics (scanned = compared, copied = appended without comparison,
+/// skipped = never touched; kNone touches everything it looks at).
+TEST_P(FragmentBackendTest, BothBackendsEqualJoinThenFilter) {
+  const uint64_t seed = GetParam();
+  auto doc = RandomDocument(seed, {.target_nodes = 20000,
+                                   .attribute_percent = 30});
+  ASSERT_GT(doc->size(), 500u) << "degenerate random doc for seed " << seed;
+  TagIndex index(*doc);
+  SimulatedDisk disk;
+  auto paged_doc = PagedDocTable::Create(*doc, &disk).value();
+  auto paged_tags = PagedTagIndex::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 16);
+  Rng rng(seed * 17 + 3);
+
+  // t0/t3: populated fragments; a0: attribute-only tag (empty fragment);
+  // 999999: never-interned tag id (empty fragment).
+  std::vector<TagId> tags;
+  for (const char* name : {"t0", "t3", "a0"}) {
+    std::optional<TagId> tag = doc->tags().Lookup(name);
+    if (tag.has_value()) tags.push_back(*tag);
+  }
+  tags.push_back(999999);
+
+  for (TagId tag : tags) {
+    const TagView& view = index.view(tag);
+    NodeSequence contexts[] = {RandomContext(rng, *doc, 5),
+                               RandomContext(rng, *doc, 30),
+                               SelfMatchingContext(rng, *doc, view)};
+    for (const NodeSequence& ctx : contexts) {
+      for (Axis axis : kStaircaseAxes) {
+        for (SkipMode mode : kSkipModes) {
+          StaircaseOptions opt;
+          opt.skip_mode = mode;
+          JoinStats mem_stats, io_stats;
+          auto mem = StaircaseJoinView(*doc, view, ctx, axis, opt, &mem_stats);
+          ASSERT_TRUE(mem.ok()) << mem.status();
+          auto io = PagedStaircaseJoinView(*paged_tags, tag, *paged_doc,
+                                           &pool, ctx, axis, opt, &io_stats);
+          ASSERT_TRUE(io.ok()) << io.status();
+
+          NodeSequence oracle = JoinThenFilter(*doc, ctx, axis, tag, opt);
+          EXPECT_EQ(mem.value(), oracle)
+              << AxisName(axis) << " mode " << static_cast<int>(mode)
+              << " tag " << tag << " seed " << seed;
+          EXPECT_TRUE(BytesEqual(io.value(), mem.value()))
+              << AxisName(axis) << " mode " << static_cast<int>(mode)
+              << " tag " << tag << " seed " << seed;
+          EXPECT_TRUE(StatsEqual(io_stats, mem_stats)) << AxisName(axis);
+
+          // Kernels-consistent stats semantics, fragment slots being the
+          // unit: every slot is scanned, copied, or skipped at most once.
+          EXPECT_LE(mem_stats.nodes_scanned + mem_stats.nodes_copied +
+                        mem_stats.nodes_skipped,
+                    view.size())
+              << AxisName(axis) << " mode " << static_cast<int>(mode);
+          if (mode == SkipMode::kNone) {
+            EXPECT_EQ(mem_stats.nodes_copied, 0u);
+            EXPECT_EQ(mem_stats.nodes_skipped, 0u);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Seeds are chosen so the generator produces non-degenerate documents
+// (its top-level fanout is seed-sensitive).
+INSTANTIATE_TEST_SUITE_P(Seeds, FragmentBackendTest,
+                         ::testing::Values(41, 42, 43, 45));
+
+/// On a document whose elements all carry ONE tag, the fragment is the
+/// document, so the view join's JoinStats must match the document
+/// kernels field-for-field -- the sharpest form of "view-join stats mean
+/// the same thing as kernels.h stats". (Sole sanctioned divergence:
+/// kEstimated preceding, where the fragment join has a guaranteed-
+/// descendant copy phase the document kernel lacks; its scanned+copied
+/// must equal the kernel's scanned.)
+TEST(FragmentStatsTest, StatsMatchDocKernelsOnSingleTagDocument) {
+  std::string xml = "<t>";
+  for (int i = 0; i < 400; ++i) {
+    xml += (i % 3 == 0) ? "<t><t/><t/></t>" : "<t/>";
+  }
+  xml += "</t>";
+  auto doc = LoadDocument(xml).value();
+  TagIndex index(*doc);
+  TagId t = doc->tags().Lookup("t").value();
+  ASSERT_EQ(index.tag_count(t), doc->size());
+
+  Rng rng(7);
+  NodeSequence ctx = RandomContext(rng, *doc, 15);
+  for (Axis axis : kStaircaseAxes) {
+    for (SkipMode mode : kSkipModes) {
+      StaircaseOptions opt;
+      opt.skip_mode = mode;
+      JoinStats view_stats, doc_stats;
+      auto via_view =
+          StaircaseJoinView(*doc, index.view(t), ctx, axis, opt, &view_stats);
+      auto via_doc = StaircaseJoin(*doc, ctx, axis, opt, &doc_stats);
+      ASSERT_TRUE(via_view.ok() && via_doc.ok());
+      EXPECT_EQ(via_view.value(), via_doc.value()) << AxisName(axis);
+      if (axis == Axis::kPreceding && mode == SkipMode::kEstimated) {
+        EXPECT_EQ(view_stats.nodes_scanned + view_stats.nodes_copied,
+                  doc_stats.nodes_scanned);
+        EXPECT_GT(view_stats.nodes_copied, 0u);
+        continue;
+      }
+      EXPECT_EQ(view_stats.nodes_scanned, doc_stats.nodes_scanned)
+          << AxisName(axis) << " mode " << static_cast<int>(mode);
+      EXPECT_EQ(view_stats.nodes_copied, doc_stats.nodes_copied)
+          << AxisName(axis) << " mode " << static_cast<int>(mode);
+      EXPECT_EQ(view_stats.nodes_skipped, doc_stats.nodes_skipped)
+          << AxisName(axis) << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(PagedFragmentCursorTest, MultiPageLowerBoundMatchesMemory) {
+  // 5000 single-tag elements: the pre/post columns span multiple pages.
+  std::string xml = "<t>";
+  for (int i = 0; i < 4999; ++i) xml += "<t/>";
+  xml += "</t>";
+  auto doc = LoadDocument(xml).value();
+  TagIndex index(*doc);
+  TagId t = doc->tags().Lookup("t").value();
+  const TagView& view = index.view(t);
+  ASSERT_GT(view.size(), kRanksPerPage);
+
+  SimulatedDisk disk;
+  auto paged_tags = PagedTagIndex::Create(*doc, &disk).value();
+  ASSERT_GT(paged_tags->fragment(t).pre_pages.size(), 1u);
+  BufferPool pool(&disk, 4);
+  MemoryFragmentCursor mem(view);
+  PagedFragmentCursor io(paged_tags->fragment(t), &pool);
+  ASSERT_EQ(mem.size(), io.size());
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t pre = rng.Below(doc->size() + 2);
+    EXPECT_EQ(mem.LowerBound(pre), io.LowerBound(pre)) << "pre " << pre;
+    size_t slot = rng.Below(view.size());
+    EXPECT_EQ(mem.Pre(slot), io.Pre(slot)) << "slot " << slot;
+    EXPECT_EQ(mem.Post(slot), io.Post(slot)) << "slot " << slot;
+    if (i % 9 == 0) io.SkipTo(rng.Below(view.size() + 1));
+  }
+  EXPECT_TRUE(io.ok()) << io.status();
+}
+
+TEST(PagedFragmentCursorTest, StickyErrorOnPoolExhaustion) {
+  auto doc = RandomDocument(51, {.target_nodes = 3000});
+  SimulatedDisk disk;
+  auto paged_doc = PagedDocTable::Create(*doc, &disk).value();
+  auto paged_tags = PagedTagIndex::Create(*doc, &disk).value();
+  TagId t = doc->tags().Lookup("t0").value();
+  ASSERT_GT(paged_tags->tag_count(t), 0u);
+  BufferPool pool(&disk, 1);
+  // Starve the cursor: an outside pin occupies the single frame.
+  ASSERT_TRUE(pool.Pin(paged_doc->KindPage(0)).ok());
+  PagedFragmentCursor io(paged_tags->fragment(t), &pool);
+  (void)io.Pre(0);
+  EXPECT_FALSE(io.ok());
+  EXPECT_EQ(io.LowerBound(0), io.size());  // terminates joins quickly
+  // And the join surfaces the error instead of returning garbage.
+  auto r = PagedStaircaseJoinView(*paged_tags, t, *paged_doc, &pool, {0},
+                                  Axis::kDescendant);
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(pool.Unpin(paged_doc->KindPage(0)).ok());
+}
+
+/// The ISSUE's acceptance experiment: with StorageBackend::kPaged and
+/// PushdownMode::kAlways, a name-test step must charge pool faults on a
+/// cold pool (the memory-resident TagIndex is NOT consulted), EXPLAIN
+/// must name the paged fragment path, and results must be byte-identical
+/// to the in-memory engine.
+TEST(PagedPushdownTest, PushdownChargesThePoolAndMatchesMemory) {
+  auto doc = RandomDocument(13, {.target_nodes = 60000});
+  ASSERT_GT(doc->size(), 10000u);
+  TagIndex index(*doc);
+  SimulatedDisk disk;
+  auto paged_doc = PagedDocTable::Create(*doc, &disk).value();
+  auto paged_tags = PagedTagIndex::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 32);
+
+  xpath::EvalOptions mem_opt;
+  mem_opt.pushdown = xpath::PushdownMode::kAlways;
+  mem_opt.tag_index = &index;
+  xpath::Evaluator mem(*doc, mem_opt);
+
+  xpath::EvalOptions io_opt = mem_opt;
+  io_opt.backend = xpath::StorageBackend::kPaged;
+  io_opt.paged_doc = paged_doc.get();
+  io_opt.pool = &pool;
+  io_opt.paged_tags = paged_tags.get();
+  // tag_index stays set: faults prove the paged path does not fall back
+  // to (or silently prefer) the resident fragments.
+  xpath::Evaluator io(*doc, io_opt);
+
+  const char* queries[] = {
+      "/descendant::t0",
+      "/descendant::t0/descendant::t1",
+      "/descendant-or-self::t2/ancestor::t0",
+      "/descendant::t1/following::t3",
+      "/descendant::t3/preceding::t1",
+  };
+  for (const char* q : queries) {
+    pool.FlushAll();
+    pool.ResetStats();
+    auto expected = mem.EvaluateString(q);
+    auto got = io.EvaluateString(q);
+    ASSERT_TRUE(expected.ok()) << q << ": " << expected.status();
+    ASSERT_TRUE(got.ok()) << q << ": " << got.status();
+    EXPECT_TRUE(BytesEqual(got.value(), expected.value())) << q;
+    EXPECT_GT(pool.stats().faults, 0u) << q;
+    EXPECT_NE(io.ExplainLastQuery().find(
+                  "via paged staircase join over tag fragment"),
+              std::string::npos)
+        << io.ExplainLastQuery();
+  }
+  EXPECT_NE(io.ExplainLastQuery().find("tag fragment 't3'"),
+            std::string::npos);
+}
+
+/// Regression for the headline bug: with the paged backend and only a
+/// memory TagIndex configured, pushdown must NOT engage (it would bypass
+/// the pool) -- the step runs the paged document join instead.
+TEST(PagedPushdownTest, MemoryTagIndexDoesNotBypassThePool) {
+  auto doc = RandomDocument(17, {.target_nodes = 20000});
+  TagIndex index(*doc);
+  SimulatedDisk disk;
+  auto paged_doc = PagedDocTable::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 16);
+
+  xpath::EvalOptions io_opt;
+  io_opt.backend = xpath::StorageBackend::kPaged;
+  io_opt.paged_doc = paged_doc.get();
+  io_opt.pool = &pool;
+  io_opt.pushdown = xpath::PushdownMode::kAlways;
+  io_opt.tag_index = &index;  // no paged_tags
+  xpath::Evaluator io(*doc, io_opt);
+  auto r = io.EvaluateString("/descendant::t0");
+  ASSERT_TRUE(r.ok()) << r.status();
+  std::string explain = io.ExplainLastQuery();
+  EXPECT_EQ(explain.find("tag fragment"), std::string::npos) << explain;
+  EXPECT_NE(explain.find("via paged staircase join (buffer pool)"),
+            std::string::npos)
+      << explain;
+  EXPECT_GT(pool.stats().faults, 0u);
+}
+
+TEST(PagedPushdownTest, DigestMismatchIsRejected) {
+  // Same post/kind/level columns, different tag column: the plain doc
+  // digest cannot tell these apart, the fragment digest must.
+  auto doc_b = LoadDocument("<a><b/><b/></a>").value();
+  auto doc_c = LoadDocument("<a><c/><b/></a>").value();
+  SimulatedDisk disk;
+  auto paged_doc = PagedDocTable::Create(*doc_b, &disk).value();
+  auto wrong_tags = PagedTagIndex::Create(*doc_c, &disk).value();
+  auto right_tags = PagedTagIndex::Create(*doc_b, &disk).value();
+  ASSERT_EQ(paged_doc->source_digest(), DocColumnsDigest(*doc_c));
+  ASSERT_NE(wrong_tags->source_digest(), FragmentColumnsDigest(*doc_b));
+  BufferPool pool(&disk, 8);
+
+  xpath::EvalOptions opt;
+  opt.backend = xpath::StorageBackend::kPaged;
+  opt.paged_doc = paged_doc.get();
+  opt.pool = &pool;
+  opt.pushdown = xpath::PushdownMode::kAlways;
+  opt.paged_tags = wrong_tags.get();
+  xpath::Evaluator spoofed(*doc_b, opt);
+  EXPECT_FALSE(spoofed.EvaluateString("/descendant::b").ok());
+
+  opt.paged_tags = right_tags.get();
+  xpath::Evaluator genuine(*doc_b, opt);
+  auto r = genuine.EvaluateString("/descendant::b");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+}  // namespace
+}  // namespace sj::storage

@@ -138,6 +138,38 @@ TEST(UnionTest, ParseErrors) {
   EXPECT_FALSE(ParseXPathUnion("a | b |").ok());
 }
 
+TEST(UnionTest, ExplainCoversEveryBranch) {
+  auto doc = LoadDocument(kListDoc).value();
+  Evaluator ev(*doc);
+  ASSERT_TRUE(
+      ev.EvaluateUnionString("/child::group/child::item | /child::item").ok());
+  // Two steps from the first branch + one from the second: clearing the
+  // trace per branch used to leave only the final branch visible.
+  ASSERT_EQ(ev.last_trace().size(), 3u);
+  EXPECT_NE(ev.last_trace()[0].description.find("group"), std::string::npos);
+  EXPECT_NE(ev.ExplainLastQuery().find("step 3"), std::string::npos);
+  // A following plain Evaluate starts a fresh trace again.
+  ASSERT_TRUE(ev.EvaluateString("/child::item").ok());
+  EXPECT_EQ(ev.last_trace().size(), 1u);
+}
+
+TEST(PredicateTest, AbsolutePredicatePathsAreContextInvariant) {
+  auto doc = LoadDocument(kListDoc).value();
+  Evaluator ev(*doc);
+  // The verdict comes from the document root, not the context node: all
+  // nodes survive a true absolute predicate, none survive a false one
+  // (evaluated once per step, reused for every context node).
+  EXPECT_EQ(ev.EvaluateString("//item[/child::group]").value(),
+            ev.EvaluateString("//item").value());
+  EXPECT_TRUE(ev.EvaluateString("//item[/child::nope]").value().empty());
+  // Same on the positional (per-context) fallback path.
+  Evaluator ev2(*doc);
+  EXPECT_EQ(ev2.EvaluateString("/child::item[2][/child::group]").value(),
+            ev2.EvaluateString("/child::item[2]").value());
+  EXPECT_TRUE(
+      ev2.EvaluateString("/child::item[2][/child::nope]").value().empty());
+}
+
 // --- Collections (paper footnote 1) -----------------------------------------
 
 TEST(CollectionTest, GathersDocumentsUnderVirtualRoot) {
