@@ -24,36 +24,6 @@ using storage::PagedStaircaseJoinView;
 using storage::PagedTagIndex;
 using storage::SimulatedDisk;
 
-struct JsonRecord {
-  std::string query;
-  std::string backend;
-  double size_mb = 0;
-  uint64_t faults = 0;
-  double ms = 0;
-};
-
-void WriteJson(const std::vector<JsonRecord>& records, const char* path) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(f, "[\n");
-  for (size_t i = 0; i < records.size(); ++i) {
-    const JsonRecord& r = records[i];
-    std::fprintf(f,
-                 "  {\"query\": \"%s\", \"backend\": \"%s\", "
-                 "\"size_mb\": %.1f, \"faults\": %llu, \"ms\": %.3f}%s\n",
-                 r.query.c_str(), r.backend.c_str(), r.size_mb,
-                 static_cast<unsigned long long>(r.faults), r.ms,
-                 i + 1 < records.size() ? "," : "");
-  }
-  std::fprintf(f, "]\n");
-  std::fclose(f);
-  std::fprintf(stderr, "[json] wrote %zu records to %s\n", records.size(),
-               path);
-}
-
 /// Q1 = /site//profile//education (two descendant steps + name tests).
 NodeSequence FilterTag(const DocTable& doc, const NodeSequence& nodes,
                        TagId tag) {

@@ -1,0 +1,109 @@
+// FW2 -- whole queries through the buffer pool: XMark-style location
+// paths that interleave staircase steps (descendant) with the
+// non-staircase axis cursors (child / attribute / sibling). Before this
+// repo's axis cursors, every non-staircase step of a paged query ran
+// memory-resident -- zero faults charged, the accounting bug class the
+// ROADMAP flags ("non-staircase-axis steps ... still run
+// memory-resident; measure whether that matters on XMark"). This bench
+// answers that question: cold-pool faults and wall time per query on
+// the paged backend, next to the in-memory engine, with the fault share
+// now covering every step. Results land in BENCH_mixed_axes.json as
+//   {"query", "backend", "size_mb", "faults", "ms"}
+// records so the perf trajectory is machine-readable.
+
+#include <vector>
+
+#include "bench_util.h"
+#include "storage/paged_doc.h"
+#include "xpath/evaluator.h"
+
+namespace sj::bench {
+namespace {
+
+using storage::BufferPool;
+using storage::PagedDocTable;
+using storage::SimulatedDisk;
+
+/// Queries mixing staircase and non-staircase steps over the XMark
+/// schema (site/open_auctions/open_auction/bidder/increase,
+/// site/people/person/profile/education, @id on person/open_auction).
+constexpr const char* kQueries[] = {
+    "/descendant::open_auction/child::bidder/child::increase",
+    "/child::people/child::person/child::profile/child::education",
+    "/descendant::person/attribute::id",
+    "/descendant::bidder/following-sibling::bidder",
+    "/descendant::increase/parent::bidder/preceding-sibling::bidder",
+};
+
+void Run() {
+  PrintHeader("FW2 (axis cursors)",
+              "mixed staircase + child/attribute/sibling queries: every "
+              "step IO-charged on the paged backend");
+  std::vector<JsonRecord> json;
+
+  TablePrinter t({"doc size", "query", "memory [ms]", "paged cold [ms]",
+                  "faults", "pins", "result"});
+  for (double mb : BenchSizes()) {
+    Workload w = MakeWorkload(mb, /*with_index=*/false);
+    SimulatedDisk disk;
+    auto paged = PagedDocTable::Create(*w.doc, &disk).value();
+    BufferPool pool(&disk, 64);
+
+    for (const char* q : kQueries) {
+      xpath::Evaluator mem(*w.doc);
+      size_t result_size = 0;
+      double mem_ms = BestOfMillis(BenchReps(), [&] {
+        auto r = mem.EvaluateString(q);
+        if (!r.ok()) {
+          std::fprintf(stderr, "query failed: %s\n",
+                       r.status().ToString().c_str());
+          std::abort();
+        }
+        result_size = r.value().size();
+      });
+
+      xpath::EvalOptions opt;
+      opt.backend = xpath::StorageBackend::kPaged;
+      opt.paged_doc = paged.get();
+      opt.pool = &pool;
+      xpath::Evaluator io(*w.doc, opt);
+      // Cold pool each repetition: faults are deterministic and the
+      // time includes the paging.
+      double io_ms = -1;
+      for (int rep = 0; rep < BenchReps(); ++rep) {
+        pool.FlushAll();
+        pool.ResetStats();
+        Timer timer;
+        auto r = io.EvaluateString(q);
+        double ms = timer.ElapsedMillis();
+        if (!r.ok() || r.value().size() != result_size) {
+          std::fprintf(stderr, "paged query diverged: %s\n", q);
+          std::abort();
+        }
+        if (io_ms < 0 || ms < io_ms) io_ms = ms;
+      }
+      const storage::PoolStats ps = pool.stats();
+
+      t.AddRow({SizeLabel(mb), q, TablePrinter::Fixed(mem_ms, 2),
+                TablePrinter::Fixed(io_ms, 2), TablePrinter::Count(ps.faults),
+                TablePrinter::Count(ps.pins),
+                TablePrinter::Count(result_size)});
+      json.push_back({q, "memory", mb, 0, mem_ms});
+      json.push_back({q, "paged-cold", mb, ps.faults, io_ms});
+    }
+  }
+  t.Print();
+  std::printf("every step -- descendant joins, child/attribute/sibling "
+              "cursors, and the folded node tests -- charges its "
+              "post/kind/level/parent/tag reads to the pool; nothing runs "
+              "memory-resident\n");
+  WriteJson(json, "BENCH_mixed_axes.json");
+}
+
+}  // namespace
+}  // namespace sj::bench
+
+int main() {
+  sj::bench::Run();
+  return 0;
+}

@@ -1,10 +1,14 @@
-// The storage-backend cursor abstraction of the staircase join.
+// The storage-backend cursor abstraction of the staircase join and of
+// the non-staircase axis steps.
 //
 // The Section 3/4 algorithms only ever touch the doc encoding through
 // sequential post/kind/level reads over a pre-rank range plus forward
-// jumps ("skipping"). That access pattern is captured here as the
-// DocAccessor concept so the algorithm bodies (core/kernels.h and
-// core/staircase_impl.h) exist exactly once, generic over the backend:
+// jumps ("skipping"); the remaining XPath axes (child, parent, siblings,
+// attribute, self) and the node-test filter additionally read the
+// parent and tag columns. That access pattern is captured here as the
+// DocAccessor concept so the algorithm bodies (core/kernels.h,
+// core/staircase_impl.h and core/axis_impl.h) exist exactly once,
+// generic over the backend:
 //
 //   * MemoryDocAccessor (below) reads the DocTable BATs directly; every
 //     method inlines to a raw array access, so the instantiated kernels
@@ -38,6 +42,8 @@ concept DocAccessor = requires(A a, const A ca, uint64_t pre) {
   { a.Post(pre) } -> std::convertible_to<uint32_t>;
   { a.Kind(pre) } -> std::convertible_to<uint8_t>;
   { a.Level(pre) } -> std::convertible_to<uint8_t>;
+  { a.Parent(pre) } -> std::convertible_to<NodeId>;
+  { a.Tag(pre) } -> std::convertible_to<TagId>;
   { a.SkipTo(pre) };
   { ca.ok() } -> std::convertible_to<bool>;
   { ca.status() } -> std::convertible_to<Status>;
@@ -53,12 +59,16 @@ class MemoryDocAccessor {
       : post_(doc.posts().data()),
         kind_(doc.kinds().data()),
         level_(doc.levels().data()),
+        parent_(doc.parents().data()),
+        tag_(doc.tags_column().data()),
         size_(doc.size()) {}
 
   size_t size() const { return size_; }
   uint32_t Post(uint64_t pre) const { return post_[pre]; }
   uint8_t Kind(uint64_t pre) const { return kind_[pre]; }
   uint8_t Level(uint64_t pre) const { return level_[pre]; }
+  NodeId Parent(uint64_t pre) const { return parent_[pre]; }
+  TagId Tag(uint64_t pre) const { return tag_[pre]; }
   void SkipTo(uint64_t) const {}  // random access: jumps cost nothing
   bool ok() const { return true; }
   Status status() const { return Status::OK(); }
@@ -67,6 +77,8 @@ class MemoryDocAccessor {
   const uint32_t* post_;
   const uint8_t* kind_;
   const uint8_t* level_;
+  const uint32_t* parent_;
+  const uint32_t* tag_;
   size_t size_;
 };
 

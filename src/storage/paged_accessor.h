@@ -1,11 +1,13 @@
-// PagedDocAccessor: the buffer-pool backend of the staircase join.
+// PagedDocAccessor: the buffer-pool backend of the staircase join and
+// the non-staircase axis cursors.
 //
 // Implements the DocAccessor concept (core/doc_accessor.h) over a
-// PagedDocTable: every post/kind/level read pins the page holding the
-// rank through the BufferPool, and sequential scans hold exactly one page
-// per column so each page of a partition is pinned once. SkipTo releases
-// the held pages when a kernel jumps over an empty region, which is how
-// the paper's "nodes never touched" becomes disk pages never read.
+// PagedDocTable: every post/kind/level/parent/tag read pins the page
+// holding the rank through the BufferPool, and sequential scans hold
+// exactly one page per column so each page of a partition is pinned
+// once. SkipTo releases the held pages when a kernel jumps over an empty
+// region, which is how the paper's "nodes never touched" becomes disk
+// pages never read.
 //
 // Error model: Pin can fail (e.g. every frame pinned in an undersized
 // pool). The accessor is sticky-error -- the first failure is recorded,
@@ -71,17 +73,21 @@ class PageGuard {
 /// \brief DocAccessor over paged columns behind a buffer pool.
 ///
 /// Borrows the table and the pool; both must outlive the accessor. One
-/// accessor holds up to three pinned pages (one per column). Accessors
-/// are not thread-safe, but independent accessors may share one pool
-/// (BufferPool is internally synchronized) -- the parallel paged join
-/// gives each worker its own accessor.
+/// accessor holds up to five pinned pages (one per column actually
+/// read; the staircase kernels touch at most post/kind/level, the axis
+/// cursors additionally parent/tag). Accessors are not thread-safe, but
+/// independent accessors may share one pool (BufferPool is internally
+/// synchronized) -- the parallel paged join gives each worker its own
+/// accessor.
 class PagedDocAccessor {
  public:
   PagedDocAccessor(const PagedDocTable& doc, BufferPool* pool)
       : doc_(&doc),
         post_guard_(pool),
         kind_guard_(pool),
-        level_guard_(pool) {}
+        level_guard_(pool),
+        parent_guard_(pool),
+        tag_guard_(pool) {}
 
   size_t size() const { return doc_->size(); }
 
@@ -110,6 +116,29 @@ class PagedDocAccessor {
     return page == nullptr ? 0 : page[pre % kPageSize];
   }
 
+  NodeId Parent(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    const uint8_t* page =
+        parent_guard_.Get(doc_->ParentPage(static_cast<NodeId>(pre)),
+                          &status_);
+    if (page == nullptr) return 0;
+    uint32_t value;
+    std::memcpy(&value, page + (pre % kRanksPerPage) * sizeof(uint32_t),
+                sizeof(uint32_t));
+    return value;
+  }
+
+  TagId Tag(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    const uint8_t* page =
+        tag_guard_.Get(doc_->TagPage(static_cast<NodeId>(pre)), &status_);
+    if (page == nullptr) return 0;
+    uint32_t value;
+    std::memcpy(&value, page + (pre % kRanksPerPage) * sizeof(uint32_t),
+                sizeof(uint32_t));
+    return value;
+  }
+
   /// A kernel jumps to pre rank `pre`: drop held pages the jump leaves
   /// behind so the pool can evict them (pages in between are never read).
   void SkipTo(uint64_t pre) {
@@ -117,11 +146,15 @@ class PagedDocAccessor {
       post_guard_.Release();
       kind_guard_.Release();
       level_guard_.Release();
+      parent_guard_.Release();
+      tag_guard_.Release();
       return;
     }
     post_guard_.ReleaseUnless(doc_->PostPage(static_cast<NodeId>(pre)));
     kind_guard_.ReleaseUnless(doc_->KindPage(static_cast<NodeId>(pre)));
     level_guard_.ReleaseUnless(doc_->LevelPage(static_cast<NodeId>(pre)));
+    parent_guard_.ReleaseUnless(doc_->ParentPage(static_cast<NodeId>(pre)));
+    tag_guard_.ReleaseUnless(doc_->TagPage(static_cast<NodeId>(pre)));
   }
 
   bool ok() const { return status_.ok(); }
@@ -132,6 +165,8 @@ class PagedDocAccessor {
   PageGuard post_guard_;
   PageGuard kind_guard_;
   PageGuard level_guard_;
+  PageGuard parent_guard_;
+  PageGuard tag_guard_;
   Status status_;
 };
 

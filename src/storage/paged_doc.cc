@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "core/axis_impl.h"
 #include "core/staircase_impl.h"
 #include "storage/paged_accessor.h"
 
@@ -45,6 +46,10 @@ uint64_t DocColumnsDigest(const DocTable& doc) {
     h ^= level;
     h *= 0x100000001B3ULL;
   }
+  // The axis cursors read parent and tag through the pool as well, so a
+  // stale parent/tag page image must fail the digest check too.
+  for (uint32_t parent : doc.parents()) h = FnvMixU32(h, parent);
+  for (uint32_t tag : doc.tags_column()) h = FnvMixU32(h, tag);
   return h;
 }
 
@@ -75,6 +80,10 @@ Result<std::unique_ptr<PagedDocTable>> PagedDocTable::Create(
   SJ_RETURN_NOT_OK(WriteRankColumn(disk, doc.posts(), &paged->post_pages_));
   SJ_RETURN_NOT_OK(WriteByteColumn(disk, doc.kinds(), &paged->kind_pages_));
   SJ_RETURN_NOT_OK(WriteByteColumn(disk, doc.levels(), &paged->level_pages_));
+  SJ_RETURN_NOT_OK(
+      WriteRankColumn(disk, doc.parents(), &paged->parent_pages_));
+  SJ_RETURN_NOT_OK(
+      WriteRankColumn(disk, doc.tags_column(), &paged->tag_pages_));
   return paged;
 }
 
@@ -113,7 +122,8 @@ Result<NodeSequence> ParallelPagedStaircaseJoin(const PagedDocTable& doc,
   const bool desc =
       axis == Axis::kDescendant || axis == Axis::kDescendantOrSelf;
   const bool anc = axis == Axis::kAncestor || axis == Axis::kAncestorOrSelf;
-  // Each worker holds up to three pinned pages (one per column), and the
+  // Each worker holds up to three pinned pages (the staircase kernels
+  // read only the post/kind/level columns, never parent/tag), and the
   // driver's own accessor holds one more during pruning; leave room so
   // no worker starves the pool.
   unsigned max_workers = static_cast<unsigned>((pool->capacity() - 1) / 3);
@@ -124,6 +134,31 @@ Result<NodeSequence> ParallelPagedStaircaseJoin(const PagedDocTable& doc,
   return internal::ParallelStaircaseJoinOver(
       [&doc, pool] { return PagedDocAccessor(doc, pool); }, context, axis,
       options, workers, stats);
+}
+
+Result<NodeSequence> PagedAxisCursorStep(const PagedDocTable& doc,
+                                         BufferPool* pool,
+                                         const NodeSequence& context, Axis axis,
+                                         const AxisNodeTest& test,
+                                         JoinStats* stats) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("pool must not be null");
+  }
+  PagedDocAccessor acc(doc, pool);
+  return internal::AxisStepOver(acc, context, axis, test, stats);
+}
+
+Result<NodeSequence> PagedFilterByTest(const PagedDocTable& doc,
+                                       BufferPool* pool,
+                                       const NodeSequence& nodes,
+                                       const AxisNodeTest& test) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("pool must not be null");
+  }
+  PagedDocAccessor acc(doc, pool);
+  NodeSequence out = internal::FilterSequenceOver(acc, nodes, test);
+  if (!acc.ok()) return acc.status();
+  return out;
 }
 
 }  // namespace sj::storage

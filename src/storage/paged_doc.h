@@ -1,20 +1,22 @@
-// Paged document columns and the paged staircase join shims.
+// Paged document columns and the paged staircase/axis join shims.
 //
-// PagedDocTable lays the doc encoding's post/kind/level columns out in
-// disk pages (column-wise, 2048 post ranks or 8192 kind/level bytes per
-// page) behind a BufferPool. The staircase-join algorithms themselves
-// live ONCE in core/ (core/staircase_impl.h), generic over the
-// DocAccessor cursor concept; PagedStaircaseJoin and
-// ParallelPagedStaircaseJoin below are thin shims that instantiate those
-// kernels with the PagedDocAccessor backend (storage/paged_accessor.h).
-// Skipping then turns the paper's "nodes never touched" directly into
-// disk pages never read.
+// PagedDocTable lays the doc encoding's post/kind/level/parent/tag
+// columns out in disk pages (column-wise, 2048 ranks or 8192 kind/level
+// bytes per page) behind a BufferPool. The join algorithms themselves
+// live ONCE in core/ (core/staircase_impl.h for the staircase axes,
+// core/axis_impl.h for the remaining axes), generic over the
+// DocAccessor cursor concept; PagedStaircaseJoin,
+// ParallelPagedStaircaseJoin and PagedAxisCursorStep below are thin
+// shims that instantiate those kernels with the PagedDocAccessor
+// backend (storage/paged_accessor.h). Skipping then turns the paper's
+// "nodes never touched" directly into disk pages never read.
 
 #ifndef STAIRJOIN_STORAGE_PAGED_DOC_H_
 #define STAIRJOIN_STORAGE_PAGED_DOC_H_
 
 #include <memory>
 
+#include "core/axis_step.h"
 #include "core/staircase_join.h"
 #include "encoding/doc_table.h"
 #include "storage/buffer_pool.h"
@@ -25,10 +27,11 @@ namespace sj::storage {
 inline constexpr uint32_t kRanksPerPage =
     static_cast<uint32_t>(kPageSize / sizeof(uint32_t));
 
-/// FNV-1a digest over the post/kind/level columns. Identifies the
-/// encoding a PagedDocTable images, so consumers holding both a DocTable
-/// and a PagedDocTable can detect mismatched pairs (two different
-/// documents can share a node count).
+/// FNV-1a digest over the post/kind/level/parent/tag columns. Identifies
+/// the encoding a PagedDocTable images, so consumers holding both a
+/// DocTable and a PagedDocTable can detect mismatched pairs (two
+/// different documents can share a node count, and two documents with
+/// identical structure can still differ in the tag column).
 uint64_t DocColumnsDigest(const DocTable& doc);
 
 /// Continues an FNV-1a digest over one little-endian uint32 value. The
@@ -64,6 +67,12 @@ class PagedDocTable {
   PageId KindPage(NodeId v) const { return kind_pages_[v / kPageSize]; }
   /// Page holding level(v).
   PageId LevelPage(NodeId v) const { return level_pages_[v / kPageSize]; }
+  /// Page holding parent(v).
+  PageId ParentPage(NodeId v) const {
+    return parent_pages_[v / kRanksPerPage];
+  }
+  /// Page holding tag(v).
+  PageId TagPage(NodeId v) const { return tag_pages_[v / kRanksPerPage]; }
 
   /// Total pages used by the post column.
   size_t post_page_count() const { return post_pages_.size(); }
@@ -83,6 +92,8 @@ class PagedDocTable {
   std::vector<PageId> post_pages_;
   std::vector<PageId> kind_pages_;
   std::vector<PageId> level_pages_;
+  std::vector<PageId> parent_pages_;
+  std::vector<PageId> tag_pages_;
 };
 
 /// \brief Staircase join over paged columns.
@@ -110,6 +121,26 @@ Result<NodeSequence> ParallelPagedStaircaseJoin(
     const PagedDocTable& doc, BufferPool* pool, const NodeSequence& context,
     Axis axis, const StaircaseOptions& options = {}, unsigned num_threads = 1,
     JoinStats* stats = nullptr);
+
+/// \brief Set-at-a-time non-staircase axis step over paged columns.
+///
+/// A shim over the backend-generic axis kernels (core/axis_impl.h)
+/// instantiated with PagedDocAccessor: the IO-conscious twin of
+/// AxisCursorStep (core/axis_step.h). Every post/kind/level/parent/tag
+/// read -- including the folded node test -- is charged to `pool`.
+Result<NodeSequence> PagedAxisCursorStep(const PagedDocTable& doc,
+                                         BufferPool* pool,
+                                         const NodeSequence& context, Axis axis,
+                                         const AxisNodeTest& test = {},
+                                         JoinStats* stats = nullptr);
+
+/// \brief Node-test filter over paged columns: keeps the nodes of a
+/// document-order sequence that satisfy `test`, reading kind/tag through
+/// `pool` (the IO-conscious twin of FilterByTest's per-node reads).
+Result<NodeSequence> PagedFilterByTest(const PagedDocTable& doc,
+                                       BufferPool* pool,
+                                       const NodeSequence& nodes,
+                                       const AxisNodeTest& test);
 
 }  // namespace sj::storage
 

@@ -4,6 +4,7 @@
 #include <iterator>
 
 #include "baselines/naive.h"
+#include "core/axis_step.h"
 #include "util/timer.h"
 
 namespace sj::xpath {
@@ -13,6 +14,32 @@ namespace {
 /// element everywhere else; we have no namespace axis).
 NodeKind PrincipalKind(Axis axis) {
   return axis == Axis::kAttribute ? NodeKind::kAttribute : NodeKind::kElement;
+}
+
+/// Lowers a step's node test into the kernel-foldable AxisNodeTest.
+/// `tag` must carry the interned code when the test names a tag (kName,
+/// or kPi with a target); never-interned names short-circuit to the
+/// empty sequence before this is called.
+AxisNodeTest MakeAxisNodeTest(const Step& step,
+                              const std::optional<TagId>& tag) {
+  switch (step.test.kind) {
+    case NodeTestKind::kAnyNode:
+      return {};
+    case NodeTestKind::kAnyName:
+      return AxisNodeTest::OfKind(PrincipalKind(step.axis));
+    case NodeTestKind::kName:
+      return AxisNodeTest::OfKindAndTag(PrincipalKind(step.axis), *tag);
+    case NodeTestKind::kText:
+      return AxisNodeTest::OfKind(NodeKind::kText);
+    case NodeTestKind::kComment:
+      return AxisNodeTest::OfKind(NodeKind::kComment);
+    case NodeTestKind::kPi:
+      return step.test.name.empty()
+                 ? AxisNodeTest::OfKind(NodeKind::kProcessingInstruction)
+                 : AxisNodeTest::OfKindAndTag(
+                       NodeKind::kProcessingInstruction, *tag);
+  }
+  return {};
 }
 
 }  // namespace
@@ -115,7 +142,20 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
                                           bool top_level) {
   NodeSequence current = std::move(context);
   for (size_t i = first; i < steps.size(); ++i) {
-    if (current.empty()) return NodeSequence{};
+    if (current.empty()) {
+      // The remaining steps cannot produce anything, but EXPLAIN must
+      // still list one entry per step of the query -- a trace shorter
+      // than the path would misreport the executed plan.
+      if (top_level) {
+        for (size_t k = i; k < steps.size(); ++k) {
+          StepTrace skipped;
+          skipped.description =
+              ToString(steps[k]) + " -> empty (short-circuited)";
+          trace_.push_back(std::move(skipped));
+        }
+      }
+      return NodeSequence{};
+    }
     SJ_ASSIGN_OR_RETURN(current, EvalStep(steps[i], current, top_level));
   }
   return current;
@@ -316,12 +356,19 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
   for (const Predicate& pred : step.predicates) {
     positional = positional || pred.kind != Predicate::Kind::kExists;
   }
+  const bool paged = options_.backend == StorageBackend::kPaged;
   if (positional) {
     SJ_ASSIGN_OR_RETURN(result, EvalStepPositional(step, context));
     if (top_level) {
       trace.description =
           ToString(step) + " via per-context evaluation (positional "
           "predicate)";
+      if (paged) {
+        // Until positional steps are set-at-a-time they read the
+        // resident columns; disk experiments must not mistake them for
+        // IO-charged steps.
+        trace.description += " (memory-resident -- bypasses buffer pool)";
+      }
       trace.stats.context_size = context.size();
       trace.stats.result_size = result.size();
       trace.millis = timer.ElapsedMillis();
@@ -331,25 +378,35 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
   }
 
   const bool staircase_axis = IsStaircaseAxis(step.axis);
-  // std::nullopt: the step's name test references a never-interned name
-  // and can only produce the empty sequence (a trace entry is still
-  // recorded below). Distinct from a text/comment node's kNoTag column
-  // value, which Lookup can never return.
+  // std::nullopt: the step's name test (or PI target) references a
+  // never-interned name and can only produce the empty sequence (a trace
+  // entry is still recorded below). Distinct from a text/comment node's
+  // kNoTag column value, which Lookup can never return.
   std::optional<TagId> tag;
-  if (step.test.kind == NodeTestKind::kName) {
-    tag = doc_.tags().Lookup(step.test.name);
-  }
+  const bool needs_tag = step.test.kind == NodeTestKind::kName ||
+                         (step.test.kind == NodeTestKind::kPi &&
+                          !step.test.name.empty());
+  if (needs_tag) tag = doc_.tags().Lookup(step.test.name);
 
-  // Whether the branch taken below produced raw axis results that still
-  // need the node-test filter (pushdown already filters via the view;
-  // node() keeps every node, so the pass is skipped for kAnyNode).
-  bool filter_after = false;
-  if (options_.engine == EngineMode::kStaircase && staircase_axis) {
-    if (step.test.kind == NodeTestKind::kName && !tag.has_value()) {
-      trace.description = ToString(step) + " -> empty (unknown tag)";
-      result.clear();
-    } else if (tag.has_value() && ShouldPushdown(step, *tag)) {
-      if (options_.backend == StorageBackend::kPaged) {
+  if (options_.engine != EngineMode::kStaircase) {
+    // Naive engine: per-context evaluation with sort + unique (the
+    // "standard RDBMS join algorithms" route of [8]), per-node filter.
+    SJ_ASSIGN_OR_RETURN(result, NaiveAxisStep(doc_, context, step.axis,
+                                              &stats));
+    trace.description = ToString(step) + " via per-context evaluation";
+    if (step.test.kind != NodeTestKind::kAnyNode) {
+      result = FilterByTest(step, result);
+    }
+  } else if (needs_tag && !tag.has_value()) {
+    trace.description = ToString(step) + " -> empty (unknown tag)";
+    result.clear();
+  } else if (staircase_axis) {
+    // Whether the branch taken below produced raw axis results that
+    // still need the node-test filter (pushdown already filters via the
+    // fragment; node() keeps every node).
+    bool filter_after = false;
+    if (step.test.kind == NodeTestKind::kName && ShouldPushdown(step, *tag)) {
+      if (paged) {
         // The unified fragment join over the buffer-pool cursor: the
         // pushed-down step's fragment pages AND its context postorder
         // reads are charged to options_.pool.
@@ -370,7 +427,7 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
             ToString(step) + " via staircase join over tag fragment '" +
             step.test.name + "' (name-test pushdown)";
       }
-    } else if (options_.backend == StorageBackend::kPaged) {
+    } else if (paged) {
       // The unified kernels over the buffer-pool cursor: the same join,
       // IO-conscious. PoolStats accumulate on options_.pool.
       if (options_.num_threads > 1) {
@@ -412,16 +469,39 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
               : ToString(step) + " via staircase join";
       filter_after = true;
     }
+    if (filter_after && step.test.kind != NodeTestKind::kAnyNode) {
+      // The node-test pass reads kind/tag through the step's backend
+      // cursor, so even the filter is charged to the pool on the paged
+      // backend (FilterByTest's resident reads left the hot path).
+      AxisNodeTest test = MakeAxisNodeTest(step, tag);
+      if (paged) {
+        SJ_ASSIGN_OR_RETURN(
+            result, storage::PagedFilterByTest(*options_.paged_doc,
+                                               options_.pool, result, test));
+      } else {
+        result = FilterByTestSequence(doc_, result, test);
+      }
+    }
   } else {
-    // Naive engine, or a non-staircase axis: per-context evaluation with
-    // sort + unique (the "standard RDBMS join algorithms" route of [8]).
-    SJ_ASSIGN_OR_RETURN(result, NaiveAxisStep(doc_, context, step.axis,
-                                              &stats));
-    trace.description = ToString(step) + " via per-context evaluation";
-    filter_after = true;
-  }
-  if (filter_after && step.test.kind != NodeTestKind::kAnyNode) {
-    result = FilterByTest(step, result);
+    // Non-staircase axis: the set-at-a-time cursor kernels with the
+    // node test folded into the scan -- the per-context NaiveAxisStep
+    // is a baseline only (positional predicates excepted).
+    AxisNodeTest test = MakeAxisNodeTest(step, tag);
+    if (paged) {
+      SJ_ASSIGN_OR_RETURN(
+          result, storage::PagedAxisCursorStep(*options_.paged_doc,
+                                               options_.pool, context,
+                                               step.axis, test, &stats));
+      trace.description = ToString(step) + " via paged " +
+                          std::string(AxisName(step.axis)) +
+                          "-axis cursor join (buffer pool)";
+    } else {
+      SJ_ASSIGN_OR_RETURN(result, AxisCursorStep(doc_, context, step.axis,
+                                                 test, &stats));
+      trace.description = ToString(step) + " via " +
+                          std::string(AxisName(step.axis)) +
+                          "-axis cursor join";
+    }
   }
 
   SJ_ASSIGN_OR_RETURN(result, ApplyPredicates(step, std::move(result)));

@@ -4,10 +4,13 @@
 // node sequence output by step si is the context sequence of step si+1
 // (paper Section 2.1). Staircase axes run through the staircase join (with
 // optional name-test pushdown onto tag fragments, Section 4.4 Experiment 3
-// + Section 6 fragmentation); the remaining axes are supported by standard
-// per-context algorithms over the parent/subtree columns, as the XPath
-// accelerator prescribes. A fully naive engine is provided as the
-// tree-unaware comparator and as an independent correctness oracle.
+// + Section 6 fragmentation); the remaining axes run through the
+// set-at-a-time axis cursor kernels (core/axis_step.h) over the same
+// DocAccessor backends, with the step's node test folded into the scan --
+// so on the paged backend *every* step of a query charges its column
+// reads to the buffer pool. A fully naive engine is provided as the
+// tree-unaware comparator and as an independent correctness oracle;
+// positional predicates still force per-context evaluation.
 
 #ifndef STAIRJOIN_XPATH_EVALUATOR_H_
 #define STAIRJOIN_XPATH_EVALUATOR_H_
@@ -62,11 +65,13 @@ struct EvalOptions {
   double pushdown_selectivity = 0.125;
   /// >1 runs the partitioned parallel staircase join with this many workers.
   unsigned num_threads = 1;
-  /// Storage backend for the staircase-axis joins. With kPaged, every
-  /// staircase step reads post/kind/level through `pool`; `paged_doc` and
-  /// `pool` are then required and must image the same document the
-  /// evaluator is bound to. Name tests, predicates and the non-staircase
-  /// axes keep using the resident tag/parent columns.
+  /// Storage backend for the axis-step joins. With kPaged, every step --
+  /// staircase joins, the non-staircase axis cursors AND the node-test
+  /// filters -- reads post/kind/level/parent/tag through `pool`;
+  /// `paged_doc` and `pool` are then required and must image the same
+  /// document the evaluator is bound to. Only positional-predicate
+  /// steps still run per-context over the resident columns (EXPLAIN
+  /// flags them as bypassing the pool).
   StorageBackend backend = StorageBackend::kMemory;
   const storage::PagedDocTable* paged_doc = nullptr;
   storage::BufferPool* pool = nullptr;

@@ -331,15 +331,16 @@ TEST(PagedPushdownTest, MemoryTagIndexDoesNotBypassThePool) {
 }
 
 TEST(PagedPushdownTest, DigestMismatchIsRejected) {
-  // Same post/kind/level columns, different tag column: the plain doc
-  // digest cannot tell these apart, the fragment digest must.
+  // Same post/kind/level columns, different tag column: both the doc
+  // digest (which covers parent/tag since the axis cursors page them)
+  // and the fragment digest must tell these apart.
   auto doc_b = LoadDocument("<a><b/><b/></a>").value();
   auto doc_c = LoadDocument("<a><c/><b/></a>").value();
   SimulatedDisk disk;
   auto paged_doc = PagedDocTable::Create(*doc_b, &disk).value();
   auto wrong_tags = PagedTagIndex::Create(*doc_c, &disk).value();
   auto right_tags = PagedTagIndex::Create(*doc_b, &disk).value();
-  ASSERT_EQ(paged_doc->source_digest(), DocColumnsDigest(*doc_c));
+  ASSERT_NE(paged_doc->source_digest(), DocColumnsDigest(*doc_c));
   ASSERT_NE(wrong_tags->source_digest(), FragmentColumnsDigest(*doc_b));
   BufferPool pool(&disk, 8);
 
