@@ -1,15 +1,14 @@
 // FW1 -- Future work (paper Section 6): staircase join in a disk-based
-// RDBMS. A full multi-step XPath query runs through xpath::Evaluator over
-// the paged/BufferPool backend -- every staircase step reads its columns
+// RDBMS. A full multi-step XPath query runs through a Session over the
+// paged/BufferPool backend -- every staircase step reads its columns
 // through an LRU buffer pool over a simulated disk -- and the experiment
 // reports page faults under the three skip modes and several buffer
 // sizes. Skipping turns "nodes never touched" into pages never read: the
 // disk-based payoff the paper anticipates, now for whole location paths
-// rather than a single join.
+// rather than a single join. Each configuration gets a private cold pool
+// (SessionOptions::private_pool_pages), so runs never warm each other.
 
 #include "bench_util.h"
-#include "storage/paged_doc.h"
-#include "xpath/evaluator.h"
 
 namespace sj::bench {
 namespace {
@@ -22,12 +21,12 @@ void Run() {
               "paged XPath evaluation: page faults for "
               "//people//profile//interest");
   double mb = BenchSizes().size() > 2 ? BenchSizes()[2] : BenchSizes().back();
-  Workload w = MakeWorkload(mb, /*with_index=*/false);
-  storage::SimulatedDisk disk;
-  auto paged = storage::PagedDocTable::Create(*w.doc, &disk).value();
+  DatabaseOptions open;
+  open.build_tag_index = false;  // this experiment joins over the document
+  auto db = MakeDatabase(mb, open);
   std::printf("document %s: %zu nodes, %zu post pages of %zu bytes\n\n",
-              SizeLabel(mb).c_str(), w.doc->size(),
-              paged->post_page_count(), storage::kPageSize);
+              SizeLabel(mb).c_str(), db->doc().size(),
+              db->paged_doc()->post_page_count(), storage::kPageSize);
 
   TablePrinter t({"buffer [pages]", "skip mode", "page faults", "page pins",
                   "hit rate", "result", "time [ms]"});
@@ -39,30 +38,32 @@ void Run() {
     for (ModeRow m : {ModeRow{"none", SkipMode::kNone},
                       ModeRow{"skip", SkipMode::kSkip},
                       ModeRow{"estimated", SkipMode::kEstimated}}) {
-      storage::BufferPool pool(&disk, pool_pages);
-      xpath::EvalOptions opt;
-      opt.backend = xpath::StorageBackend::kPaged;
-      opt.paged_doc = paged.get();
-      opt.pool = &pool;
+      SessionOptions opt;
+      opt.backend = StorageBackend::kPaged;
+      opt.pushdown = PushdownMode::kNever;  // measure the document scan
       opt.staircase.skip_mode = m.mode;
-      xpath::Evaluator eval(*w.doc, opt);
-      Timer timer;
-      auto r = eval.EvaluateString(kQuery);
-      double ms = timer.ElapsedMillis();
+      opt.private_pool_pages = pool_pages;  // cold pool per configuration
+      auto session = db->CreateSession(opt);
+      if (!session.ok()) {
+        std::fprintf(stderr, "session failed: %s\n",
+                     session.status().ToString().c_str());
+        std::abort();
+      }
+      auto r = session.value().Run(kQuery);
       if (!r.ok()) {
         std::fprintf(stderr, "query failed: %s\n",
                      r.status().ToString().c_str());
         std::abort();
       }
-      const storage::PoolStats ps = pool.stats();
+      const storage::PoolStats ps = session.value().pool()->stats();
       t.AddRow({std::to_string(pool_pages), m.name,
                 TablePrinter::Count(ps.faults), TablePrinter::Count(ps.pins),
                 TablePrinter::Fixed(
                     100.0 * static_cast<double>(ps.hits) /
                         static_cast<double>(ps.pins),
                     1) + " %",
-                TablePrinter::Count(r.value().size()),
-                TablePrinter::Fixed(ms, 2)});
+                TablePrinter::Count(r.value().nodes.size()),
+                TablePrinter::Fixed(r.value().millis, 2)});
     }
   }
   t.Print();

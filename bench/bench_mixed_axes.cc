@@ -14,15 +14,9 @@
 #include <vector>
 
 #include "bench_util.h"
-#include "storage/paged_doc.h"
-#include "xpath/evaluator.h"
 
 namespace sj::bench {
 namespace {
-
-using storage::BufferPool;
-using storage::PagedDocTable;
-using storage::SimulatedDisk;
 
 /// Queries mixing staircase and non-staircase steps over the XMark
 /// schema (site/open_auctions/open_auction/bidder/increase,
@@ -44,45 +38,45 @@ void Run() {
   TablePrinter t({"doc size", "query", "memory [ms]", "paged cold [ms]",
                   "faults", "pins", "result"});
   for (double mb : BenchSizes()) {
-    Workload w = MakeWorkload(mb, /*with_index=*/false);
-    SimulatedDisk disk;
-    auto paged = PagedDocTable::Create(*w.doc, &disk).value();
-    BufferPool pool(&disk, 64);
+    DatabaseOptions open;
+    open.build_tag_index = false;  // both backends join over the document
+    auto db = MakeDatabase(mb, open);
+
+    SessionOptions mem_opt;
+    mem_opt.pushdown = PushdownMode::kNever;
+    auto mem = db->CreateSession(mem_opt).value();
+
+    SessionOptions io_opt = mem_opt;
+    io_opt.backend = StorageBackend::kPaged;
+    io_opt.private_pool_pages = 64;
+    auto io = db->CreateSession(io_opt).value();
 
     for (const char* q : kQueries) {
-      xpath::Evaluator mem(*w.doc);
       size_t result_size = 0;
       double mem_ms = BestOfMillis(BenchReps(), [&] {
-        auto r = mem.EvaluateString(q);
+        auto r = mem.Run(q);
         if (!r.ok()) {
           std::fprintf(stderr, "query failed: %s\n",
                        r.status().ToString().c_str());
           std::abort();
         }
-        result_size = r.value().size();
+        result_size = r.value().nodes.size();
       });
 
-      xpath::EvalOptions opt;
-      opt.backend = xpath::StorageBackend::kPaged;
-      opt.paged_doc = paged.get();
-      opt.pool = &pool;
-      xpath::Evaluator io(*w.doc, opt);
       // Cold pool each repetition: faults are deterministic and the
       // time includes the paging.
       double io_ms = -1;
       for (int rep = 0; rep < BenchReps(); ++rep) {
-        pool.FlushAll();
-        pool.ResetStats();
-        Timer timer;
-        auto r = io.EvaluateString(q);
-        double ms = timer.ElapsedMillis();
-        if (!r.ok() || r.value().size() != result_size) {
+        io.pool()->FlushAll();
+        io.pool()->ResetStats();
+        auto r = io.Run(q);
+        if (!r.ok() || r.value().nodes.size() != result_size) {
           std::fprintf(stderr, "paged query diverged: %s\n", q);
           std::abort();
         }
-        if (io_ms < 0 || ms < io_ms) io_ms = ms;
+        if (io_ms < 0 || r.value().millis < io_ms) io_ms = r.value().millis;
       }
-      const storage::PoolStats ps = pool.stats();
+      const storage::PoolStats ps = io.pool()->stats();
 
       t.AddRow({SizeLabel(mb), q, TablePrinter::Fixed(mem_ms, 2),
                 TablePrinter::Fixed(io_ms, 2), TablePrinter::Count(ps.faults),

@@ -8,7 +8,6 @@
 // (copy phase >> comparison scan) is the reproduced shape.
 
 #include "bench_util.h"
-#include "xpath/evaluator.h"
 
 namespace sj::bench {
 namespace {
@@ -21,18 +20,19 @@ double BandwidthMbs(uint64_t nodes_touched, uint64_t result_size,
 
 /// Best-of-reps evaluation of /descendant::node(); returns the step's
 /// JoinStats through `stats`.
-double RunQuery(const DocTable& doc, SkipMode mode, JoinStats* stats) {
-  xpath::EvalOptions opt;
+double RunQuery(const Database& db, SkipMode mode, JoinStats* stats) {
+  SessionOptions opt;
   // keep_attributes=true exercises the pure branch-free bulk copy (and
   // matches the region-query semantics of the paper's experiment).
   opt.staircase.skip_mode = mode;
   opt.staircase.keep_attributes = true;
-  xpath::Evaluator eval(doc, opt);
+  auto session = db.CreateSession(opt);
+  if (!session.ok()) std::abort();
   double best = BestOfMillis(BenchReps(), [&] {
-    auto r = eval.EvaluateString("/descendant::node()");
+    auto r = session.value().Run("/descendant::node()");
     if (!r.ok()) std::abort();
+    *stats = r.value().trace.front().stats;
   });
-  *stats = eval.last_trace().front().stats;
   return best;
 }
 
@@ -43,12 +43,14 @@ void Run() {
   TablePrinter t({"doc size", "result", "copy loop [ms]", "copy [MB/s]",
                   "scan loop [ms]", "scan [MB/s]"});
   for (double mb : BenchSizes()) {
-    Workload w = MakeWorkload(mb, /*with_index=*/false);
-    const DocTable& doc = *w.doc;
+    DatabaseOptions open;
+    open.build_tag_index = false;  // node() test: fragments never consulted
+    open.build_paged = false;      // a pure memory-bandwidth experiment
+    auto db = MakeDatabase(mb, open);
 
     JoinStats copy_stats, scan_stats;
-    double copy_ms = RunQuery(doc, SkipMode::kEstimated, &copy_stats);
-    double scan_ms = RunQuery(doc, SkipMode::kNone, &scan_stats);
+    double copy_ms = RunQuery(*db, SkipMode::kEstimated, &copy_stats);
+    double scan_ms = RunQuery(*db, SkipMode::kNone, &scan_stats);
 
     t.AddRow({SizeLabel(mb), TablePrinter::Count(copy_stats.result_size),
               TablePrinter::Fixed(copy_ms, 2),

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "api/database.h"
 #include "core/staircase_join.h"
 #include "core/tag_view.h"
 #include "encoding/doc_table.h"
@@ -83,6 +84,28 @@ inline Workload MakeWorkload(double size_mb, bool with_index = true) {
   std::fprintf(stderr, "[workload] %.1f MB-equivalent: %zu nodes (%.0f ms)\n",
                size_mb, w.doc->size(), t.ElapsedMillis());
   return w;
+}
+
+/// Opens a Database over a generated XMark instance (structure only, no
+/// stored values): the facade twin of MakeWorkload for benches that query
+/// through Sessions rather than calling joins directly. `options.build`
+/// is forced to store_values=false; everything else is honored.
+inline std::unique_ptr<Database> MakeDatabase(double size_mb,
+                                              DatabaseOptions options = {}) {
+  xmlgen::XMarkOptions gen;
+  gen.size_mb = size_mb;
+  gen.rich_text = false;
+  options.build.store_values = false;
+  Timer t;
+  auto db = Database::FromXmark(gen, options);
+  if (!db.ok()) {
+    std::fprintf(stderr, "database open failed: %s\n",
+                 db.status().ToString().c_str());
+    std::abort();
+  }
+  std::fprintf(stderr, "[workload] %.1f MB-equivalent: %zu nodes (%.0f ms)\n",
+               size_mb, db.value()->doc().size(), t.ElapsedMillis());
+  return std::move(db).value();
 }
 
 /// Formats a document size like the paper's x-axis labels.

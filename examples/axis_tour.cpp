@@ -7,10 +7,9 @@
 #include <cstdio>
 #include <string>
 
+#include "api/database.h"
 #include "core/staircase_join.h"
-#include "encoding/loader.h"
 #include "util/table_printer.h"
-#include "xpath/evaluator.h"
 
 namespace {
 
@@ -30,31 +29,33 @@ std::string NameList(const sj::DocTable& doc, const sj::NodeSequence& nodes) {
 }  // namespace
 
 int main() {
-  auto doc = sj::LoadDocument(kFigure1).value();
+  sj::DatabaseOptions open;
+  open.build_paged = false;
+  auto db = sj::Database::FromXml(kFigure1, open).value();
+  const sj::DocTable& doc = db->doc();
 
   std::printf("pre/post encoding (paper Fig. 2):\n");
   sj::TablePrinter encoding({"node", "pre", "post", "level", "subtree"});
-  for (sj::NodeId v = 0; v < doc->size(); ++v) {
-    encoding.AddRow({doc->tags().Name(doc->tag(v)), std::to_string(v),
-                     std::to_string(doc->post(v)),
-                     std::to_string(doc->level(v)),
-                     std::to_string(doc->subtree_size(v))});
+  for (sj::NodeId v = 0; v < doc.size(); ++v) {
+    encoding.AddRow({doc.tags().Name(doc.tag(v)), std::to_string(v),
+                     std::to_string(doc.post(v)),
+                     std::to_string(doc.level(v)),
+                     std::to_string(doc.subtree_size(v))});
   }
   encoding.Print();
 
   const sj::NodeId f = 5;
   std::printf("\naxes from context node f = <pre %u, post %u>:\n", f,
-              doc->post(f));
-  sj::xpath::Evaluator ev(*doc);
+              doc.post(f));
+  sj::Session session = std::move(db->CreateSession()).value();
   sj::TablePrinter axes({"axis", "result"});
   for (const char* axis :
        {"preceding", "descendant", "ancestor", "following", "parent",
         "child", "self", "ancestor-or-self", "descendant-or-self",
         "following-sibling", "preceding-sibling"}) {
     std::string query = std::string(axis) + "::node()";
-    auto path = sj::xpath::ParseXPath(query).value();
-    auto result = ev.Evaluate(path, {f}).value();
-    axes.AddRow({axis, NameList(*doc, result)});
+    auto result = session.Run(query, {f}).value().nodes;
+    axes.AddRow({axis, NameList(doc, result)});
   }
   axes.Print();
 
@@ -62,11 +63,11 @@ int main() {
   // ancestor-or-self context (d,e,f,h,i,j) down to (d,h,j).
   sj::NodeSequence context = {3, 4, 5, 7, 8, 9};
   sj::NodeSequence pruned =
-      PruneContext(*doc, context, sj::Axis::kAncestorOrSelf);
+      PruneContext(doc, context, sj::Axis::kAncestorOrSelf);
   std::printf("\npruning the ancestor-or-self context %s: staircase %s\n",
-              NameList(*doc, context).c_str(), NameList(*doc, pruned).c_str());
-  auto anc = StaircaseJoin(*doc, context, sj::Axis::kAncestorOrSelf).value();
+              NameList(doc, context).c_str(), NameList(doc, pruned).c_str());
+  auto anc = StaircaseJoin(doc, context, sj::Axis::kAncestorOrSelf).value();
   std::printf("ancestor-or-self result: %s  (paper: (a,d,e,f,h,i,j))\n",
-              NameList(*doc, anc).c_str());
+              NameList(doc, anc).c_str());
   return 0;
 }

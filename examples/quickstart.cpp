@@ -1,14 +1,17 @@
-// Quickstart: load an XML document, run XPath queries through the
-// staircase join, and inspect results.
+// Quickstart: open a Database over an XML document, create a Session,
+// run XPath queries, and inspect results and the executed plan.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/quickstart
+//
+// Database/Session is the public API: the database owns every backend
+// image (resident columns, tag fragments, paged image + buffer pool) and
+// is immutable and thread-safe once open; a session is a cheap per-thread
+// handle whose Run() returns a self-contained QueryResult.
 
 #include <cstdio>
 #include <string>
 
-#include "core/tag_view.h"
-#include "encoding/loader.h"
-#include "xpath/evaluator.h"
+#include "api/database.h"
 
 namespace {
 
@@ -28,26 +31,33 @@ constexpr const char* kCatalog = R"(<catalog>
 }  // namespace
 
 int main() {
-  // 1. Parse and encode the document into the pre/post plane.
-  auto doc_result = sj::LoadDocument(kCatalog);
-  if (!doc_result.ok()) {
-    std::fprintf(stderr, "load failed: %s\n",
-                 doc_result.status().ToString().c_str());
+  // 1. Open the database: parses + encodes the document, builds the tag
+  //    fragments and the paged image, and validates their digests -- all
+  //    up front, so queries never fail on stale wiring.
+  auto db_result = sj::Database::FromXml(kCatalog);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 db_result.status().ToString().c_str());
     return 1;
   }
-  std::unique_ptr<sj::DocTable> doc = std::move(doc_result).value();
+  std::unique_ptr<sj::Database> db = std::move(db_result).value();
+  const sj::DocTable& doc = db->doc();
   std::printf("encoded %zu nodes, height %u, %llu attributes\n\n",
-              doc->size(), doc->height(),
-              static_cast<unsigned long long>(doc->attribute_count()));
+              doc.size(), doc.height(),
+              static_cast<unsigned long long>(doc.attribute_count()));
 
-  // 2. Build tag fragments once; they enable name-test pushdown.
-  sj::TagIndex index(*doc);
+  // 2. Create a session. Any number of sessions (one per thread) may
+  //    share the database; this one keeps the defaults (in-memory
+  //    backend, automatic name-test pushdown).
+  auto session_result = db->CreateSession();
+  if (!session_result.ok()) {
+    std::fprintf(stderr, "session failed: %s\n",
+                 session_result.status().ToString().c_str());
+    return 1;
+  }
+  sj::Session session = std::move(session_result).value();
 
-  // 3. Evaluate XPath queries.
-  sj::xpath::EvalOptions options;
-  options.tag_index = &index;
-  sj::xpath::Evaluator evaluator(*doc, options);
-
+  // 3. Run XPath queries.
   const char* queries[] = {
       "/descendant::title",
       "/descendant::author/child::last",
@@ -55,35 +65,37 @@ int main() {
       "/descendant::book[descendant::last]/attribute::id",
       "//book/price",
   };
+  sj::QueryResult last;
   for (const char* query : queries) {
-    auto result = evaluator.EvaluateString(query);
+    auto result = session.Run(query);
     if (!result.ok()) {
       std::fprintf(stderr, "%s -> %s\n", query,
                    result.status().ToString().c_str());
       return 1;
     }
+    last = std::move(result).value();
     std::printf("%s\n", query);
-    for (sj::NodeId v : result.value()) {
+    for (sj::NodeId v : last.nodes) {
       // Print the node plus its text content (first text child / value).
       std::string text;
-      if (doc->kind(v) == sj::NodeKind::kAttribute) {
-        text = std::string(doc->value(v));
+      if (doc.kind(v) == sj::NodeKind::kAttribute) {
+        text = std::string(doc.value(v));
       } else {
-        for (sj::NodeId u = v + 1;
-             u < doc->size() && doc->IsDescendant(u, v); ++u) {
-          if (doc->kind(u) == sj::NodeKind::kText) {
-            text = std::string(doc->value(u));
+        for (sj::NodeId u = v + 1; u < doc.size() && doc.IsDescendant(u, v);
+             ++u) {
+          if (doc.kind(u) == sj::NodeKind::kText) {
+            text = std::string(doc.value(u));
             break;
           }
         }
       }
-      std::printf("  %-44s %s\n", doc->DebugString(v).c_str(), text.c_str());
+      std::printf("  %-44s %s\n", doc.DebugString(v).c_str(), text.c_str());
     }
     std::printf("\n");
   }
 
-  // 4. EXPLAIN the last query plan.
-  std::printf("plan of the last query:\n%s",
-              evaluator.ExplainLastQuery().c_str());
+  // 4. EXPLAIN the last query plan. The trace travels inside the
+  //    QueryResult -- nothing is read back from shared evaluator state.
+  std::printf("plan of the last query:\n%s", last.Explain().c_str());
   return 0;
 }

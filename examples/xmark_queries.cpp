@@ -7,11 +7,9 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/tag_view.h"
+#include "api/database.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
-#include "xmlgen/xmark.h"
-#include "xpath/evaluator.h"
 
 int main(int argc, char** argv) {
   double size_mb = argc > 1 ? std::atof(argv[1]) : 11.0;
@@ -23,52 +21,48 @@ int main(int argc, char** argv) {
   sj::xmlgen::XMarkOptions gen;
   gen.size_mb = size_mb;
   gen.rich_text = false;  // join benches only need structure
-  sj::BuildOptions build;
-  build.store_values = false;
+  sj::DatabaseOptions open;
+  open.build.store_values = false;
+  open.build_paged = false;  // in-memory strategies only
 
   sj::Timer load_timer;
-  auto doc_result = sj::xmlgen::GenerateXMarkDocument(gen, build);
-  if (!doc_result.ok()) {
-    std::fprintf(stderr, "%s\n", doc_result.status().ToString().c_str());
+  auto db_result = sj::Database::FromXmark(gen, open);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "%s\n", db_result.status().ToString().c_str());
     return 1;
   }
-  auto doc = std::move(doc_result).value();
-  std::printf("generated %.1f MB-equivalent: %zu nodes (height %u) in %.0f ms\n",
-              size_mb, doc->size(), doc->height(), load_timer.ElapsedMillis());
-
-  sj::Timer frag_timer;
-  sj::TagIndex index(*doc);
-  std::printf("fragmented by tag name: %zu tags, %.1f MB, %.0f ms\n\n",
-              doc->tags().size(),
-              static_cast<double>(index.memory_bytes()) / 1048576.0,
-              frag_timer.ElapsedMillis());
+  auto db = std::move(db_result).value();
+  std::printf("opened %.1f MB-equivalent: %zu nodes (height %u) in %.0f ms "
+              "(incl. tag fragments: %zu tags, %.1f MB)\n\n",
+              size_mb, db->doc().size(), db->doc().height(),
+              load_timer.ElapsedMillis(), db->doc().tags().size(),
+              static_cast<double>(db->tag_index()->memory_bytes()) /
+                  1048576.0);
 
   struct Strategy {
     const char* name;
-    sj::xpath::EvalOptions options;
+    sj::SessionOptions options;
   };
-  sj::xpath::EvalOptions base;
-  base.tag_index = &index;
   Strategy strategies[] = {
-      {"staircase join", [&] {
-         auto o = base;
-         o.pushdown = sj::xpath::PushdownMode::kNever;
+      {"staircase join", [] {
+         sj::SessionOptions o;
+         o.pushdown = sj::PushdownMode::kNever;
          return o;
        }()},
-      {"scj + name-test pushdown", [&] {
-         auto o = base;
-         o.pushdown = sj::xpath::PushdownMode::kAlways;
+      {"scj + name-test pushdown", [] {
+         sj::SessionOptions o;
+         o.pushdown = sj::PushdownMode::kAlways;
          return o;
        }()},
-      {"scj parallel (4 workers)", [&] {
-         auto o = base;
-         o.pushdown = sj::xpath::PushdownMode::kNever;
+      {"scj parallel (4 workers)", [] {
+         sj::SessionOptions o;
+         o.pushdown = sj::PushdownMode::kNever;
          o.num_threads = 4;
          return o;
        }()},
-      {"naive per-context", [&] {
-         auto o = base;
-         o.engine = sj::xpath::EngineMode::kNaive;
+      {"naive per-context", [] {
+         sj::SessionOptions o;
+         o.engine = sj::EngineMode::kNaive;
          return o;
        }()},
   };
@@ -77,23 +71,26 @@ int main(int argc, char** argv) {
     std::printf("query: %s\n", query);
     sj::TablePrinter table({"strategy", "result", "time [ms]"});
     for (const Strategy& strategy : strategies) {
-      sj::xpath::Evaluator ev(*doc, strategy.options);
-      sj::Timer t;
-      auto r = ev.EvaluateString(query);
-      double ms = t.ElapsedMillis();
+      auto session = db->CreateSession(strategy.options);
+      if (!session.ok()) {
+        std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
+        return 1;
+      }
+      auto r = session.value().Run(query);
       if (!r.ok()) {
         std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
         return 1;
       }
-      table.AddRow({strategy.name, sj::TablePrinter::Count(r.value().size()),
-                    sj::TablePrinter::Fixed(ms, 2)});
+      table.AddRow({strategy.name,
+                    sj::TablePrinter::Count(r.value().nodes.size()),
+                    sj::TablePrinter::Fixed(r.value().millis, 2)});
     }
     table.Print();
 
     // Show the executed plan of the default strategy.
-    sj::xpath::Evaluator ev(*doc, base);
-    (void)ev.EvaluateString(query);
-    std::printf("%s\n", ev.ExplainLastQuery().c_str());
+    auto session = db->CreateSession();
+    auto r = session.value().Run(query);
+    std::printf("%s\n", r.ok() ? r.value().Explain().c_str() : "");
   }
   return 0;
 }

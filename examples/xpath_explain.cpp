@@ -1,37 +1,32 @@
 // Command-line XPath runner with plan EXPLAIN: evaluates queries against an
-// XML file (or a generated XMark instance) and shows what the optimizer
-// decided (staircase join, name-test pushdown, per-context fallback).
+// XML file, a directory of XML files (opened as a collection), or a
+// generated XMark instance, and shows what the optimizer decided
+// (staircase join, name-test pushdown, per-context fallback).
 //
-//   $ ./build/examples/xpath_explain <file.xml|xmark:SIZE_MB> <xpath> ...
-//   $ ./build/examples/xpath_explain xmark:1.1 "/descendant::education"
+//   $ ./build/xpath_explain <file.xml|dir|xmark:SIZE_MB> <xpath> ...
+//   $ ./build/xpath_explain xmark:1.1 "/descendant::education"
 //
 // With no arguments, runs a demonstration query set on xmark:1.1.
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/tag_view.h"
-#include "encoding/loader.h"
-#include "util/timer.h"
-#include "xmlgen/xmark.h"
-#include "xpath/evaluator.h"
+#include "api/database.h"
 
 namespace {
 
-sj::Result<std::unique_ptr<sj::DocTable>> LoadSource(const std::string& src) {
+sj::Result<std::unique_ptr<sj::Database>> OpenSource(const std::string& src) {
   if (src.rfind("xmark:", 0) == 0) {
     sj::xmlgen::XMarkOptions opt;
     opt.size_mb = std::atof(src.c_str() + 6);
     if (opt.size_mb <= 0) {
       return sj::Status::InvalidArgument("bad xmark size: " + src);
     }
-    return sj::xmlgen::GenerateXMarkDocument(opt);
+    return sj::Database::FromXmark(opt);
   }
-  return sj::LoadDocumentFile(src);
+  return sj::Database::Open(src);
 }
 
 }  // namespace
@@ -46,41 +41,42 @@ int main(int argc, char** argv) {
                "/descendant::keyword/ancestor::description"};
   }
 
-  auto doc_result = LoadSource(source);
-  if (!doc_result.ok()) {
-    std::fprintf(stderr, "cannot load %s: %s\n", source.c_str(),
-                 doc_result.status().ToString().c_str());
+  auto db_result = OpenSource(source);
+  if (!db_result.ok()) {
+    std::fprintf(stderr, "cannot open %s: %s\n", source.c_str(),
+                 db_result.status().ToString().c_str());
     return 1;
   }
-  auto doc = std::move(doc_result).value();
-  sj::TagIndex index(*doc);
-  std::printf("document: %s (%zu nodes, height %u, %zu tags)\n\n",
-              source.c_str(), doc->size(), doc->height(),
-              doc->tags().size());
+  auto db = std::move(db_result).value();
+  const sj::DocTable& doc = db->doc();
+  std::printf("database: %s (%zu nodes, height %u, %zu tags)\n\n",
+              source.c_str(), doc.size(), doc.height(), doc.tags().size());
 
-  sj::xpath::EvalOptions options;
-  options.tag_index = &index;
-  sj::xpath::Evaluator evaluator(*doc, options);
+  auto session_result = db->CreateSession();
+  if (!session_result.ok()) {
+    std::fprintf(stderr, "%s\n", session_result.status().ToString().c_str());
+    return 1;
+  }
+  sj::Session session = std::move(session_result).value();
   for (const std::string& query : queries) {
-    sj::Timer timer;
-    auto result = evaluator.EvaluateUnionString(query);  // unions included
-    double ms = timer.ElapsedMillis();
+    auto result = session.Run(query);  // unions included
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n  error: %s\n\n", query.c_str(),
                    result.status().ToString().c_str());
       continue;
     }
+    const sj::QueryResult& r = result.value();
     std::printf("%s\n  -> %zu nodes in %.2f ms\n", query.c_str(),
-                result.value().size(), ms);
-    std::printf("%s", evaluator.ExplainLastQuery().c_str());
+                r.nodes.size(), r.millis);
+    std::printf("%s", r.Explain().c_str());
     // Show the first few result nodes.
     size_t shown = 0;
-    for (sj::NodeId v : result.value()) {
+    for (sj::NodeId v : r.nodes) {
       if (shown++ == 3) {
         std::printf("  ...\n");
         break;
       }
-      std::printf("  %s\n", doc->DebugString(v).c_str());
+      std::printf("  %s\n", doc.DebugString(v).c_str());
     }
     std::printf("\n");
   }

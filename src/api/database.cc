@@ -1,0 +1,230 @@
+#include "api/database.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "encoding/collection.h"
+#include "encoding/loader.h"
+
+namespace sj {
+namespace {
+
+/// Default latch shards of the shared pool: one per hardware thread,
+/// floored at 4 (I/O-bound sessions outnumber cores, and a faulting
+/// session sleeps holding its shard's latch) and capped at 16 (more
+/// shards only fragment the LRU).
+size_t DefaultPoolShards() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return std::min<size_t>(std::max<size_t>(hw, 4), 16);
+}
+
+Result<std::string> ReadFileText(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::IoError("cannot open " + path.string());
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    return Status::IoError("cannot read " + path.string());
+  }
+  return std::move(buffer).str();
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> Database::Finish(
+    std::unique_ptr<Database> db, const DatabaseOptions& options,
+    bool build_missing) {
+  const DocTable& doc = *db->doc_;
+  if (build_missing && options.build_tag_index && db->tag_index_ == nullptr) {
+    db->tag_index_ = std::make_unique<TagIndex>(doc);
+  }
+  if (build_missing && options.build_paged && db->paged_doc_ == nullptr) {
+    db->disk_ = std::make_unique<storage::SimulatedDisk>();
+    SJ_ASSIGN_OR_RETURN(db->paged_doc_,
+                        storage::PagedDocTable::Create(doc, db->disk_.get()));
+    SJ_ASSIGN_OR_RETURN(db->paged_tags_,
+                        storage::PagedTagIndex::Create(doc, db->disk_.get()));
+    // Create captured both digests from this very document: adopt them
+    // (coherent by construction) instead of paying a second O(doc)
+    // digest pass only to compare guaranteed-equal values.
+    db->doc_digest_ = db->paged_doc_->source_digest();
+    db->frag_digest_ = db->paged_tags_->source_digest();
+  }
+
+  // Open-time coherence validation for *adopted* images: every paged
+  // image must carry the digest of THIS document's columns. A stale
+  // image (rebuilt document, image of a different document) is rejected
+  // here with the failing column set named -- not lazily on the first
+  // paged query. The digests are computed exactly once per database and
+  // travel to every session (EvalOptions::doc_digest), so neither
+  // session creation nor the first query repeats the pass.
+  if (db->paged_doc_ != nullptr) {
+    if (db->disk_ == nullptr) {
+      return Status::InvalidArgument(
+          "paged document image adopted without its disk");
+    }
+    if (!db->doc_digest_.has_value()) {
+      db->doc_digest_ = storage::DocColumnsDigest(doc);
+    }
+    if (db->paged_doc_->size() != doc.size() ||
+        db->paged_doc_->source_digest() != *db->doc_digest_) {
+      return Status::InvalidArgument(
+          "stale paged image: the document column set "
+          "(post/kind/level/parent/tag) has digest " +
+          std::to_string(db->paged_doc_->source_digest()) +
+          " but this document's columns digest to " +
+          std::to_string(*db->doc_digest_) +
+          "; the paged table does not image this document");
+    }
+  }
+  if (db->paged_tags_ != nullptr) {
+    if (db->paged_doc_ == nullptr) {
+      return Status::InvalidArgument(
+          "paged tag fragments adopted without a paged document image");
+    }
+    if (!db->frag_digest_.has_value()) {
+      db->frag_digest_ =
+          storage::FragmentColumnsDigest(doc, *db->doc_digest_);
+    }
+    if (db->paged_tags_->source_digest() != *db->frag_digest_) {
+      return Status::InvalidArgument(
+          "stale paged image: the tag fragment column set (per-tag "
+          "pre/post) has digest " +
+          std::to_string(db->paged_tags_->source_digest()) +
+          " but this document's fragments digest to " +
+          std::to_string(*db->frag_digest_) +
+          "; the paged tag index does not image this document");
+    }
+  }
+
+  if (db->paged_doc_ != nullptr) {
+    size_t shards = options.pool_shards > 0 ? options.pool_shards
+                                            : DefaultPoolShards();
+    db->pool_ = std::make_unique<storage::BufferPool>(
+        db->disk_.get(), options.pool_pages, shards);
+  }
+  return db;
+}
+
+Result<std::unique_ptr<Database>> Database::FromXml(std::string_view xml,
+                                                    DatabaseOptions options) {
+  SJ_ASSIGN_OR_RETURN(std::unique_ptr<DocTable> doc,
+                      LoadDocument(xml, options.build));
+  return FromTable(std::move(doc), std::move(options));
+}
+
+Result<std::unique_ptr<Database>> Database::FromXmark(
+    const xmlgen::XMarkOptions& gen, DatabaseOptions options) {
+  SJ_ASSIGN_OR_RETURN(std::unique_ptr<DocTable> doc,
+                      xmlgen::GenerateXMarkDocument(gen, options.build));
+  return FromTable(std::move(doc), std::move(options));
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
+                                                 DatabaseOptions options) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> files;
+    // Non-throwing iteration: a directory that turns unreadable
+    // mid-listing must surface as a Status, not an exception (on error,
+    // increment(ec) parks the iterator at end and the check below fires).
+    for (fs::directory_iterator it(path, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      std::error_code entry_ec;
+      if (it->is_regular_file(entry_ec) &&
+          it->path().extension() == ".xml") {
+        files.push_back(it->path());
+      }
+    }
+    if (ec) {
+      return Status::IoError("cannot list " + path + ": " + ec.message());
+    }
+    if (files.empty()) {
+      return Status::NotFound("no .xml files in " + path);
+    }
+    std::sort(files.begin(), files.end());
+    CollectionBuilder collection(options.build);
+    for (const fs::path& file : files) {
+      SJ_ASSIGN_OR_RETURN(std::string text, ReadFileText(file));
+      SJ_RETURN_NOT_OK(collection.AddDocumentText(text));
+    }
+    SJ_ASSIGN_OR_RETURN(std::unique_ptr<DocTable> doc, collection.Finish());
+    NodeSequence roots = collection.document_roots();
+    SJ_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                        FromTable(std::move(doc), std::move(options)));
+    db->document_roots_ = std::move(roots);
+    return db;
+  }
+  SJ_ASSIGN_OR_RETURN(std::unique_ptr<DocTable> doc,
+                      LoadDocumentFile(path, options.build));
+  return FromTable(std::move(doc), std::move(options));
+}
+
+Result<std::unique_ptr<Database>> Database::FromTable(
+    std::unique_ptr<DocTable> doc, DatabaseOptions options) {
+  if (doc == nullptr) {
+    return Status::InvalidArgument("Database::FromTable: null table");
+  }
+  std::unique_ptr<Database> db(new Database());
+  db->doc_ = std::move(doc);
+  return Finish(std::move(db), options, /*build_missing=*/true);
+}
+
+Result<std::unique_ptr<Database>> Database::FromParts(
+    std::unique_ptr<DocTable> doc, std::unique_ptr<TagIndex> tag_index,
+    std::unique_ptr<storage::SimulatedDisk> disk,
+    std::unique_ptr<storage::PagedDocTable> paged_doc,
+    std::unique_ptr<storage::PagedTagIndex> paged_tags,
+    DatabaseOptions options) {
+  if (doc == nullptr) {
+    return Status::InvalidArgument("Database::FromParts: null table");
+  }
+  std::unique_ptr<Database> db(new Database());
+  db->doc_ = std::move(doc);
+  db->tag_index_ = std::move(tag_index);
+  db->disk_ = std::move(disk);
+  db->paged_doc_ = std::move(paged_doc);
+  db->paged_tags_ = std::move(paged_tags);
+  return Finish(std::move(db), options, /*build_missing=*/false);
+}
+
+Result<Session> Database::CreateSession(SessionOptions options) const {
+  xpath::EvalOptions eval;
+  eval.engine = options.engine;
+  eval.staircase = options.staircase;
+  eval.pushdown = options.pushdown;
+  eval.pushdown_selectivity = options.pushdown_selectivity;
+  eval.num_threads = options.num_threads;
+  eval.backend = options.backend;
+  eval.tag_index = tag_index_.get();
+  eval.doc_digest = doc_digest_;
+
+  std::unique_ptr<storage::BufferPool> private_pool;
+  if (options.backend == StorageBackend::kPaged) {
+    if (!has_paged_backend()) {
+      return Status::InvalidArgument(
+          "session requests the paged backend but the database was opened "
+          "without a paged image (DatabaseOptions::build_paged)");
+    }
+    eval.paged_doc = paged_doc_.get();
+    eval.paged_tags = paged_tags_.get();
+    eval.frag_digest = frag_digest_;
+    if (options.private_pool_pages > 0) {
+      private_pool = std::make_unique<storage::BufferPool>(
+          disk_.get(), options.private_pool_pages);
+      eval.pool = private_pool.get();
+    } else {
+      eval.pool = pool_.get();
+    }
+  }
+  return Session(this, std::move(options), std::move(private_pool), eval);
+}
+
+}  // namespace sj

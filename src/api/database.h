@@ -1,0 +1,148 @@
+// Database: the coherent, immutable, thread-safe set of backend images
+// for one document (or collection), opened once and shared by any number
+// of Sessions.
+//
+// Opening a database builds (or adopts) the resident DocTable, the
+// resident tag fragments (TagIndex), and -- unless disabled -- the paged
+// image (SimulatedDisk + PagedDocTable + PagedTagIndex) behind one
+// sharded BufferPool. The column/fragment digests are validated HERE, at
+// open time: a stale or mismatched paged image is rejected with a Status
+// naming the failing column set, instead of surfacing lazily on some
+// thread's first paged query. After construction the database is
+// immutable (the buffer pool is internally synchronized), so sessions on
+// different threads share it freely.
+
+#ifndef STAIRJOIN_API_DATABASE_H_
+#define STAIRJOIN_API_DATABASE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "api/session.h"
+#include "core/tag_view.h"
+#include "encoding/builder.h"
+#include "encoding/doc_table.h"
+#include "storage/buffer_pool.h"
+#include "storage/paged_doc.h"
+#include "storage/paged_tags.h"
+#include "util/result.h"
+#include "xmlgen/xmark.h"
+
+namespace sj {
+
+/// \brief Open-time configuration: which backend images to build.
+struct DatabaseOptions {
+  /// Encoding options for the documents (value storage etc.).
+  BuildOptions build;
+  /// Build the resident tag fragments (name-test pushdown on the memory
+  /// backend; also the selectivity statistics of kAuto pushdown).
+  bool build_tag_index = true;
+  /// Build the paged image: disk + paged doc columns + paged tag
+  /// fragments + shared buffer pool. Off saves the page-out for purely
+  /// in-memory use; sessions then cannot choose StorageBackend::kPaged.
+  bool build_paged = true;
+  /// Capacity of the shared buffer pool, in pages.
+  size_t pool_pages = 256;
+  /// Latch shards of the shared pool; 0 picks one per hardware thread
+  /// (capped at 16). 1 degenerates to a single global latch.
+  size_t pool_shards = 0;
+};
+
+/// \brief An immutable, thread-safe set of backend images over one
+/// document; the factory for Sessions.
+class Database {
+ public:
+  /// Parses XML text and opens a database over it.
+  static Result<std::unique_ptr<Database>> FromXml(std::string_view xml,
+                                                   DatabaseOptions options = {});
+
+  /// Generates an XMark-style instance and opens a database over it.
+  static Result<std::unique_ptr<Database>> FromXmark(
+      const xmlgen::XMarkOptions& gen, DatabaseOptions options = {});
+
+  /// Opens a database over an XML file, or -- when `path` is a directory
+  /// -- over every `*.xml` file in it (sorted by name), gathered under a
+  /// virtual root as a collection (paper footnote 1); document_roots()
+  /// then maps results back to their source documents.
+  static Result<std::unique_ptr<Database>> Open(const std::string& path,
+                                                DatabaseOptions options = {});
+
+  /// Opens a database over an already-encoded table (takes ownership).
+  static Result<std::unique_ptr<Database>> FromTable(
+      std::unique_ptr<DocTable> doc, DatabaseOptions options = {});
+
+  /// Adopts externally built backend images instead of paging `doc` out
+  /// afresh. This is where image coherence is enforced: the paged doc
+  /// columns and paged tag fragments are digest-checked against `doc`
+  /// and a mismatch is rejected with a Status naming the failing column
+  /// set -- at open time, not on the first paged query. `tag_index`,
+  /// `paged_doc` and `paged_tags` may be null (the corresponding
+  /// features are then unavailable); `paged_doc` requires `disk`.
+  /// `options.build`/`build_*`/pool sizing apply to the pool only.
+  static Result<std::unique_ptr<Database>> FromParts(
+      std::unique_ptr<DocTable> doc, std::unique_ptr<TagIndex> tag_index,
+      std::unique_ptr<storage::SimulatedDisk> disk,
+      std::unique_ptr<storage::PagedDocTable> paged_doc,
+      std::unique_ptr<storage::PagedTagIndex> paged_tags,
+      DatabaseOptions options = {});
+
+  /// Creates a query session. Cheap (no digest passes, no allocation
+  /// beyond the evaluator); fails when the options name a backend the
+  /// database was not opened with.
+  Result<Session> CreateSession(SessionOptions options = {}) const;
+
+  /// The encoded document (collection).
+  const DocTable& doc() const { return *doc_; }
+
+  /// True when sessions may choose StorageBackend::kPaged.
+  bool has_paged_backend() const { return paged_doc_ != nullptr; }
+
+  /// Resident tag fragments; null when disabled at open time.
+  const TagIndex* tag_index() const { return tag_index_.get(); }
+  /// Paged doc columns; null without a paged image.
+  const storage::PagedDocTable* paged_doc() const { return paged_doc_.get(); }
+  /// Paged tag fragments; null without a paged image.
+  const storage::PagedTagIndex* paged_tags() const {
+    return paged_tags_.get();
+  }
+  /// The shared buffer pool (internally synchronized); null without a
+  /// paged image. Exposed for experiment control (cold starts, fault
+  /// accounting).
+  storage::BufferPool* buffer_pool() const { return pool_.get(); }
+  /// The disk image behind the paged backend; null without one.
+  storage::SimulatedDisk* disk() const { return disk_.get(); }
+
+  /// DocColumnsDigest of doc(), captured once at open time; absent on a
+  /// database opened without a paged image (nothing to validate -- the
+  /// resident columns ARE the document).
+  std::optional<uint64_t> doc_digest() const { return doc_digest_; }
+
+  /// Pre ranks of the gathered document elements when the database was
+  /// opened over a directory; empty otherwise.
+  const NodeSequence& document_roots() const { return document_roots_; }
+
+ private:
+  Database() = default;
+
+  /// Builds the missing images per `options`, digest-validates whatever
+  /// paged images are present, and opens the pool.
+  static Result<std::unique_ptr<Database>> Finish(
+      std::unique_ptr<Database> db, const DatabaseOptions& options,
+      bool build_missing);
+
+  std::unique_ptr<DocTable> doc_;
+  std::unique_ptr<TagIndex> tag_index_;
+  std::unique_ptr<storage::SimulatedDisk> disk_;
+  std::unique_ptr<storage::PagedDocTable> paged_doc_;
+  std::unique_ptr<storage::PagedTagIndex> paged_tags_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  std::optional<uint64_t> doc_digest_;
+  std::optional<uint64_t> frag_digest_;
+  NodeSequence document_roots_;
+};
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_API_DATABASE_H_

@@ -1,0 +1,44 @@
+#include "api/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "api/database.h"
+#include "util/timer.h"
+#include "xpath/parser.h"
+
+namespace sj {
+
+Session::Session(const Database* db, SessionOptions options,
+                 std::unique_ptr<storage::BufferPool> private_pool,
+                 const xpath::EvalOptions& eval_options)
+    : db_(db),
+      options_(std::move(options)),
+      private_pool_(std::move(private_pool)),
+      eval_options_(eval_options),
+      engine_(std::make_unique<xpath::Evaluator>(db->doc(), eval_options)) {}
+
+Result<QueryResult> Session::Run(std::string_view xpath) {
+  const DocTable& doc = db_->doc();
+  return Run(xpath, doc.empty() ? NodeSequence{} : NodeSequence{doc.root()});
+}
+
+Result<QueryResult> Session::Run(std::string_view xpath,
+                                 const NodeSequence& context) {
+  Timer timer;
+  SJ_ASSIGN_OR_RETURN(xpath::UnionExpr expr, xpath::ParseXPathUnion(xpath));
+  SJ_ASSIGN_OR_RETURN(NodeSequence nodes, engine_->Evaluate(expr, context));
+  QueryResult result;
+  result.nodes = std::move(nodes);
+  result.trace = engine_->last_trace();
+  for (const StepTrace& step : result.trace) {
+    result.totals.MergeFrom(step.stats);
+    result.totals.workers = std::max(result.totals.workers,
+                                     step.stats.workers);
+  }
+  result.totals.result_size = result.nodes.size();
+  result.millis = timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace sj

@@ -1,0 +1,137 @@
+// Session: a cheap per-thread query handle onto an open Database.
+//
+// The public query API of this library is two types (paper Section 6's
+// "teach a relational DBMS": the engine hides behind a narrow waist the
+// way a production system would embed it):
+//
+//   auto db = sj::Database::FromXml(xml).value();      // open once
+//   auto session = db->CreateSession().value();        // one per thread
+//   auto r = session.Run("/descendant::bidder").value();
+//   //  r.nodes, r.trace, r.totals, r.Explain()
+//
+// A Session owns all per-query mutable state (the internal evaluator and
+// its EXPLAIN trace), so any number of sessions may run concurrently over
+// one shared Database; Run returns a self-contained QueryResult instead
+// of mutating shared evaluator state. Sessions are cheap to create --
+// backend wiring and digest validation happened once at Database open
+// time -- and movable but not copyable; one session must not be driven
+// from two threads at once.
+
+#ifndef STAIRJOIN_API_SESSION_H_
+#define STAIRJOIN_API_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/stats.h"
+#include "storage/buffer_pool.h"
+#include "util/result.h"
+#include "xpath/evaluator.h"
+
+namespace sj {
+
+class Database;
+
+// The semantic query knobs, re-exported so facade callers need not spell
+// the internal engine namespace.
+using xpath::EngineMode;
+using xpath::PushdownMode;
+using xpath::StepTrace;
+using xpath::StorageBackend;
+
+/// \brief Per-session configuration: semantic knobs only.
+///
+/// Backend *wiring* (which tables, pools and fragment images serve a
+/// query) is resolved by the Database; a session merely chooses between
+/// the backends the database was opened with. Adding a storage backend is
+/// therefore an internal change -- no caller wires pointers.
+struct SessionOptions {
+  /// Which join engine evaluates the staircase axes.
+  EngineMode engine = EngineMode::kStaircase;
+  /// Skip mode / attribute handling of the staircase join itself.
+  StaircaseOptions staircase;
+  /// Whether name tests are pushed down onto tag fragments.
+  PushdownMode pushdown = PushdownMode::kAuto;
+  /// kAuto pushdown threshold: fragment size / document size.
+  double pushdown_selectivity = 0.125;
+  /// >1 runs the partitioned parallel staircase join with this many
+  /// workers (per query -- independent of how many sessions exist).
+  unsigned num_threads = 1;
+  /// Storage backend: kMemory (resident BATs) or kPaged (buffer pool
+  /// over the database's disk image; requires the database to have been
+  /// opened with DatabaseOptions::build_paged).
+  StorageBackend backend = StorageBackend::kMemory;
+  /// Paged backend only: 0 shares the database's pool with every other
+  /// session (the production configuration); >0 gives this session a
+  /// private pool of that many pages over the same disk image, for
+  /// cold-cache / pool-size experiments that must not disturb or be
+  /// disturbed by other sessions.
+  size_t private_pool_pages = 0;
+};
+
+/// \brief One query's complete, self-contained answer.
+struct QueryResult {
+  /// Result nodes, duplicate-free, in document order.
+  NodeSequence nodes;
+  /// Per-step EXPLAIN of the executed plan (one entry per step; union
+  /// branches contribute their steps in branch order).
+  std::vector<StepTrace> trace;
+  /// Step counters summed over the plan (workers = the widest step).
+  JoinStats totals;
+  /// Wall time of parse + evaluation, milliseconds.
+  double millis = 0.0;
+
+  /// Renders the trace as a readable multi-line EXPLAIN.
+  std::string Explain() const { return xpath::ExplainTrace(trace); }
+};
+
+/// \brief A per-thread query handle over a shared Database.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Parses and evaluates an XPath expression (unions included) from the
+  /// document root.
+  Result<QueryResult> Run(std::string_view xpath);
+
+  /// Same, with an explicit context sequence (document order, duplicate
+  /// free). Absolute paths ignore `context`, as in the paper's root(doc).
+  Result<QueryResult> Run(std::string_view xpath, const NodeSequence& context);
+
+  /// The database this session queries.
+  const Database& database() const { return *db_; }
+
+  /// The options the session was created with.
+  const SessionOptions& options() const { return options_; }
+
+  /// The buffer pool this session's paged reads go through: the
+  /// database's shared pool, the session's private pool
+  /// (SessionOptions::private_pool_pages), or nullptr on the memory
+  /// backend. Exposed for experiment control (cold starts, fault
+  /// accounting) -- queries never need it.
+  storage::BufferPool* pool() const { return eval_options_.pool; }
+
+ private:
+  friend class Database;
+
+  Session(const Database* db, SessionOptions options,
+          std::unique_ptr<storage::BufferPool> private_pool,
+          const xpath::EvalOptions& eval_options);
+
+  const Database* db_;
+  SessionOptions options_;
+  /// Non-null iff private_pool_pages was set; eval_options_.pool then
+  /// points here (heap-allocated, so moving the session keeps it valid).
+  std::unique_ptr<storage::BufferPool> private_pool_;
+  xpath::EvalOptions eval_options_;
+  /// The internal engine; owns the per-session EXPLAIN state.
+  std::unique_ptr<xpath::Evaluator> engine_;
+};
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_API_SESSION_H_

@@ -1,6 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace sj::storage {
 
@@ -16,6 +18,10 @@ Status SimulatedDisk::Read(PageId id, Page* out) const {
                               std::to_string(id));
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t latency = read_latency_micros_.load(std::memory_order_relaxed);
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency));
+  }
   std::memcpy(out->bytes, pages_[id]->bytes, kPageSize);
   return Status::OK();
 }
@@ -29,66 +35,105 @@ Status SimulatedDisk::Write(PageId id, const Page& in) {
   return Status::OK();
 }
 
-BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages)
-    : disk_(disk), capacity_(capacity_pages > 0 ? capacity_pages : 1) {}
+BufferPool::BufferPool(SimulatedDisk* disk, size_t capacity_pages,
+                       size_t latch_shards)
+    : disk_(disk), capacity_(capacity_pages > 0 ? capacity_pages : 1) {
+  size_t shards = latch_shards > 0 ? latch_shards : 1;
+  if (shards > capacity_) shards = capacity_;
+  shards_ = std::vector<Shard>(shards);
+  // Split the capacity evenly; the first capacity_ % shards shards absorb
+  // the remainder so the total is exact.
+  for (size_t i = 0; i < shards; ++i) {
+    shards_[i].capacity = capacity_ / shards + (i < capacity_ % shards ? 1 : 0);
+  }
+}
 
-Status BufferPool::EvictOne() {
-  if (lru_.empty()) {
+Status BufferPool::EvictOne(Shard* shard) {
+  if (shard->lru.empty()) {
     return Status::Internal("buffer pool exhausted: all frames pinned");
   }
-  PageId victim = lru_.front();
-  lru_.pop_front();
-  ++stats_.evictions;
-  frames_.erase(victim);
+  PageId victim = shard->lru.front();
+  shard->lru.pop_front();
+  ++shard->stats.evictions;
+  shard->frames.erase(victim);
   return Status::OK();
 }
 
 Result<const uint8_t*> BufferPool::Pin(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.pins;
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  ++shard.stats.pins;
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    ++shard.stats.hits;
     Frame* frame = it->second.get();
     if (frame->pin_count == 0 && frame->in_lru) {
-      lru_.erase(frame->lru_pos);
+      shard.lru.erase(frame->lru_pos);
       frame->in_lru = false;
     }
     ++frame->pin_count;
     return static_cast<const uint8_t*>(frame->page.bytes);
   }
 
-  ++stats_.faults;
-  while (frames_.size() >= capacity_) {
-    SJ_RETURN_NOT_OK(EvictOne());
+  ++shard.stats.faults;
+  while (shard.frames.size() >= shard.capacity) {
+    SJ_RETURN_NOT_OK(EvictOne(&shard));
   }
   auto frame = std::make_unique<Frame>();
   SJ_RETURN_NOT_OK(disk_->Read(id, &frame->page));
   frame->pin_count = 1;
   const uint8_t* bytes = frame->page.bytes;
-  frames_.emplace(id, std::move(frame));
+  shard.frames.emplace(id, std::move(frame));
   return bytes;
 }
 
 Status BufferPool::Unpin(PageId id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = frames_.find(id);
-  if (it == frames_.end() || it->second->pin_count == 0) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end() || it->second->pin_count == 0) {
     return Status::InvalidArgument("Unpin of page that is not pinned");
   }
   Frame* frame = it->second.get();
   --frame->pin_count;
   if (frame->pin_count == 0) {
-    frame->lru_pos = lru_.insert(lru_.end(), id);
+    frame->lru_pos = shard.lru.insert(shard.lru.end(), id);
     frame->in_lru = true;
   }
   return Status::OK();
 }
 
+PoolStats BufferPool::stats() const {
+  PoolStats total;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.MergeFrom(shard.stats);
+  }
+  return total;
+}
+
+void BufferPool::ResetStats() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.stats = PoolStats{};
+  }
+}
+
 void BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (PageId id : lru_) frames_.erase(id);
-  lru_.clear();
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (PageId id : shard.lru) shard.frames.erase(id);
+    shard.lru.clear();
+  }
+}
+
+size_t BufferPool::resident_pages() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.frames.size();
+  }
+  return total;
 }
 
 }  // namespace sj::storage

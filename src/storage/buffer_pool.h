@@ -1,4 +1,4 @@
-// Paged storage substrate: simulated disk + LRU buffer pool.
+// Paged storage substrate: simulated disk + sharded LRU buffer pool.
 //
 // The paper's future-work section asks how staircase join behaves in a
 // *disk-based* RDBMS. This module provides the substrate to study that on
@@ -55,10 +55,23 @@ class SimulatedDisk {
   /// Total Read calls served (the "physical I/O" count).
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
 
+  /// Simulated per-read latency in microseconds (default 0: RAM-speed).
+  /// With a latency, every fault costs wall time like a real device --
+  /// the concurrency experiments use this to show that a pool which
+  /// faults while holding one global latch serializes every session
+  /// behind each disk read, while the sharded latch overlaps them.
+  void set_read_latency_micros(uint32_t micros) {
+    read_latency_micros_.store(micros, std::memory_order_relaxed);
+  }
+  uint32_t read_latency_micros() const {
+    return read_latency_micros_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<std::unique_ptr<Page>> pages_;
   // Atomic so that pools on different threads may share one disk.
   mutable std::atomic<uint64_t> reads_{0};
+  std::atomic<uint32_t> read_latency_micros_{0};
 };
 
 /// Buffer pool counters.
@@ -67,52 +80,67 @@ struct PoolStats {
   uint64_t hits = 0;       ///< served from a resident frame
   uint64_t faults = 0;     ///< required a disk read
   uint64_t evictions = 0;  ///< clean frames dropped for replacement
+
+  void MergeFrom(const PoolStats& other) {
+    pins += other.pins;
+    hits += other.hits;
+    faults += other.faults;
+    evictions += other.evictions;
+  }
 };
 
-/// \brief Pinning LRU buffer pool over a SimulatedDisk.
+/// \brief Pinning LRU buffer pool over a SimulatedDisk, with a sharded
+/// latch for concurrent callers.
 ///
 /// Pin returns a stable pointer to the frame holding the page and holds
 /// the frame until the matching Unpin; unpinned frames are replaced in
 /// least-recently-used order when capacity is exceeded.
 ///
-/// Thread safety: Pin/Unpin/FlushAll/ResetStats are serialized by an
-/// internal mutex, so independent cursors (e.g. the workers of the
-/// parallel paged staircase join) may share one pool. Frame pointers
-/// stay valid while pinned regardless of concurrent evictions. stats()
-/// returns a snapshot; read it quiesced for exact counts.
+/// Thread safety: the page table, LRU list and counters are partitioned
+/// into `latch_shards` independently latched shards (pages map to shards
+/// round-robin by id, so the interleaved column pages of one document
+/// spread evenly). Pin/Unpin on different shards never contend, which is
+/// what lets many concurrent sessions share one pool without serializing
+/// on a single global mutex. Counters are kept exactly: each shard's
+/// PoolStats is updated under its own latch and stats() aggregates the
+/// shards; read it quiesced for a consistent cross-shard snapshot. Frame
+/// pointers stay valid while pinned regardless of concurrent evictions.
+///
+/// Sharding trades LRU globality for concurrency: each shard runs LRU
+/// over its own slice of the capacity (capacity is split evenly, every
+/// shard gets at least one frame). With latch_shards == 1 (the default)
+/// the behavior is the classic single-latch global-LRU pool.
 class BufferPool {
  public:
-  /// Creates a pool of `capacity_pages` frames over `disk` (borrowed).
-  BufferPool(SimulatedDisk* disk, size_t capacity_pages);
+  /// Creates a pool of `capacity_pages` frames over `disk` (borrowed),
+  /// partitioned into `latch_shards` shards (clamped to [1,
+  /// capacity_pages] so every shard owns at least one frame).
+  BufferPool(SimulatedDisk* disk, size_t capacity_pages,
+             size_t latch_shards = 1);
 
   /// Pins page `id` and returns its frame bytes; faults it in if needed.
-  /// Fails with Internal when every frame is pinned (pool too small).
+  /// Fails with Internal when every frame of the page's shard is pinned
+  /// (pool too small for the concurrent pin set).
   Result<const uint8_t*> Pin(PageId id);
 
   /// Releases one pin on `id`; InvalidArgument if not pinned.
   Status Unpin(PageId id);
 
-  /// Counters since construction (copied under the lock).
-  PoolStats stats() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return stats_;
-  }
+  /// Counters since construction (aggregated over the shards; each shard
+  /// is copied under its latch).
+  PoolStats stats() const;
 
   /// Zeroes the counters (keeps resident pages).
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = PoolStats{};
-  }
+  void ResetStats();
 
   /// Drops every unpinned frame (a cold start for experiments).
   void FlushAll();
 
   /// Number of frames currently holding pages.
-  size_t resident_pages() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return frames_.size();
-  }
+  size_t resident_pages() const;
+
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
 
  private:
   struct Frame {
@@ -122,14 +150,22 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  Status EvictOne();  // requires mu_ held
+  /// One independently latched slice of the pool.
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
+    std::list<PageId> lru;  // front = least recently used
+    PoolStats stats;
+  };
 
-  mutable std::mutex mu_;
+  Shard& ShardFor(PageId id) { return shards_[id % shards_.size()]; }
+
+  static Status EvictOne(Shard* shard);  // requires shard->mu held
+
   SimulatedDisk* disk_;
   size_t capacity_;
-  std::unordered_map<PageId, std::unique_ptr<Frame>> frames_;
-  std::list<PageId> lru_;  // front = least recently used
-  PoolStats stats_;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace sj::storage

@@ -45,12 +45,19 @@ AxisNodeTest MakeAxisNodeTest(const Step& step,
 }  // namespace
 
 Evaluator::Evaluator(const DocTable& doc, EvalOptions options)
-    : doc_(doc), options_(options) {
+    : doc_(doc),
+      options_(options),
+      doc_digest_(options.doc_digest),
+      frag_digest_(options.frag_digest) {
   // Paid up front so the O(doc) digest passes never land inside a timed
-  // query (Evaluate would otherwise compute them lazily).
+  // query (Evaluate would otherwise compute them lazily). A facade that
+  // already validated the images at open time passes the digests in via
+  // EvalOptions and skips the passes entirely.
   if (options_.backend == StorageBackend::kPaged) {
-    doc_digest_ = storage::DocColumnsDigest(doc_);
-    if (options_.paged_tags != nullptr) {
+    if (!doc_digest_.has_value()) {
+      doc_digest_ = storage::DocColumnsDigest(doc_);
+    }
+    if (options_.paged_tags != nullptr && !frag_digest_.has_value()) {
       frag_digest_ = storage::FragmentColumnsDigest(doc_, *doc_digest_);
     }
   }
@@ -515,10 +522,10 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
   return result;
 }
 
-std::string Evaluator::ExplainLastQuery() const {
+std::string ExplainTrace(const std::vector<StepTrace>& trace) {
   std::string out;
-  for (size_t i = 0; i < trace_.size(); ++i) {
-    const StepTrace& t = trace_[i];
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const StepTrace& t = trace[i];
     out += "step " + std::to_string(i + 1) + ": " + t.description + "\n";
     out += "  context=" + std::to_string(t.stats.context_size) +
            " pruned=" + std::to_string(t.stats.pruned_context_size) +
@@ -530,5 +537,7 @@ std::string Evaluator::ExplainLastQuery() const {
   }
   return out;
 }
+
+std::string Evaluator::ExplainLastQuery() const { return ExplainTrace(trace_); }
 
 }  // namespace sj::xpath

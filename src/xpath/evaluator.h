@@ -81,6 +81,13 @@ struct EvalOptions {
   /// steps then charge their fragment page reads to `pool` instead of
   /// diving into the memory-resident TagIndex.
   const storage::PagedTagIndex* paged_tags = nullptr;
+  /// Facade wiring (sj::Database): the DocColumnsDigest /
+  /// FragmentColumnsDigest of the bound document, already computed and
+  /// verified against the paged images at Database open time. When set,
+  /// the evaluator trusts them instead of running its own O(doc) digest
+  /// passes, so creating a session stays cheap.
+  std::optional<uint64_t> doc_digest;
+  std::optional<uint64_t> frag_digest;
 };
 
 /// Per-step diagnostics (an EXPLAIN of the executed plan).
@@ -89,6 +96,10 @@ struct StepTrace {
   JoinStats stats;
   double millis = 0.0;
 };
+
+/// Renders a step trace as a readable multi-line EXPLAIN (the formatting
+/// behind Evaluator::ExplainLastQuery and sj::QueryResult::Explain).
+std::string ExplainTrace(const std::vector<StepTrace>& trace);
 
 /// \brief Evaluates parsed location paths over one document.
 class Evaluator {

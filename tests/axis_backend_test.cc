@@ -4,14 +4,15 @@
 // byte-identical duplicate-free document-order sequences for every
 // cursor axis -- matching both the per-context naive baseline and the
 // region-definition oracle -- and the paged instantiation must charge
-// its parent/tag/kind reads to the BufferPool. Also drives
-// xpath::Evaluator end-to-end over queries that mix staircase and
-// non-staircase steps on the paged backend.
+// its parent/tag/kind reads to the BufferPool. Also drives whole queries
+// that mix staircase and non-staircase steps end-to-end on the paged
+// backend through the Database/Session facade.
 
 #include <gtest/gtest.h>
 
 #include <cstring>
 
+#include "api/database.h"
 #include "baselines/naive.h"
 #include "bat/operators.h"
 #include "core/axis_step.h"
@@ -19,7 +20,6 @@
 #include "storage/paged_doc.h"
 #include "test_util.h"
 #include "util/rng.h"
-#include "xpath/evaluator.h"
 
 namespace sj::storage {
 namespace {
@@ -303,44 +303,45 @@ TEST(PagedAxisCursorTest, TerminatesOnMidScanPoolExhaustion) {
 TEST(PagedAxisCursorTest, StaleTagColumnPagesAreRejected) {
   // Identical structure (post/kind/level/parent), different tag column:
   // the extended DocColumnsDigest must tell the images apart, so a
-  // paged table built from the wrong document fails the evaluator's
-  // digest check instead of silently serving stale tag pages to the
-  // folded node tests.
+  // paged table built from the wrong document is rejected when the
+  // database adopts it (Database::FromParts) instead of silently serving
+  // stale tag pages to the folded node tests.
   auto doc_b = LoadDocument("<a><b/><b/></a>").value();
   auto doc_c = LoadDocument("<a><c/><b/></a>").value();
   ASSERT_NE(DocColumnsDigest(*doc_b), DocColumnsDigest(*doc_c));
-  SimulatedDisk disk;
-  auto paged_wrong = PagedDocTable::Create(*doc_c, &disk).value();
-  BufferPool pool(&disk, 8);
-  xpath::EvalOptions opt;
-  opt.backend = xpath::StorageBackend::kPaged;
-  opt.paged_doc = paged_wrong.get();
-  opt.pool = &pool;
-  xpath::Evaluator spoofed(*doc_b, opt);
-  EXPECT_FALSE(spoofed.EvaluateString("/child::b").ok());
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto paged_wrong = PagedDocTable::Create(*doc_c, disk.get()).value();
+  auto spoofed = Database::FromParts(std::move(doc_b), nullptr,
+                                     std::move(disk),
+                                     std::move(paged_wrong), nullptr);
+  EXPECT_FALSE(spoofed.ok());
 
-  auto paged_right = PagedDocTable::Create(*doc_b, &disk).value();
-  opt.paged_doc = paged_right.get();
-  xpath::Evaluator genuine(*doc_b, opt);
-  auto r = genuine.EvaluateString("/child::b");
+  auto doc_b2 = LoadDocument("<a><b/><b/></a>").value();
+  auto disk2 = std::make_unique<SimulatedDisk>();
+  auto paged_right = PagedDocTable::Create(*doc_b2, disk2.get()).value();
+  auto genuine = Database::FromParts(std::move(doc_b2), nullptr,
+                                     std::move(disk2),
+                                     std::move(paged_right), nullptr);
+  ASSERT_TRUE(genuine.ok()) << genuine.status();
+  SessionOptions paged_opt;
+  paged_opt.backend = StorageBackend::kPaged;
+  auto r = std::move(genuine.value()->CreateSession(paged_opt)).value()
+               .Run("/child::b");
   ASSERT_TRUE(r.ok()) << r.status();
-  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value().nodes.size(), 2u);
 }
 
 TEST(PagedEvaluatorAxisTest, MixedAxisQueriesMatchMemoryAndChargeThePool) {
-  auto doc = RandomDocument(7, {.target_nodes = 60000,
-                                .attribute_percent = 30});
-  ASSERT_GT(doc->size(), 10000u);
-  SimulatedDisk disk;
-  auto paged = PagedDocTable::Create(*doc, &disk).value();
-  BufferPool pool(&disk, 32);
-
-  xpath::EvalOptions io_opt;
-  io_opt.backend = xpath::StorageBackend::kPaged;
-  io_opt.paged_doc = paged.get();
-  io_opt.pool = &pool;
-  xpath::Evaluator mem(*doc);
-  xpath::Evaluator io(*doc, io_opt);
+  auto db = Database::FromTable(RandomDocument(7, {.target_nodes = 60000,
+                                                   .attribute_percent = 30}))
+                .value();
+  ASSERT_GT(db->doc().size(), 10000u);
+  SessionOptions io_opt;
+  io_opt.backend = StorageBackend::kPaged;
+  io_opt.pushdown = PushdownMode::kNever;  // faults come from the doc scan
+  Session mem = std::move(db->CreateSession()).value();
+  Session io = std::move(db->CreateSession(io_opt)).value();
+  storage::BufferPool* pool = db->buffer_pool();
 
   const char* queries[] = {
       "/descendant::t0/child::t1",
@@ -352,63 +353,64 @@ TEST(PagedEvaluatorAxisTest, MixedAxisQueriesMatchMemoryAndChargeThePool) {
       "/child::node()/child::node()/self::t1",
   };
   for (const char* q : queries) {
-    auto expected = mem.EvaluateString(q);
-    pool.FlushAll();
-    pool.ResetStats();
-    auto got = io.EvaluateString(q);
+    auto expected = mem.Run(q);
+    pool->FlushAll();
+    pool->ResetStats();
+    auto got = io.Run(q);
     ASSERT_TRUE(expected.ok()) << q << ": " << expected.status();
     ASSERT_TRUE(got.ok()) << q << ": " << got.status();
-    EXPECT_TRUE(BytesEqual(got.value(), expected.value())) << q;
+    EXPECT_TRUE(BytesEqual(got.value().nodes, expected.value().nodes)) << q;
     // Every step reads through the pool: a cold pool must fault for the
     // staircase steps AND the axis-cursor steps.
-    EXPECT_GT(pool.stats().faults, 0u) << q;
+    EXPECT_GT(pool->stats().faults, 0u) << q;
     // No step of a staircase-engine plan runs per-context anymore.
-    EXPECT_EQ(io.ExplainLastQuery().find("per-context"), std::string::npos)
-        << io.ExplainLastQuery();
+    EXPECT_EQ(got.value().Explain().find("per-context"), std::string::npos)
+        << got.value().Explain();
   }
   // EXPLAIN names the new paths.
-  ASSERT_TRUE(io.EvaluateString("/descendant::t0/child::t1").ok());
-  EXPECT_NE(io.ExplainLastQuery().find("via paged child-axis cursor join"),
+  auto r = io.Run("/descendant::t0/child::t1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().Explain().find("via paged child-axis cursor join"),
             std::string::npos)
-      << io.ExplainLastQuery();
+      << r.value().Explain();
 }
 
 TEST(EvaluatorTraceTest, ShortCircuitedStepsStayInExplain) {
-  auto doc = LoadPaperExample();
-  xpath::Evaluator ev(*doc);
+  DatabaseOptions open;
+  open.build_paged = false;
+  auto db = Database::FromTable(LoadPaperExample(), open).value();
+  Session session = std::move(db->CreateSession()).value();
   // b(c) has no grandchildren: step 3 runs on an empty context and step
   // 4 onwards must still be listed.
-  auto r = ev.EvaluateString("/child::b/child::c/child::c/child::c");
+  auto r = session.Run("/child::b/child::c/child::c/child::c");
   ASSERT_TRUE(r.ok());
-  EXPECT_TRUE(r.value().empty());
-  ASSERT_EQ(ev.last_trace().size(), 4u) << ev.ExplainLastQuery();
-  EXPECT_NE(ev.last_trace()[3].description.find("short-circuited"),
+  EXPECT_TRUE(r.value().nodes.empty());
+  const QueryResult& result = r.value();
+  ASSERT_EQ(result.trace.size(), 4u) << result.Explain();
+  EXPECT_NE(result.trace[3].description.find("short-circuited"),
             std::string::npos)
-      << ev.ExplainLastQuery();
-  EXPECT_NE(ev.ExplainLastQuery().find("step 4"), std::string::npos);
+      << result.Explain();
+  EXPECT_NE(result.Explain().find("step 4"), std::string::npos);
 }
 
 TEST(EvaluatorTraceTest, PositionalStepsAreFlaggedOnPagedBackend) {
-  auto doc = LoadPaperExample();
-  SimulatedDisk disk;
-  auto paged = PagedDocTable::Create(*doc, &disk).value();
-  BufferPool pool(&disk, 8);
-  xpath::EvalOptions io_opt;
-  io_opt.backend = xpath::StorageBackend::kPaged;
-  io_opt.paged_doc = paged.get();
-  io_opt.pool = &pool;
-  xpath::Evaluator io(*doc, io_opt);
-  ASSERT_TRUE(io.EvaluateString("/child::e/child::f[1]").ok());
-  EXPECT_NE(io.ExplainLastQuery().find(
+  auto db = Database::FromTable(LoadPaperExample()).value();
+  SessionOptions io_opt;
+  io_opt.backend = StorageBackend::kPaged;
+  Session io = std::move(db->CreateSession(io_opt)).value();
+  auto r = io.Run("/child::e/child::f[1]");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().Explain().find(
                 "(memory-resident -- bypasses buffer pool)"),
             std::string::npos)
-      << io.ExplainLastQuery();
+      << r.value().Explain();
 
-  xpath::Evaluator mem(*doc);
-  ASSERT_TRUE(mem.EvaluateString("/child::e/child::f[1]").ok());
-  EXPECT_EQ(mem.ExplainLastQuery().find("bypasses buffer pool"),
+  Session mem = std::move(db->CreateSession()).value();
+  auto rm = mem.Run("/child::e/child::f[1]");
+  ASSERT_TRUE(rm.ok());
+  EXPECT_EQ(rm.value().Explain().find("bypasses buffer pool"),
             std::string::npos)
-      << mem.ExplainLastQuery();
+      << rm.value().Explain();
 }
 
 }  // namespace

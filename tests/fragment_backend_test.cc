@@ -5,15 +5,16 @@
 // -- equal to FilterByTest(StaircaseJoin(...)) -- for every staircase
 // axis x skip mode x random tree shape, with JoinStats meaning the same
 // thing as the kernels.h stats. Also drives the paged name-test pushdown
-// end-to-end through xpath::Evaluator: faults are charged to the pool,
-// EXPLAIN names the paged fragment path, and digest mismatches are
-// rejected.
+// end-to-end through the Database/Session facade: faults are charged to
+// the pool, EXPLAIN names the paged fragment path, and digest mismatches
+// are rejected when the database is opened.
 
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <string>
 
+#include "api/database.h"
 #include "core/fragment_cursor.h"
 #include "core/staircase_join.h"
 #include "core/tag_view.h"
@@ -21,7 +22,6 @@
 #include "storage/paged_tags.h"
 #include "test_util.h"
 #include "util/rng.h"
-#include "xpath/evaluator.h"
 
 namespace sj::storage {
 namespace {
@@ -256,27 +256,21 @@ TEST(PagedFragmentCursorTest, StickyErrorOnPoolExhaustion) {
 /// must name the paged fragment path, and results must be byte-identical
 /// to the in-memory engine.
 TEST(PagedPushdownTest, PushdownChargesThePoolAndMatchesMemory) {
-  auto doc = RandomDocument(13, {.target_nodes = 60000});
-  ASSERT_GT(doc->size(), 10000u);
-  TagIndex index(*doc);
-  SimulatedDisk disk;
-  auto paged_doc = PagedDocTable::Create(*doc, &disk).value();
-  auto paged_tags = PagedTagIndex::Create(*doc, &disk).value();
-  BufferPool pool(&disk, 32);
+  auto db = Database::FromTable(RandomDocument(13, {.target_nodes = 60000}))
+                .value();
+  ASSERT_GT(db->doc().size(), 10000u);
+  BufferPool* pool = db->buffer_pool();
 
-  xpath::EvalOptions mem_opt;
-  mem_opt.pushdown = xpath::PushdownMode::kAlways;
-  mem_opt.tag_index = &index;
-  xpath::Evaluator mem(*doc, mem_opt);
+  // The resident TagIndex stays built: faults prove the paged path does
+  // not fall back to (or silently prefer) the resident fragments.
+  ASSERT_NE(db->tag_index(), nullptr);
+  SessionOptions mem_opt;
+  mem_opt.pushdown = PushdownMode::kAlways;
+  Session mem = std::move(db->CreateSession(mem_opt)).value();
 
-  xpath::EvalOptions io_opt = mem_opt;
-  io_opt.backend = xpath::StorageBackend::kPaged;
-  io_opt.paged_doc = paged_doc.get();
-  io_opt.pool = &pool;
-  io_opt.paged_tags = paged_tags.get();
-  // tag_index stays set: faults prove the paged path does not fall back
-  // to (or silently prefer) the resident fragments.
-  xpath::Evaluator io(*doc, io_opt);
+  SessionOptions io_opt = mem_opt;
+  io_opt.backend = StorageBackend::kPaged;
+  Session io = std::move(db->CreateSession(io_opt)).value();
 
   const char* queries[] = {
       "/descendant::t0",
@@ -285,79 +279,89 @@ TEST(PagedPushdownTest, PushdownChargesThePoolAndMatchesMemory) {
       "/descendant::t1/following::t3",
       "/descendant::t3/preceding::t1",
   };
+  std::string last_explain;
   for (const char* q : queries) {
-    pool.FlushAll();
-    pool.ResetStats();
-    auto expected = mem.EvaluateString(q);
-    auto got = io.EvaluateString(q);
+    pool->FlushAll();
+    pool->ResetStats();
+    auto expected = mem.Run(q);
+    auto got = io.Run(q);
     ASSERT_TRUE(expected.ok()) << q << ": " << expected.status();
     ASSERT_TRUE(got.ok()) << q << ": " << got.status();
-    EXPECT_TRUE(BytesEqual(got.value(), expected.value())) << q;
-    EXPECT_GT(pool.stats().faults, 0u) << q;
-    EXPECT_NE(io.ExplainLastQuery().find(
-                  "via paged staircase join over tag fragment"),
+    EXPECT_TRUE(BytesEqual(got.value().nodes, expected.value().nodes)) << q;
+    EXPECT_GT(pool->stats().faults, 0u) << q;
+    last_explain = got.value().Explain();
+    EXPECT_NE(last_explain.find("via paged staircase join over tag fragment"),
               std::string::npos)
-        << io.ExplainLastQuery();
+        << last_explain;
   }
-  EXPECT_NE(io.ExplainLastQuery().find("tag fragment 't3'"),
-            std::string::npos);
+  EXPECT_NE(last_explain.find("tag fragment 't3'"), std::string::npos);
 }
 
-/// Regression for the headline bug: with the paged backend and only a
-/// memory TagIndex configured, pushdown must NOT engage (it would bypass
-/// the pool) -- the step runs the paged document join instead.
+/// Regression for the headline bug: on a database adopted without paged
+/// tag fragments, pushdown must NOT engage on the paged backend (the
+/// resident TagIndex would bypass the pool) -- the step runs the paged
+/// document join instead.
 TEST(PagedPushdownTest, MemoryTagIndexDoesNotBypassThePool) {
   auto doc = RandomDocument(17, {.target_nodes = 20000});
-  TagIndex index(*doc);
-  SimulatedDisk disk;
-  auto paged_doc = PagedDocTable::Create(*doc, &disk).value();
-  BufferPool pool(&disk, 16);
+  auto index = std::make_unique<TagIndex>(*doc);
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto paged_doc = PagedDocTable::Create(*doc, disk.get()).value();
+  auto db = Database::FromParts(std::move(doc), std::move(index),
+                                std::move(disk), std::move(paged_doc),
+                                /*paged_tags=*/nullptr)
+                .value();
 
-  xpath::EvalOptions io_opt;
-  io_opt.backend = xpath::StorageBackend::kPaged;
-  io_opt.paged_doc = paged_doc.get();
-  io_opt.pool = &pool;
-  io_opt.pushdown = xpath::PushdownMode::kAlways;
-  io_opt.tag_index = &index;  // no paged_tags
-  xpath::Evaluator io(*doc, io_opt);
-  auto r = io.EvaluateString("/descendant::t0");
+  SessionOptions io_opt;
+  io_opt.backend = StorageBackend::kPaged;
+  io_opt.pushdown = PushdownMode::kAlways;
+  Session io = std::move(db->CreateSession(io_opt)).value();
+  auto r = io.Run("/descendant::t0");
   ASSERT_TRUE(r.ok()) << r.status();
-  std::string explain = io.ExplainLastQuery();
+  std::string explain = r.value().Explain();
   EXPECT_EQ(explain.find("tag fragment"), std::string::npos) << explain;
   EXPECT_NE(explain.find("via paged staircase join (buffer pool)"),
             std::string::npos)
       << explain;
-  EXPECT_GT(pool.stats().faults, 0u);
+  EXPECT_GT(db->buffer_pool()->stats().faults, 0u);
 }
 
-TEST(PagedPushdownTest, DigestMismatchIsRejected) {
+TEST(PagedPushdownTest, DigestMismatchIsRejectedAtOpenTime) {
   // Same post/kind/level columns, different tag column: both the doc
   // digest (which covers parent/tag since the axis cursors page them)
-  // and the fragment digest must tell these apart.
+  // and the fragment digest must tell these apart -- and the database
+  // must reject the stale fragment image when it is adopted, naming the
+  // fragment column set, not on the first pushed-down query.
   auto doc_b = LoadDocument("<a><b/><b/></a>").value();
   auto doc_c = LoadDocument("<a><c/><b/></a>").value();
-  SimulatedDisk disk;
-  auto paged_doc = PagedDocTable::Create(*doc_b, &disk).value();
-  auto wrong_tags = PagedTagIndex::Create(*doc_c, &disk).value();
-  auto right_tags = PagedTagIndex::Create(*doc_b, &disk).value();
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto paged_doc = PagedDocTable::Create(*doc_b, disk.get()).value();
+  auto wrong_tags = PagedTagIndex::Create(*doc_c, disk.get()).value();
   ASSERT_NE(paged_doc->source_digest(), DocColumnsDigest(*doc_c));
   ASSERT_NE(wrong_tags->source_digest(), FragmentColumnsDigest(*doc_b));
-  BufferPool pool(&disk, 8);
 
-  xpath::EvalOptions opt;
-  opt.backend = xpath::StorageBackend::kPaged;
-  opt.paged_doc = paged_doc.get();
-  opt.pool = &pool;
-  opt.pushdown = xpath::PushdownMode::kAlways;
-  opt.paged_tags = wrong_tags.get();
-  xpath::Evaluator spoofed(*doc_b, opt);
-  EXPECT_FALSE(spoofed.EvaluateString("/descendant::b").ok());
+  auto spoofed = Database::FromParts(std::move(doc_b), nullptr,
+                                     std::move(disk), std::move(paged_doc),
+                                     std::move(wrong_tags));
+  ASSERT_FALSE(spoofed.ok());
+  EXPECT_NE(spoofed.status().ToString().find("tag fragment column set"),
+            std::string::npos)
+      << spoofed.status();
 
-  opt.paged_tags = right_tags.get();
-  xpath::Evaluator genuine(*doc_b, opt);
-  auto r = genuine.EvaluateString("/descendant::b");
+  auto doc_b2 = LoadDocument("<a><b/><b/></a>").value();
+  auto disk2 = std::make_unique<SimulatedDisk>();
+  auto paged_doc2 = PagedDocTable::Create(*doc_b2, disk2.get()).value();
+  auto right_tags = PagedTagIndex::Create(*doc_b2, disk2.get()).value();
+  auto genuine = Database::FromParts(std::move(doc_b2), nullptr,
+                                     std::move(disk2), std::move(paged_doc2),
+                                     std::move(right_tags));
+  ASSERT_TRUE(genuine.ok()) << genuine.status();
+  SessionOptions opt;
+  opt.backend = StorageBackend::kPaged;
+  opt.pushdown = PushdownMode::kAlways;
+  auto r = std::move(genuine.value()->CreateSession(opt)).value()
+               .Run("/descendant::b");
   ASSERT_TRUE(r.ok()) << r.status();
-  EXPECT_EQ(r.value().size(), 2u);
+  EXPECT_EQ(r.value().nodes.size(), 2u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "api/database.h"
 #include "baselines/mpmgjn.h"
 #include "baselines/naive.h"
 #include "baselines/sql_plan.h"
@@ -12,7 +13,6 @@
 #include "core/tag_view.h"
 #include "encoding/loader.h"
 #include "xmlgen/xmark.h"
-#include "xpath/evaluator.h"
 
 namespace sj {
 namespace {
@@ -22,58 +22,64 @@ class XMarkPipelineTest : public ::testing::Test {
   static void SetUpTestSuite() {
     xmlgen::XMarkOptions opt;
     opt.size_mb = 1.1;
-    doc_ = xmlgen::GenerateXMarkDocument(opt).value().release();
-    index_ = new TagIndex(*doc_);
+    db_ = Database::FromXmark(opt).value().release();
+    doc_ = &db_->doc();
+    index_ = db_->tag_index();
   }
   static void TearDownTestSuite() {
-    delete index_;
-    delete doc_;
-    index_ = nullptr;
+    delete db_;
+    db_ = nullptr;
     doc_ = nullptr;
+    index_ = nullptr;
   }
 
-  static DocTable* doc_;
-  static TagIndex* index_;
+  /// Runs `query` in a fresh session; aborts the test on failure.
+  static NodeSequence Run(const char* query, SessionOptions opts = {}) {
+    auto session = db_->CreateSession(opts);
+    EXPECT_TRUE(session.ok()) << session.status();
+    auto r = session.value().Run(query);
+    EXPECT_TRUE(r.ok()) << query << ": " << r.status();
+    return r.ok() ? std::move(r).value().nodes : NodeSequence{};
+  }
+
+  static Database* db_;
+  static const DocTable* doc_;
+  static const TagIndex* index_;
 };
 
-DocTable* XMarkPipelineTest::doc_ = nullptr;
-TagIndex* XMarkPipelineTest::index_ = nullptr;
+Database* XMarkPipelineTest::db_ = nullptr;
+const DocTable* XMarkPipelineTest::doc_ = nullptr;
+const TagIndex* XMarkPipelineTest::index_ = nullptr;
 
 TEST_F(XMarkPipelineTest, Q1AllStrategiesAgree) {
-  xpath::EvalOptions staircase;
-  staircase.tag_index = index_;
-  xpath::EvalOptions pushdown = staircase;
-  pushdown.pushdown = xpath::PushdownMode::kAlways;
-  xpath::EvalOptions no_pushdown = staircase;
-  no_pushdown.pushdown = xpath::PushdownMode::kNever;
-  xpath::EvalOptions naive;
-  naive.engine = xpath::EngineMode::kNaive;
-  xpath::EvalOptions parallel = staircase;
+  SessionOptions pushdown;
+  pushdown.pushdown = PushdownMode::kAlways;
+  SessionOptions no_pushdown;
+  no_pushdown.pushdown = PushdownMode::kNever;
+  SessionOptions naive;
+  naive.engine = EngineMode::kNaive;
+  SessionOptions parallel = no_pushdown;
   parallel.num_threads = 4;
-  parallel.pushdown = xpath::PushdownMode::kNever;
+  SessionOptions paged;
+  paged.backend = StorageBackend::kPaged;
 
-  NodeSequence expected =
-      xpath::Evaluator(*doc_, no_pushdown).EvaluateString(xmlgen::kQ1).value();
+  NodeSequence expected = Run(xmlgen::kQ1, no_pushdown);
   EXPECT_GT(expected.size(), 0u);
-  for (const xpath::EvalOptions& opts : {pushdown, naive, parallel}) {
-    EXPECT_EQ(xpath::Evaluator(*doc_, opts).EvaluateString(xmlgen::kQ1)
-                  .value(),
-              expected);
+  for (const SessionOptions& opts : {pushdown, naive, parallel, paged}) {
+    EXPECT_EQ(Run(xmlgen::kQ1, opts), expected);
   }
 }
 
 TEST_F(XMarkPipelineTest, Q2AllStrategiesAgreeIncludingRewrite) {
-  xpath::EvalOptions base;
-  base.tag_index = index_;
-  xpath::Evaluator ev(*doc_, base);
-  NodeSequence q2 = ev.EvaluateString(xmlgen::kQ2).value();
+  NodeSequence q2 = Run(xmlgen::kQ2);
   EXPECT_GT(q2.size(), 0u);
-  EXPECT_EQ(ev.EvaluateString(xmlgen::kQ2Rewrite).value(), q2);
-  xpath::EvalOptions naive;
-  naive.engine = xpath::EngineMode::kNaive;
-  EXPECT_EQ(xpath::Evaluator(*doc_, naive).EvaluateString(xmlgen::kQ2)
-                .value(),
-            q2);
+  EXPECT_EQ(Run(xmlgen::kQ2Rewrite), q2);
+  SessionOptions naive;
+  naive.engine = EngineMode::kNaive;
+  EXPECT_EQ(Run(xmlgen::kQ2, naive), q2);
+  SessionOptions paged;
+  paged.backend = StorageBackend::kPaged;
+  EXPECT_EQ(Run(xmlgen::kQ2, paged), q2);
 }
 
 TEST_F(XMarkPipelineTest, Q2StepsMatchSqlPlanAndMpmgjn) {
@@ -154,15 +160,14 @@ TEST_F(XMarkPipelineTest, SerializeParseRoundTripPreservesQueries) {
   xmlgen::XMarkOptions opt;
   opt.size_mb = 0.3;
   std::string text = xmlgen::GenerateXMarkText(opt).value();
-  auto direct = xmlgen::GenerateXMarkDocument(opt).value();
-  auto reparsed = LoadDocument(text).value();
-  xpath::Evaluator ev1(*direct);
-  xpath::Evaluator ev2(*reparsed);
+  auto direct = Database::FromXmark(opt).value();
+  auto reparsed = Database::FromXml(text).value();
+  Session s1 = std::move(direct->CreateSession()).value();
+  Session s2 = std::move(reparsed->CreateSession()).value();
   for (const char* q : {xmlgen::kQ1, xmlgen::kQ2,
                         "/descendant::person/child::name",
                         "/descendant::item/attribute::id"}) {
-    EXPECT_EQ(ev1.EvaluateString(q).value(), ev2.EvaluateString(q).value())
-        << q;
+    EXPECT_EQ(s1.Run(q).value().nodes, s2.Run(q).value().nodes) << q;
   }
 }
 

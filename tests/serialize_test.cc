@@ -3,13 +3,20 @@
 
 #include <gtest/gtest.h>
 
+#include "api/database.h"
 #include "encoding/loader.h"
 #include "encoding/serialize.h"
 #include "test_util.h"
-#include "xpath/evaluator.h"
 
 namespace sj {
 namespace {
+
+/// Opens a query-only database (no paged image) over `xml`.
+std::unique_ptr<Database> OpenXml(const std::string& xml) {
+  DatabaseOptions open;
+  open.build_paged = false;
+  return Database::FromXml(xml, open).value();
+}
 
 TEST(SerializeTest, WholeDocumentRoundTrip) {
   const std::string xml =
@@ -19,11 +26,12 @@ TEST(SerializeTest, WholeDocumentRoundTrip) {
 }
 
 TEST(SerializeTest, InnerSubtree) {
-  auto doc = LoadDocument("<a><b i=\"7\"><c>x</c></b><d/></a>").value();
-  xpath::Evaluator ev(*doc);
-  NodeSequence b = ev.EvaluateString("/descendant::b").value();
+  auto db = OpenXml("<a><b i=\"7\"><c>x</c></b><d/></a>");
+  Session session = std::move(db->CreateSession()).value();
+  NodeSequence b = session.Run("/descendant::b").value().nodes;
   ASSERT_EQ(b.size(), 1u);
-  EXPECT_EQ(SerializeSubtree(*doc, b[0]).value(), "<b i=\"7\"><c>x</c></b>");
+  EXPECT_EQ(SerializeSubtree(db->doc(), b[0]).value(),
+            "<b i=\"7\"><c>x</c></b>");
 }
 
 TEST(SerializeTest, TextAndCommentNodes) {
@@ -34,14 +42,14 @@ TEST(SerializeTest, TextAndCommentNodes) {
 }
 
 TEST(SerializeTest, SequenceConcatenatesInOrder) {
-  auto doc = LoadDocument("<a><b>1</b><b>2</b><c v=\"9\"/></a>").value();
-  xpath::Evaluator ev(*doc);
-  NodeSequence bs = ev.EvaluateString("/descendant::b").value();
-  EXPECT_EQ(SerializeSequence(*doc, bs).value(), "<b>1</b><b>2</b>");
+  auto db = OpenXml("<a><b>1</b><b>2</b><c v=\"9\"/></a>");
+  Session session = std::move(db->CreateSession()).value();
+  NodeSequence bs = session.Run("/descendant::b").value().nodes;
+  EXPECT_EQ(SerializeSequence(db->doc(), bs).value(), "<b>1</b><b>2</b>");
   // Attribute in a sequence -> its string value.
-  NodeSequence attr = ev.EvaluateString("/descendant::c/attribute::v")
-                          .value();
-  EXPECT_EQ(SerializeSequence(*doc, attr).value(), "9");
+  NodeSequence attr =
+      session.Run("/descendant::c/attribute::v").value().nodes;
+  EXPECT_EQ(SerializeSequence(db->doc(), attr).value(), "9");
 }
 
 TEST(SerializeTest, ErrorsAndEdgeCases) {
@@ -73,16 +81,15 @@ TEST(SerializeTest, RandomDocumentsRoundTrip) {
 }
 
 TEST(SerializeTest, QueryResultsFromXMarkParseBack) {
-  auto doc = LoadDocument(
-      testing::RandomDocumentXml(77, {.target_nodes = 400})).value();
-  xpath::Evaluator ev(*doc);
-  NodeSequence nodes = ev.EvaluateString("/descendant::t1").value();
+  auto db = OpenXml(testing::RandomDocumentXml(77, {.target_nodes = 400}));
+  Session session = std::move(db->CreateSession()).value();
+  NodeSequence nodes = session.Run("/descendant::t1").value().nodes;
   if (nodes.empty()) GTEST_SKIP() << "no t1 in this instance";
   for (NodeId v : nodes) {
-    std::string text = SerializeSubtree(*doc, v).value();
+    std::string text = SerializeSubtree(db->doc(), v).value();
     auto reparsed = LoadDocument(text);
     ASSERT_TRUE(reparsed.ok()) << reparsed.status();
-    EXPECT_EQ(reparsed.value()->size(), doc->subtree_size(v) + 1);
+    EXPECT_EQ(reparsed.value()->size(), db->doc().subtree_size(v) + 1);
   }
 }
 

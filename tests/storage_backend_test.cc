@@ -3,18 +3,20 @@
 // in-memory cursor and with the buffer-pool cursor, must return
 // byte-identical NodeSequences for every staircase axis and skip mode --
 // and the paged instantiation must turn skipping into page faults saved.
-// Also drives xpath::Evaluator end-to-end over the paged backend.
+// Also drives whole queries end-to-end over the paged backend through the
+// Database/Session facade (which owns the backend wiring and validates
+// image digests at open time).
 
 #include <gtest/gtest.h>
 
 #include <cstring>
 
+#include "api/database.h"
 #include "core/doc_accessor.h"
 #include "storage/paged_accessor.h"
 #include "storage/paged_doc.h"
 #include "test_util.h"
 #include "util/rng.h"
-#include "xpath/evaluator.h"
 
 namespace sj::storage {
 namespace {
@@ -152,18 +154,12 @@ TEST(BackendEquivalenceTest, KeepAttributesAndExactLevelMatchToo) {
 }
 
 TEST(PagedEvaluatorTest, MultiStepPathsMatchMemoryBackend) {
-  auto doc = RandomDocument(13, {.target_nodes = 60000});
-  SimulatedDisk disk;
-  auto paged = PagedDocTable::Create(*doc, &disk).value();
-  BufferPool pool(&disk, 32);
-
-  xpath::EvalOptions mem_opt;
-  xpath::EvalOptions io_opt;
-  io_opt.backend = xpath::StorageBackend::kPaged;
-  io_opt.paged_doc = paged.get();
-  io_opt.pool = &pool;
-  xpath::Evaluator mem(*doc, mem_opt);
-  xpath::Evaluator io(*doc, io_opt);
+  auto db = Database::FromTable(RandomDocument(13, {.target_nodes = 60000}))
+                .value();
+  SessionOptions io_opt;
+  io_opt.backend = StorageBackend::kPaged;
+  Session mem = std::move(db->CreateSession()).value();
+  Session io = std::move(db->CreateSession(io_opt)).value();
 
   const char* queries[] = {
       "/descendant::t0/descendant::t1",
@@ -173,88 +169,104 @@ TEST(PagedEvaluatorTest, MultiStepPathsMatchMemoryBackend) {
       "/descendant::t0[descendant::t1]/descendant::node()",
   };
   for (const char* q : queries) {
-    auto expected = mem.EvaluateString(q);
-    auto got = io.EvaluateString(q);
+    auto expected = mem.Run(q);
+    auto got = io.Run(q);
     ASSERT_TRUE(expected.ok()) << q << ": " << expected.status();
     ASSERT_TRUE(got.ok()) << q << ": " << got.status();
-    EXPECT_TRUE(BytesEqual(got.value(), expected.value())) << q;
+    EXPECT_TRUE(BytesEqual(got.value().nodes, expected.value().nodes)) << q;
   }
-  EXPECT_GT(pool.stats().pins, 0u);
+  EXPECT_GT(db->buffer_pool()->stats().pins, 0u);
 }
 
 TEST(PagedEvaluatorTest, ParallelWorkersMatchOverSharedPool) {
-  auto doc = RandomDocument(17, {.target_nodes = 60000});
-  SimulatedDisk disk;
-  auto paged = PagedDocTable::Create(*doc, &disk).value();
-  BufferPool pool(&disk, 32);
-
-  xpath::EvalOptions io_opt;
-  io_opt.backend = xpath::StorageBackend::kPaged;
-  io_opt.paged_doc = paged.get();
-  io_opt.pool = &pool;
+  auto db = Database::FromTable(RandomDocument(17, {.target_nodes = 60000}))
+                .value();
+  SessionOptions io_opt;
+  io_opt.backend = StorageBackend::kPaged;
   io_opt.num_threads = 4;
-  xpath::Evaluator mem(*doc);
-  xpath::Evaluator io(*doc, io_opt);
-  auto expected = mem.EvaluateString("/descendant::t0/descendant::node()");
-  auto got = io.EvaluateString("/descendant::t0/descendant::node()");
+  Session mem = std::move(db->CreateSession()).value();
+  Session io = std::move(db->CreateSession(io_opt)).value();
+  auto expected = mem.Run("/descendant::t0/descendant::node()");
+  auto got = io.Run("/descendant::t0/descendant::node()");
   ASSERT_TRUE(got.ok()) << got.status();
-  EXPECT_TRUE(BytesEqual(got.value(), expected.value()));
+  EXPECT_TRUE(BytesEqual(got.value().nodes, expected.value().nodes));
 }
 
-TEST(PagedEvaluatorTest, RejectsIncompletePagedConfiguration) {
+TEST(DatabaseOpenTest, StalePagedImageRejectedAtOpenTime) {
+  // The paged image of a *different* document must be rejected when the
+  // database is opened -- with the failing column set named -- not on
+  // some session's first paged query.
   auto doc = RandomDocument(9, {.target_nodes = 500});
-  xpath::EvalOptions io_opt;
-  io_opt.backend = xpath::StorageBackend::kPaged;  // no paged_doc/pool
-  xpath::Evaluator io(*doc, io_opt);
-  EXPECT_FALSE(io.EvaluateString("/descendant::t0").ok());
-
   auto other = RandomDocument(10, {.target_nodes = 800});
-  SimulatedDisk disk;
-  auto paged = PagedDocTable::Create(*other, &disk).value();
-  BufferPool pool(&disk, 8);
-  io_opt.paged_doc = paged.get();  // images a different document
-  io_opt.pool = &pool;
-  xpath::Evaluator mismatched(*doc, io_opt);
-  EXPECT_FALSE(mismatched.EvaluateString("/descendant::t0").ok());
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto paged_other = PagedDocTable::Create(*other, disk.get()).value();
+  auto db = Database::FromParts(std::move(doc), nullptr, std::move(disk),
+                                std::move(paged_other), nullptr);
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().ToString().find("post/kind/level/parent/tag"),
+            std::string::npos)
+      << db.status();
 
   // Equal node counts are not enough: a chain and a flat tree of the
   // same size have different post columns, caught by the digest check.
   auto chain = sj::LoadDocument("<a><b><c/></b></a>").value();
   auto flat = sj::LoadDocument("<a><b/><c/></a>").value();
   ASSERT_EQ(chain->size(), flat->size());
-  SimulatedDisk disk2;
-  auto paged_chain = PagedDocTable::Create(*chain, &disk2).value();
-  BufferPool pool2(&disk2, 8);
-  xpath::EvalOptions spoofed;
-  spoofed.backend = xpath::StorageBackend::kPaged;
-  spoofed.paged_doc = paged_chain.get();
-  spoofed.pool = &pool2;
-  xpath::Evaluator wrong_doc(*flat, spoofed);
-  EXPECT_FALSE(wrong_doc.EvaluateString("/descendant::b").ok());
-  xpath::Evaluator right_doc(*chain, spoofed);
-  EXPECT_TRUE(right_doc.EvaluateString("/descendant::b").ok());
+  auto disk2 = std::make_unique<SimulatedDisk>();
+  auto paged_chain = PagedDocTable::Create(*chain, disk2.get()).value();
+  auto spoofed = Database::FromParts(std::move(flat), nullptr,
+                                     std::move(disk2),
+                                     std::move(paged_chain), nullptr);
+  ASSERT_FALSE(spoofed.ok());
+  EXPECT_NE(spoofed.status().ToString().find("stale paged image"),
+            std::string::npos)
+      << spoofed.status();
+
+  // The genuine pairing passes validation and serves paged queries.
+  auto chain2 = sj::LoadDocument("<a><b><c/></b></a>").value();
+  auto disk3 = std::make_unique<SimulatedDisk>();
+  auto paged_chain2 = PagedDocTable::Create(*chain2, disk3.get()).value();
+  auto genuine = Database::FromParts(std::move(chain2), nullptr,
+                                     std::move(disk3),
+                                     std::move(paged_chain2), nullptr);
+  ASSERT_TRUE(genuine.ok()) << genuine.status();
+  SessionOptions paged_opt;
+  paged_opt.backend = StorageBackend::kPaged;
+  auto r = std::move(genuine.value()->CreateSession(paged_opt)).value()
+               .Run("/descendant::b");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(r.value().nodes.size(), 1u);
+}
+
+TEST(DatabaseOpenTest, PagedImageWithoutDiskRejected) {
+  auto doc = RandomDocument(9, {.target_nodes = 500});
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto paged = PagedDocTable::Create(*doc, disk.get()).value();
+  // Adopting the paged table while dropping its disk is incoherent.
+  auto db = Database::FromParts(std::move(doc), nullptr, nullptr,
+                                std::move(paged), nullptr);
+  EXPECT_FALSE(db.ok());
 }
 
 TEST(PagedEvaluatorTest, SkippingSavesFaultsOnMultiStepQuery) {
   // The acceptance-criteria experiment in test form: a full location path
   // over the buffer-pool backend faults fewer pages under kEstimated than
-  // under kNone.
+  // under kNone. Private per-session pools keep the two runs cold and
+  // independent.
   auto doc = RandomDocument(21, {.target_nodes = 60000});
   ASSERT_GT(doc->size(), 20000u);
-  SimulatedDisk disk;
-  auto paged = PagedDocTable::Create(*doc, &disk).value();
+  auto db = Database::FromTable(std::move(doc)).value();
 
   auto faults_with = [&](SkipMode mode) {
-    BufferPool pool(&disk, 8);
-    xpath::EvalOptions opt;
-    opt.backend = xpath::StorageBackend::kPaged;
-    opt.paged_doc = paged.get();
-    opt.pool = &pool;
+    SessionOptions opt;
+    opt.backend = StorageBackend::kPaged;
+    opt.pushdown = PushdownMode::kNever;
     opt.staircase.skip_mode = mode;
-    xpath::Evaluator io(*doc, opt);
-    auto r = io.EvaluateString("/descendant::t0/descendant::t1");
+    opt.private_pool_pages = 8;
+    Session io = std::move(db->CreateSession(opt)).value();
+    auto r = io.Run("/descendant::t0/descendant::t1");
     EXPECT_TRUE(r.ok()) << r.status();
-    return pool.stats().faults;
+    return io.pool()->stats().faults;
   };
   uint64_t faults_none = faults_with(SkipMode::kNone);
   uint64_t faults_est = faults_with(SkipMode::kEstimated);

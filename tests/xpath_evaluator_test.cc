@@ -1,18 +1,19 @@
-// Tests for the XPath evaluator: hand-checked queries on a small document,
-// staircase engine == naive engine on random documents x random queries,
-// pushdown equivalence, predicates, and the EXPLAIN trace.
+// Tests for XPath evaluation through the public Database/Session facade:
+// hand-checked queries on a small document, staircase engine == naive
+// engine on random documents x random queries, pushdown equivalence,
+// predicates, and the EXPLAIN trace carried inside QueryResult.
 
 #include <gtest/gtest.h>
 
 #include <string>
 
+#include "api/database.h"
 #include "core/tag_view.h"
 #include "encoding/loader.h"
 #include "test_util.h"
 #include "util/rng.h"
-#include "xpath/evaluator.h"
 
-namespace sj::xpath {
+namespace sj {
 namespace {
 
 // <site>
@@ -32,16 +33,22 @@ constexpr const char* kSmallDoc =
 class XPathEvaluatorTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    doc_ = LoadDocument(kSmallDoc).value();
-    index_ = std::make_unique<TagIndex>(*doc_);
+    DatabaseOptions open;
+    open.build_paged = false;  // backend equivalence lives in other suites
+    db_ = Database::FromXml(kSmallDoc, open).value();
+    doc_ = &db_->doc();
   }
 
-  NodeSequence Eval(const std::string& q, EvalOptions opts = {}) {
-    if (opts.tag_index == nullptr) opts.tag_index = index_.get();
-    Evaluator ev(*doc_, opts);
-    auto r = ev.EvaluateString(q);
+  QueryResult RunQuery(const std::string& q, SessionOptions opts = {}) {
+    auto session = db_->CreateSession(opts);
+    EXPECT_TRUE(session.ok()) << session.status();
+    auto r = session.value().Run(q);
     EXPECT_TRUE(r.ok()) << q << ": " << r.status();
-    return r.ok() ? r.value() : NodeSequence{};
+    return r.ok() ? std::move(r).value() : QueryResult{};
+  }
+
+  NodeSequence Eval(const std::string& q, SessionOptions opts = {}) {
+    return RunQuery(q, opts).nodes;
   }
 
   /// Names (tags / "#text" etc.) of the result nodes, for readable asserts.
@@ -65,8 +72,8 @@ class XPathEvaluatorTest : public ::testing::Test {
     return out;
   }
 
-  std::unique_ptr<DocTable> doc_;
-  std::unique_ptr<TagIndex> index_;
+  std::unique_ptr<Database> db_;
+  const DocTable* doc_ = nullptr;
 };
 
 TEST_F(XPathEvaluatorTest, DescendantNameTest) {
@@ -148,11 +155,18 @@ TEST_F(XPathEvaluatorTest, DoubleSlash) {
   EXPECT_EQ(Eval("//auction//increase").size(), 2u);
 }
 
+TEST_F(XPathEvaluatorTest, UnionMergesBranches) {
+  EXPECT_EQ(Eval("/descendant::name | /descendant::increase").size(), 4u);
+  // Branch traces are concatenated, not replaced.
+  QueryResult r = RunQuery("/descendant::name | /descendant::increase");
+  EXPECT_EQ(r.trace.size(), 2u);
+}
+
 TEST_F(XPathEvaluatorTest, PushdownModesAgree) {
   for (const char* q :
        {"/descendant::education", "/descendant::increase/ancestor::bidder",
         "/descendant::person/descendant::name"}) {
-    EvalOptions never, always;
+    SessionOptions never, always;
     never.pushdown = PushdownMode::kNever;
     always.pushdown = PushdownMode::kAlways;
     EXPECT_EQ(Eval(q, never), Eval(q, always)) << q;
@@ -160,33 +174,30 @@ TEST_F(XPathEvaluatorTest, PushdownModesAgree) {
 }
 
 TEST_F(XPathEvaluatorTest, TraceRecordsStrategy) {
-  EvalOptions opts;
-  opts.tag_index = index_.get();
+  SessionOptions opts;
   opts.pushdown = PushdownMode::kAlways;
-  Evaluator ev(*doc_, opts);
-  ASSERT_TRUE(ev.EvaluateString("/descendant::education").ok());
-  ASSERT_EQ(ev.last_trace().size(), 1u);
-  EXPECT_NE(ev.last_trace()[0].description.find("pushdown"),
-            std::string::npos);
-  EXPECT_NE(ev.ExplainLastQuery().find("step 1"), std::string::npos);
+  QueryResult r = RunQuery("/descendant::education", opts);
+  ASSERT_EQ(r.trace.size(), 1u);
+  EXPECT_NE(r.trace[0].description.find("pushdown"), std::string::npos);
+  EXPECT_NE(r.Explain().find("step 1"), std::string::npos);
+  EXPECT_EQ(r.totals.result_size, r.nodes.size());
   opts.pushdown = PushdownMode::kNever;
-  Evaluator ev2(*doc_, opts);
-  ASSERT_TRUE(ev2.EvaluateString("/descendant::education").ok());
-  EXPECT_EQ(ev2.last_trace()[0].description.find("pushdown"),
-            std::string::npos);
+  QueryResult r2 = RunQuery("/descendant::education", opts);
+  ASSERT_EQ(r2.trace.size(), 1u);
+  EXPECT_EQ(r2.trace[0].description.find("pushdown"), std::string::npos);
 }
 
 TEST_F(XPathEvaluatorTest, RelativePathUsesGivenContext) {
-  EvalOptions opts;
-  opts.tag_index = index_.get();
-  Evaluator ev(*doc_, opts);
-  LocationPath rel = ParseXPath("descendant::increase").value();
+  Session session = std::move(db_->CreateSession()).value();
   // From the first bidder only one increase is reachable.
   NodeSequence bidders =
-      ev.EvaluateString("/descendant::bidder").value();
+      session.Run("/descendant::bidder").value().nodes;
   ASSERT_EQ(bidders.size(), 2u);
-  EXPECT_EQ(ev.Evaluate(rel, {bidders[0]}).value().size(), 1u);
-  EXPECT_EQ(ev.Evaluate(rel, bidders).value().size(), 2u);
+  EXPECT_EQ(session.Run("descendant::increase", {bidders[0]})
+                .value().nodes.size(),
+            1u);
+  EXPECT_EQ(session.Run("descendant::increase", bidders).value().nodes.size(),
+            2u);
 }
 
 TEST_F(XPathEvaluatorTest, EngineModesAgreeOnSmallDoc) {
@@ -194,7 +205,7 @@ TEST_F(XPathEvaluatorTest, EngineModesAgreeOnSmallDoc) {
        {"/descendant::name", "/descendant::increase/ancestor::bidder",
         "/descendant::person/following::increase",
         "/child::people/descendant-or-self::*"}) {
-    EvalOptions naive;
+    SessionOptions naive;
     naive.engine = EngineMode::kNaive;
     EXPECT_EQ(Eval(q), Eval(q, naive)) << q;
   }
@@ -202,71 +213,63 @@ TEST_F(XPathEvaluatorTest, EngineModesAgreeOnSmallDoc) {
 
 // --- Random cross-engine properties -----------------------------------------
 
-/// Generates a random location path over the test tag alphabet.
-LocationPath RandomQuery(Rng& rng) {
+/// Generates a random location path (as query text, so it runs through
+/// the same parse + evaluate pipeline as a facade caller) over the test
+/// tag alphabet.
+std::string RandomQuery(Rng& rng) {
   static const char* kTags[] = {"t0", "t1", "t2", "t3", "t4", "t5"};
-  static const Axis kAxes[] = {
-      Axis::kDescendant, Axis::kDescendantOrSelf, Axis::kAncestor,
-      Axis::kAncestorOrSelf, Axis::kFollowing,    Axis::kPreceding,
-      Axis::kChild,      Axis::kParent,           Axis::kSelf,
-      Axis::kFollowingSibling, Axis::kPrecedingSibling};
-  LocationPath path;
-  path.absolute = true;
+  static const char* kAxes[] = {
+      "descendant", "descendant-or-self", "ancestor",
+      "ancestor-or-self", "following", "preceding",
+      "child", "parent", "self",
+      "following-sibling", "preceding-sibling"};
+  std::string q;
   size_t steps = 1 + rng.Below(3);
   for (size_t i = 0; i < steps; ++i) {
-    Step step;
-    step.axis = kAxes[rng.Below(std::size(kAxes))];
+    q += "/";
+    q += kAxes[rng.Below(std::size(kAxes))];
+    q += "::";
     switch (rng.Below(4)) {
       case 0:
-        step.test.kind = NodeTestKind::kAnyNode;
+        q += "node()";
         break;
       case 1:
-        step.test.kind = NodeTestKind::kAnyName;
+        q += "*";
         break;
       default:
-        step.test.kind = NodeTestKind::kName;
-        step.test.name = kTags[rng.Below(std::size(kTags))];
+        q += kTags[rng.Below(std::size(kTags))];
         break;
     }
     if (rng.Percent(20)) {
-      auto pred_path = std::make_unique<LocationPath>();
-      Step ps;
-      ps.axis = rng.Percent(50) ? Axis::kChild : Axis::kDescendant;
-      ps.test.kind = NodeTestKind::kName;
-      ps.test.name = kTags[rng.Below(std::size(kTags))];
-      pred_path->steps.push_back(ps);
-      Predicate pred;
-      pred.kind = Predicate::Kind::kExists;
-      pred.path = std::move(pred_path);
-      step.predicates.push_back(std::move(pred));
+      q += std::string("[") + (rng.Percent(50) ? "child" : "descendant") +
+           "::" + kTags[rng.Below(std::size(kTags))] + "]";
     }
-    path.steps.push_back(step);
   }
-  return path;
+  return q;
 }
 
 class XPathEnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(XPathEnginePropertyTest, StaircaseEqualsNaiveEngine) {
-  auto doc = sj::testing::RandomDocument(GetParam());
-  TagIndex index(*doc);
+  DatabaseOptions open;
+  open.build_paged = false;
+  auto db = Database::FromTable(sj::testing::RandomDocument(GetParam()),
+                                open).value();
   Rng rng(GetParam() * 31 + 7);
   for (int trial = 0; trial < 25; ++trial) {
-    LocationPath q = RandomQuery(rng);
-    EvalOptions fast;
-    fast.tag_index = &index;
+    std::string q = RandomQuery(rng);
+    SessionOptions fast;
     fast.pushdown =
         trial % 2 == 0 ? PushdownMode::kAlways : PushdownMode::kNever;
-    EvalOptions naive;
+    SessionOptions naive;
     naive.engine = EngineMode::kNaive;
-    Evaluator ev_fast(*doc, fast);
-    Evaluator ev_naive(*doc, naive);
-    auto a = ev_fast.Evaluate(q);
-    auto b = ev_naive.Evaluate(q);
-    ASSERT_TRUE(a.ok()) << ToString(q) << a.status();
-    ASSERT_TRUE(b.ok()) << ToString(q) << b.status();
-    EXPECT_EQ(a.value(), b.value()) << ToString(q) << " seed " << GetParam();
-    EXPECT_TRUE(IsDocumentOrder(a.value()));
+    auto a = std::move(db->CreateSession(fast)).value().Run(q);
+    auto b = std::move(db->CreateSession(naive)).value().Run(q);
+    ASSERT_TRUE(a.ok()) << q << a.status();
+    ASSERT_TRUE(b.ok()) << q << b.status();
+    EXPECT_EQ(a.value().nodes, b.value().nodes)
+        << q << " seed " << GetParam();
+    EXPECT_TRUE(IsDocumentOrder(a.value().nodes));
   }
 }
 
@@ -274,13 +277,25 @@ INSTANTIATE_TEST_SUITE_P(Seeds, XPathEnginePropertyTest,
                          ::testing::Values(301, 302, 303, 304, 305));
 
 TEST(XPathEvaluatorErrorTest, BadInputs) {
-  auto doc = LoadDocument(kSmallDoc).value();
-  Evaluator ev(*doc);
-  EXPECT_FALSE(ev.EvaluateString("///").ok());
-  LocationPath rel = ParseXPath("child::a").value();
-  EXPECT_FALSE(ev.Evaluate(rel, {5, 2}).ok());       // unsorted context
-  EXPECT_FALSE(ev.Evaluate(rel, {9999}).ok());       // out of range
+  DatabaseOptions open;
+  open.build_paged = false;
+  auto db = Database::FromXml(kSmallDoc, open).value();
+  Session session = std::move(db->CreateSession()).value();
+  EXPECT_FALSE(session.Run("///").ok());
+  EXPECT_FALSE(session.Run("child::a", {5, 2}).ok());   // unsorted context
+  EXPECT_FALSE(session.Run("child::a", {9999}).ok());   // out of range
+}
+
+TEST(DatabaseOpenTest, PagedBackendRequiresPagedImage) {
+  DatabaseOptions open;
+  open.build_paged = false;
+  auto db = Database::FromXml(kSmallDoc, open).value();
+  SessionOptions paged;
+  paged.backend = StorageBackend::kPaged;
+  auto session = db->CreateSession(paged);
+  EXPECT_FALSE(session.ok());
+  EXPECT_NE(session.status().ToString().find("paged"), std::string::npos);
 }
 
 }  // namespace
-}  // namespace sj::xpath
+}  // namespace sj
