@@ -36,7 +36,7 @@ NodeSequence FilterTag(const DocTable& doc, const NodeSequence& nodes,
   return out;
 }
 
-double Q1FullDoc(const Workload& w) {
+double Q1FullDoc(const Workload& w, size_t* result) {
   return BestOfMillis(BenchReps(), [&] {
     const DocTable& doc = *w.doc;
     NodeSequence s1 =
@@ -45,10 +45,11 @@ double Q1FullDoc(const Workload& w) {
     NodeSequence s2 = StaircaseJoin(doc, profiles, Axis::kDescendant).value();
     NodeSequence educations = FilterTag(doc, s2, w.Tag("education"));
     if (educations.empty()) std::abort();
+    *result = educations.size();
   });
 }
 
-double Q1Fragments(const Workload& w) {
+double Q1Fragments(const Workload& w, size_t* result) {
   return BestOfMillis(BenchReps(), [&] {
     const DocTable& doc = *w.doc;
     NodeSequence profiles =
@@ -60,6 +61,7 @@ double Q1Fragments(const Workload& w) {
                           Axis::kDescendant)
             .value();
     if (educations.empty()) std::abort();
+    *result = educations.size();
   });
 }
 
@@ -79,8 +81,8 @@ double ColdBestOfMillis(BufferPool* pool, F&& f) {
   return best;
 }
 
-void Q1PagedFullDoc(const Workload& w, const PagedDocTable& paged,
-                    BufferPool* pool) {
+size_t Q1PagedFullDoc(const Workload& w, const PagedDocTable& paged,
+                      BufferPool* pool) {
   const DocTable& doc = *w.doc;
   NodeSequence s1 =
       storage::PagedStaircaseJoin(paged, pool, {doc.root()}, Axis::kDescendant)
@@ -91,10 +93,11 @@ void Q1PagedFullDoc(const Workload& w, const PagedDocTable& paged,
           .value();
   NodeSequence educations = FilterTag(doc, s2, w.Tag("education"));
   if (educations.empty()) std::abort();
+  return educations.size();
 }
 
-void Q1PagedFragments(const Workload& w, const PagedDocTable& paged,
-                      const PagedTagIndex& tags, BufferPool* pool) {
+size_t Q1PagedFragments(const Workload& w, const PagedDocTable& paged,
+                        const PagedTagIndex& tags, BufferPool* pool) {
   const DocTable& doc = *w.doc;
   NodeSequence profiles =
       PagedStaircaseJoinView(tags, w.Tag("profile"), paged, pool,
@@ -105,6 +108,7 @@ void Q1PagedFragments(const Workload& w, const PagedDocTable& paged,
                              Axis::kDescendant)
           .value();
   if (educations.empty()) std::abort();
+  return educations.size();
 }
 
 void Run() {
@@ -119,12 +123,13 @@ void Run() {
                   "paged fragments [ms]", "faults", "fault savings"});
   for (double mb : BenchSizes()) {
     Workload w = MakeWorkload(mb, /*with_index=*/false);
-    double full = Q1FullDoc(w);
+    size_t q1_result = 0;
+    double full = Q1FullDoc(w, &q1_result);
 
     Timer build;
     w.index = std::make_unique<TagIndex>(*w.doc);
     double build_ms = build.ElapsedMillis();
-    double frag = Q1Fragments(w);
+    double frag = Q1Fragments(w, &q1_result);
 
     t.AddRow({SizeLabel(mb), TablePrinter::Fixed(full, 2),
               TablePrinter::Fixed(frag, 2),
@@ -133,8 +138,8 @@ void Run() {
               TablePrinter::Fixed(
                   static_cast<double>(w.index->memory_bytes()) / 1048576.0,
                   1)});
-    json.push_back({"Q1", "memory/full-doc", mb, 0, full});
-    json.push_back({"Q1", "memory/fragments", mb, 0, frag});
+    json.push_back({"Q1", "memory/full-doc", mb, 0, full, 0, q1_result});
+    json.push_back({"Q1", "memory/fragments", mb, 0, frag, 0, q1_result});
 
     // The IO-conscious rerun: same Q1, columns behind the buffer pool.
     SimulatedDisk disk;
@@ -142,11 +147,11 @@ void Run() {
     auto tags = PagedTagIndex::Create(*w.doc, &disk).value();
     BufferPool pool(&disk, 64);
 
-    double paged_full_ms =
-        ColdBestOfMillis(&pool, [&] { Q1PagedFullDoc(w, *paged, &pool); });
+    double paged_full_ms = ColdBestOfMillis(
+        &pool, [&] { q1_result = Q1PagedFullDoc(w, *paged, &pool); });
     uint64_t paged_full_faults = pool.stats().faults;
     double paged_frag_ms = ColdBestOfMillis(
-        &pool, [&] { Q1PagedFragments(w, *paged, *tags, &pool); });
+        &pool, [&] { q1_result = Q1PagedFragments(w, *paged, *tags, &pool); });
     uint64_t paged_frag_faults = pool.stats().faults;
 
     p.AddRow({SizeLabel(mb), TablePrinter::Fixed(paged_full_ms, 2),
@@ -160,10 +165,10 @@ void Run() {
                                               : 1),
                                   1) +
                   "x"});
-    json.push_back(
-        {"Q1", "paged/full-doc-cold", mb, paged_full_faults, paged_full_ms});
-    json.push_back(
-        {"Q1", "paged/fragments-cold", mb, paged_frag_faults, paged_frag_ms});
+    json.push_back({"Q1", "paged/full-doc-cold", mb, paged_full_faults,
+                    paged_full_ms, 0, q1_result});
+    json.push_back({"Q1", "paged/fragments-cold", mb, paged_frag_faults,
+                    paged_frag_ms, 0, q1_result});
   }
   t.Print();
   std::printf("paper: 345 ms -> 39 ms for Q1 on the 1 GB instance (~9x); "

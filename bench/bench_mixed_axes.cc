@@ -53,6 +53,7 @@ void Run() {
 
     for (const char* q : kQueries) {
       size_t result_size = 0;
+      uint64_t mem_skipped = 0;
       double mem_ms = BestOfMillis(BenchReps(), [&] {
         auto r = mem.Run(q);
         if (!r.ok()) {
@@ -61,11 +62,13 @@ void Run() {
           std::abort();
         }
         result_size = r.value().nodes.size();
+        mem_skipped = r.value().totals.nodes_skipped;
       });
 
       // Cold pool each repetition: faults are deterministic and the
       // time includes the paging.
       double io_ms = -1;
+      uint64_t io_skipped = 0;
       for (int rep = 0; rep < BenchReps(); ++rep) {
         io.pool()->FlushAll();
         io.pool()->ResetStats();
@@ -74,6 +77,7 @@ void Run() {
           std::fprintf(stderr, "paged query diverged: %s\n", q);
           std::abort();
         }
+        io_skipped = r.value().totals.nodes_skipped;
         if (io_ms < 0 || r.value().millis < io_ms) io_ms = r.value().millis;
       }
       const storage::PoolStats ps = io.pool()->stats();
@@ -82,8 +86,9 @@ void Run() {
                 TablePrinter::Fixed(io_ms, 2), TablePrinter::Count(ps.faults),
                 TablePrinter::Count(ps.pins),
                 TablePrinter::Count(result_size)});
-      json.push_back({q, "memory", mb, 0, mem_ms});
-      json.push_back({q, "paged-cold", mb, ps.faults, io_ms});
+      json.push_back({q, "memory", mb, 0, mem_ms, mem_skipped, result_size});
+      json.push_back(
+          {q, "paged-cold", mb, ps.faults, io_ms, io_skipped, result_size});
     }
   }
   t.Print();

@@ -115,19 +115,26 @@ inline std::string SizeLabel(double mb) {
 
 /// Prints the standard bench header.
 inline void PrintHeader(const char* experiment_id, const char* description) {
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
   std::printf("%s\n%s\n", experiment_id, description);
-  std::printf("==============================================================\n");
+  std::printf(
+      "==============================================================\n");
 }
 
 /// One machine-readable benchmark record (the shared BENCH_*.json row
-/// format of the IO-conscious benches).
+/// format of the IO-conscious benches). `faults`, `skipped` and `result`
+/// are deterministic for single-threaded cold-pool runs -- the CI
+/// perf-regression gate (tools/check_bench_regression.py) compares them
+/// against committed baselines; `ms` is wall time and never gated.
 struct JsonRecord {
   std::string query;
   std::string backend;
   double size_mb = 0;
   uint64_t faults = 0;
   double ms = 0;
+  uint64_t skipped = 0;  ///< JoinStats::nodes_skipped summed over the plan
+  uint64_t result = 0;   ///< join-result cardinality
 };
 
 /// Writes records as a JSON array to `path` (logs to stderr).
@@ -143,9 +150,12 @@ inline void WriteJson(const std::vector<JsonRecord>& records,
     const JsonRecord& r = records[i];
     std::fprintf(f,
                  "  {\"query\": \"%s\", \"backend\": \"%s\", "
-                 "\"size_mb\": %.1f, \"faults\": %llu, \"ms\": %.3f}%s\n",
+                 "\"size_mb\": %.1f, \"faults\": %llu, \"skipped\": %llu, "
+                 "\"result\": %llu, \"ms\": %.3f}%s\n",
                  r.query.c_str(), r.backend.c_str(), r.size_mb,
-                 static_cast<unsigned long long>(r.faults), r.ms,
+                 static_cast<unsigned long long>(r.faults),
+                 static_cast<unsigned long long>(r.skipped),
+                 static_cast<unsigned long long>(r.result), r.ms,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

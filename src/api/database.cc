@@ -45,7 +45,9 @@ Result<std::unique_ptr<Database>> Database::Finish(
     db->tag_index_ = std::make_unique<TagIndex>(doc);
   }
   if (build_missing && options.build_paged && db->paged_doc_ == nullptr) {
-    db->disk_ = std::make_unique<storage::SimulatedDisk>();
+    if (db->disk_ == nullptr) {
+      db->disk_ = std::make_unique<storage::SimulatedDisk>();
+    }
     SJ_ASSIGN_OR_RETURN(db->paged_doc_,
                         storage::PagedDocTable::Create(doc, db->disk_.get()));
     SJ_ASSIGN_OR_RETURN(db->paged_tags_,
@@ -55,6 +57,37 @@ Result<std::unique_ptr<Database>> Database::Finish(
     // digest pass only to compare guaranteed-equal values.
     db->doc_digest_ = db->paged_doc_->source_digest();
     db->frag_digest_ = db->paged_tags_->source_digest();
+  }
+  bool compressed_built_here = false;
+  if (build_missing && options.build_compressed &&
+      db->compressed_doc_ == nullptr) {
+    // The compressed image shares the paged image's disk (one pool
+    // serves every pool-backed backend); a compressed-only database
+    // still needs a disk of its own.
+    if (db->disk_ == nullptr) {
+      db->disk_ = std::make_unique<storage::SimulatedDisk>();
+    }
+    SJ_ASSIGN_OR_RETURN(
+        db->compressed_doc_,
+        storage::CompressedDocTable::Create(doc, db->disk_.get()));
+    // Reuse the resident TagIndex when it exists; encoding should not
+    // pay a second projection scan of the whole document.
+    if (db->tag_index_ != nullptr) {
+      SJ_ASSIGN_OR_RETURN(db->compressed_tags_,
+                          storage::CompressedTagIndex::Create(
+                              doc, *db->tag_index_, db->disk_.get()));
+    } else {
+      SJ_ASSIGN_OR_RETURN(
+          db->compressed_tags_,
+          storage::CompressedTagIndex::Create(doc, db->disk_.get()));
+    }
+    if (!db->doc_digest_.has_value()) {
+      db->doc_digest_ = db->compressed_doc_->source_digest();
+    }
+    if (!db->frag_digest_.has_value()) {
+      db->frag_digest_ = db->compressed_tags_->source_digest();
+    }
+    compressed_built_here = true;
   }
 
   // Open-time coherence validation for *adopted* images: every paged
@@ -103,7 +136,61 @@ Result<std::unique_ptr<Database>> Database::Finish(
     }
   }
 
-  if (db->paged_doc_ != nullptr) {
+  // Open-time validation of the compressed images: coherence with THIS
+  // document via the source digests (like the paged images above), plus
+  // integrity of the encoded blocks themselves -- ValidateImage re-reads
+  // the disk image and rejects a corrupt or stale block with a Status
+  // naming the column, so bit rot never surfaces as silent wrong query
+  // results. Images built in this very call are coherent by
+  // construction (the digests were captured from the bytes Create just
+  // wrote), so only ADOPTED images pay the re-read pass.
+  if (db->compressed_doc_ != nullptr) {
+    if (db->disk_ == nullptr) {
+      return Status::InvalidArgument(
+          "compressed document image adopted without its disk");
+    }
+    if (!db->doc_digest_.has_value()) {
+      db->doc_digest_ = storage::DocColumnsDigest(doc);
+    }
+    if (db->compressed_doc_->size() != doc.size() ||
+        db->compressed_doc_->source_digest() != *db->doc_digest_) {
+      return Status::InvalidArgument(
+          "stale compressed image: the document column set "
+          "(post/kind/level/parent/tag) has digest " +
+          std::to_string(db->compressed_doc_->source_digest()) +
+          " but this document's columns digest to " +
+          std::to_string(*db->doc_digest_) +
+          "; the compressed table does not image this document");
+    }
+    if (!compressed_built_here) {
+      SJ_RETURN_NOT_OK(db->compressed_doc_->ValidateImage(*db->disk_));
+    }
+  }
+  if (db->compressed_tags_ != nullptr) {
+    if (db->compressed_doc_ == nullptr) {
+      return Status::InvalidArgument(
+          "compressed tag fragments adopted without a compressed document "
+          "image");
+    }
+    if (!db->frag_digest_.has_value()) {
+      db->frag_digest_ =
+          storage::FragmentColumnsDigest(doc, *db->doc_digest_);
+    }
+    if (db->compressed_tags_->source_digest() != *db->frag_digest_) {
+      return Status::InvalidArgument(
+          "stale compressed image: the tag fragment column set (per-tag "
+          "pre/post) has digest " +
+          std::to_string(db->compressed_tags_->source_digest()) +
+          " but this document's fragments digest to " +
+          std::to_string(*db->frag_digest_) +
+          "; the compressed tag index does not image this document");
+    }
+    if (!compressed_built_here) {
+      SJ_RETURN_NOT_OK(db->compressed_tags_->ValidateImage(*db->disk_));
+    }
+  }
+
+  if (db->paged_doc_ != nullptr || db->compressed_doc_ != nullptr) {
     size_t shards = options.pool_shards > 0 ? options.pool_shards
                                             : DefaultPoolShards();
     db->pool_ = std::make_unique<storage::BufferPool>(
@@ -183,6 +270,20 @@ Result<std::unique_ptr<Database>> Database::FromParts(
     std::unique_ptr<storage::PagedDocTable> paged_doc,
     std::unique_ptr<storage::PagedTagIndex> paged_tags,
     DatabaseOptions options) {
+  return FromParts(std::move(doc), std::move(tag_index), std::move(disk),
+                   std::move(paged_doc), std::move(paged_tags),
+                   /*compressed_doc=*/nullptr, /*compressed_tags=*/nullptr,
+                   std::move(options));
+}
+
+Result<std::unique_ptr<Database>> Database::FromParts(
+    std::unique_ptr<DocTable> doc, std::unique_ptr<TagIndex> tag_index,
+    std::unique_ptr<storage::SimulatedDisk> disk,
+    std::unique_ptr<storage::PagedDocTable> paged_doc,
+    std::unique_ptr<storage::PagedTagIndex> paged_tags,
+    std::unique_ptr<storage::CompressedDocTable> compressed_doc,
+    std::unique_ptr<storage::CompressedTagIndex> compressed_tags,
+    DatabaseOptions options) {
   if (doc == nullptr) {
     return Status::InvalidArgument("Database::FromParts: null table");
   }
@@ -192,6 +293,8 @@ Result<std::unique_ptr<Database>> Database::FromParts(
   db->disk_ = std::move(disk);
   db->paged_doc_ = std::move(paged_doc);
   db->paged_tags_ = std::move(paged_tags);
+  db->compressed_doc_ = std::move(compressed_doc);
+  db->compressed_tags_ = std::move(compressed_tags);
   return Finish(std::move(db), options, /*build_missing=*/false);
 }
 
@@ -207,14 +310,25 @@ Result<Session> Database::CreateSession(SessionOptions options) const {
   eval.doc_digest = doc_digest_;
 
   std::unique_ptr<storage::BufferPool> private_pool;
-  if (options.backend == StorageBackend::kPaged) {
-    if (!has_paged_backend()) {
-      return Status::InvalidArgument(
-          "session requests the paged backend but the database was opened "
-          "without a paged image (DatabaseOptions::build_paged)");
+  if (options.backend != StorageBackend::kMemory) {
+    if (options.backend == StorageBackend::kPaged) {
+      if (!has_paged_backend()) {
+        return Status::InvalidArgument(
+            "session requests the paged backend but the database was opened "
+            "without a paged image (DatabaseOptions::build_paged)");
+      }
+      eval.paged_doc = paged_doc_.get();
+      eval.paged_tags = paged_tags_.get();
+    } else {
+      if (!has_compressed_backend()) {
+        return Status::InvalidArgument(
+            "session requests the compressed backend but the database was "
+            "opened without a compressed image "
+            "(DatabaseOptions::build_compressed)");
+      }
+      eval.compressed_doc = compressed_doc_.get();
+      eval.compressed_tags = compressed_tags_.get();
     }
-    eval.paged_doc = paged_doc_.get();
-    eval.paged_tags = paged_tags_.get();
     eval.frag_digest = frag_digest_;
     if (options.private_pool_pages > 0) {
       private_pool = std::make_unique<storage::BufferPool>(

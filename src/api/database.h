@@ -25,6 +25,8 @@
 #include "encoding/builder.h"
 #include "encoding/doc_table.h"
 #include "storage/buffer_pool.h"
+#include "storage/compressed_doc.h"
+#include "storage/compressed_tags.h"
 #include "storage/paged_doc.h"
 #include "storage/paged_tags.h"
 #include "util/result.h"
@@ -43,6 +45,11 @@ struct DatabaseOptions {
   /// fragments + shared buffer pool. Off saves the page-out for purely
   /// in-memory use; sessions then cannot choose StorageBackend::kPaged.
   bool build_paged = true;
+  /// Build the compressed image: block-wise FOR/delta doc columns +
+  /// compressed tag fragments on the same disk, behind the same shared
+  /// pool. Off saves the encode pass; sessions then cannot choose
+  /// StorageBackend::kCompressed.
+  bool build_compressed = true;
   /// Capacity of the shared buffer pool, in pages.
   size_t pool_pages = 256;
   /// Latch shards of the shared pool; 0 picks one per hardware thread
@@ -55,8 +62,8 @@ struct DatabaseOptions {
 class Database {
  public:
   /// Parses XML text and opens a database over it.
-  static Result<std::unique_ptr<Database>> FromXml(std::string_view xml,
-                                                   DatabaseOptions options = {});
+  static Result<std::unique_ptr<Database>> FromXml(
+      std::string_view xml, DatabaseOptions options = {});
 
   /// Generates an XMark-style instance and opens a database over it.
   static Result<std::unique_ptr<Database>> FromXmark(
@@ -66,8 +73,8 @@ class Database {
   /// -- over every `*.xml` file in it (sorted by name), gathered under a
   /// virtual root as a collection (paper footnote 1); document_roots()
   /// then maps results back to their source documents.
-  static Result<std::unique_ptr<Database>> Open(const std::string& path,
-                                                DatabaseOptions options = {});
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& path, DatabaseOptions options = {});
 
   /// Opens a database over an already-encoded table (takes ownership).
   static Result<std::unique_ptr<Database>> FromTable(
@@ -88,6 +95,21 @@ class Database {
       std::unique_ptr<storage::PagedTagIndex> paged_tags,
       DatabaseOptions options = {});
 
+  /// Same, additionally adopting compressed images. The compressed doc
+  /// columns and fragments are digest-checked against `doc` AND their
+  /// on-disk encoded blocks are re-read and verified against the image
+  /// digests, so a corrupt (bit-flipped) or stale compressed block is
+  /// rejected here with a Status naming the column -- never served to a
+  /// query. `compressed_doc` requires `disk`.
+  static Result<std::unique_ptr<Database>> FromParts(
+      std::unique_ptr<DocTable> doc, std::unique_ptr<TagIndex> tag_index,
+      std::unique_ptr<storage::SimulatedDisk> disk,
+      std::unique_ptr<storage::PagedDocTable> paged_doc,
+      std::unique_ptr<storage::PagedTagIndex> paged_tags,
+      std::unique_ptr<storage::CompressedDocTable> compressed_doc,
+      std::unique_ptr<storage::CompressedTagIndex> compressed_tags,
+      DatabaseOptions options);
+
   /// Creates a query session. Cheap (no digest passes, no allocation
   /// beyond the evaluator); fails when the options name a backend the
   /// database was not opened with.
@@ -98,6 +120,8 @@ class Database {
 
   /// True when sessions may choose StorageBackend::kPaged.
   bool has_paged_backend() const { return paged_doc_ != nullptr; }
+  /// True when sessions may choose StorageBackend::kCompressed.
+  bool has_compressed_backend() const { return compressed_doc_ != nullptr; }
 
   /// Resident tag fragments; null when disabled at open time.
   const TagIndex* tag_index() const { return tag_index_.get(); }
@@ -107,6 +131,14 @@ class Database {
   const storage::PagedTagIndex* paged_tags() const {
     return paged_tags_.get();
   }
+  /// Compressed doc columns; null without a compressed image.
+  const storage::CompressedDocTable* compressed_doc() const {
+    return compressed_doc_.get();
+  }
+  /// Compressed tag fragments; null without a compressed image.
+  const storage::CompressedTagIndex* compressed_tags() const {
+    return compressed_tags_.get();
+  }
   /// The shared buffer pool (internally synchronized); null without a
   /// paged image. Exposed for experiment control (cold starts, fault
   /// accounting).
@@ -115,8 +147,8 @@ class Database {
   storage::SimulatedDisk* disk() const { return disk_.get(); }
 
   /// DocColumnsDigest of doc(), captured once at open time; absent on a
-  /// database opened without a paged image (nothing to validate -- the
-  /// resident columns ARE the document).
+  /// database opened without any pool-backed image (nothing to validate
+  /// -- the resident columns ARE the document).
   std::optional<uint64_t> doc_digest() const { return doc_digest_; }
 
   /// Pre ranks of the gathered document elements when the database was
@@ -137,6 +169,8 @@ class Database {
   std::unique_ptr<storage::SimulatedDisk> disk_;
   std::unique_ptr<storage::PagedDocTable> paged_doc_;
   std::unique_ptr<storage::PagedTagIndex> paged_tags_;
+  std::unique_ptr<storage::CompressedDocTable> compressed_doc_;
+  std::unique_ptr<storage::CompressedTagIndex> compressed_tags_;
   std::unique_ptr<storage::BufferPool> pool_;
   std::optional<uint64_t> doc_digest_;
   std::optional<uint64_t> frag_digest_;

@@ -59,13 +59,14 @@ struct SessionOptions {
   /// >1 runs the partitioned parallel staircase join with this many
   /// workers (per query -- independent of how many sessions exist).
   unsigned num_threads = 1;
-  /// Storage backend: kMemory (resident BATs) or kPaged (buffer pool
-  /// over the database's disk image; requires the database to have been
-  /// opened with DatabaseOptions::build_paged).
+  /// Storage backend: kMemory (resident BATs), kPaged (buffer pool over
+  /// the database's disk image; requires DatabaseOptions::build_paged)
+  /// or kCompressed (FOR/delta block-compressed columns behind the same
+  /// pool; requires DatabaseOptions::build_compressed).
   StorageBackend backend = StorageBackend::kMemory;
-  /// Paged backend only: 0 shares the database's pool with every other
-  /// session (the production configuration); >0 gives this session a
-  /// private pool of that many pages over the same disk image, for
+  /// Pool-backed backends only: 0 shares the database's pool with every
+  /// other session (the production configuration); >0 gives this session
+  /// a private pool of that many pages over the same disk image, for
   /// cold-cache / pool-size experiments that must not disturb or be
   /// disturbed by other sessions.
   size_t private_pool_pages = 0;

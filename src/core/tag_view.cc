@@ -13,7 +13,8 @@ TagView BuildTagView(const DocTable& doc, TagId tag) {
   const auto tags = doc.tags_column();
   const auto posts = doc.posts();
   for (size_t i = 0; i < doc.size(); ++i) {
-    if (tags[i] == tag && kinds[i] == static_cast<uint8_t>(NodeKind::kElement)) {
+    if (tags[i] == tag &&
+        kinds[i] == static_cast<uint8_t>(NodeKind::kElement)) {
       view.pre.push_back(static_cast<NodeId>(i));
       view.post.push_back(posts[i]);
     }

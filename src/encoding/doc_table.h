@@ -104,7 +104,9 @@ class DocTable {
   /// Depth of v; the root has level 0.
   uint32_t level(NodeId v) const { return level_.AtOid(v); }
   /// Node category of v.
-  NodeKind kind(NodeId v) const { return static_cast<NodeKind>(kind_.AtOid(v)); }
+  NodeKind kind(NodeId v) const {
+    return static_cast<NodeKind>(kind_.AtOid(v));
+  }
   /// Tag code of v (kNoTag for text/comment nodes).
   TagId tag(NodeId v) const { return tag_.AtOid(v); }
   /// Parent of v (kNilNode for the root).

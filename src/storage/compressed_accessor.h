@@ -1,0 +1,150 @@
+// CompressedDocAccessor: the compressed-column backend of the staircase
+// join and the non-staircase axis cursors.
+//
+// Implements the DocAccessor concept (core/doc_accessor.h) over a
+// CompressedDocTable: every post/kind/level/parent/tag read pins the
+// page holding the rank's block through the BufferPool and decodes the
+// block into a small per-column frame cache. A block is decoded at most
+// once per visit -- sequential scans decode each block exactly once, and
+// reads within the cached block touch neither the pool nor the codec.
+// SkipTo releases the pages a jump leaves behind (block-granular via the
+// resident directory), so the paper's "nodes never touched" becomes
+// *compressed* pages never read -- strictly fewer of them than the
+// uncompressed image at equal page size.
+//
+// Error model: identical to PagedDocAccessor -- sticky-error; the first
+// pool or codec failure is recorded, subsequent reads return 0 without
+// touching the pool, and the join driver surfaces status() once.
+
+#ifndef STAIRJOIN_STORAGE_COMPRESSED_ACCESSOR_H_
+#define STAIRJOIN_STORAGE_COMPRESSED_ACCESSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/doc_accessor.h"
+#include "encoding/block_codec.h"
+#include "storage/buffer_pool.h"
+#include "storage/compressed_doc.h"
+#include "storage/paged_accessor.h"
+
+namespace sj::storage {
+
+/// One column's read cursor: a PageGuard over the block's page plus the
+/// decoded block cached in the frame. Holds at most one pinned page;
+/// moving to a block on another page unpins the previous one (blocks
+/// sharing a page cost a single pin per visit).
+class CompressedColumnCursor {
+ public:
+  CompressedColumnCursor(const CompressedColumn& col, BufferPool* pool)
+      : col_(&col), guard_(pool) {}
+
+  /// Decoded value at `index`; 0 after a failure (recorded in *status).
+  uint32_t At(uint64_t index, Status* status) {
+    const size_t b = static_cast<size_t>(index / encoding::kBlockValues);
+    if (b != block_ && !Load(b, status)) return 0;
+    return decoded_[index % encoding::kBlockValues];
+  }
+
+  /// A kernel jumps to `index`: drop the held page unless the target
+  /// block lives on it. The decoded cache stays valid -- it is a copy.
+  void SkipTo(uint64_t index) {
+    if (index >= col_->values) {
+      guard_.Release();
+      return;
+    }
+    guard_.ReleaseUnless(
+        col_->blocks[static_cast<size_t>(index / encoding::kBlockValues)]
+            .page);
+  }
+
+ private:
+  bool Load(size_t b, Status* status) {
+    const CompressedBlockRef& ref = col_->blocks[b];
+    const uint8_t* page = guard_.Get(ref.page, status);
+    if (page == nullptr) return false;
+    Status decoded = encoding::DecodeBlock(
+        page + ref.offset, ref.bytes, col_->BlockValueCount(b), decoded_);
+    if (!decoded.ok()) {
+      if (status->ok()) *status = decoded;
+      return false;
+    }
+    block_ = b;
+    return true;
+  }
+
+  const CompressedColumn* col_;
+  PageGuard guard_;
+  size_t block_ = static_cast<size_t>(-1);
+  uint32_t decoded_[encoding::kBlockValues];
+};
+
+/// \brief DocAccessor over compressed columns behind a buffer pool.
+///
+/// Borrows the table and the pool; both must outlive the accessor. One
+/// accessor holds up to five pinned pages (one per column actually
+/// read; the staircase kernels touch at most post/kind/level, the axis
+/// cursors additionally parent/tag) plus five decoded-block frames.
+/// Accessors are not thread-safe, but independent accessors may share
+/// one pool -- the parallel compressed join gives each worker its own.
+class CompressedDocAccessor {
+ public:
+  CompressedDocAccessor(const CompressedDocTable& doc, BufferPool* pool)
+      : size_(doc.size()),
+        post_(doc.post(), pool),
+        kind_(doc.kind(), pool),
+        level_(doc.level(), pool),
+        parent_(doc.parent(), pool),
+        tag_(doc.tag(), pool) {}
+
+  size_t size() const { return size_; }
+
+  uint32_t Post(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    return post_.At(pre, &status_);
+  }
+  uint8_t Kind(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    return static_cast<uint8_t>(kind_.At(pre, &status_));
+  }
+  uint8_t Level(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    return static_cast<uint8_t>(level_.At(pre, &status_));
+  }
+  NodeId Parent(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    return parent_.At(pre, &status_);
+  }
+  TagId Tag(uint64_t pre) {
+    if (!status_.ok()) return 0;
+    return tag_.At(pre, &status_);
+  }
+
+  /// A kernel jumps to pre rank `pre`: release the pages the jump
+  /// leaves behind so the pool can evict them.
+  void SkipTo(uint64_t pre) {
+    post_.SkipTo(pre);
+    kind_.SkipTo(pre);
+    level_.SkipTo(pre);
+    parent_.SkipTo(pre);
+    tag_.SkipTo(pre);
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  size_t size_;
+  CompressedColumnCursor post_;
+  CompressedColumnCursor kind_;
+  CompressedColumnCursor level_;
+  CompressedColumnCursor parent_;
+  CompressedColumnCursor tag_;
+  Status status_;
+};
+
+static_assert(DocAccessor<CompressedDocAccessor>);
+
+}  // namespace sj::storage
+
+#endif  // STAIRJOIN_STORAGE_COMPRESSED_ACCESSOR_H_

@@ -1,0 +1,66 @@
+#include "storage/compressed_tags.h"
+
+#include <string>
+
+#include "core/fragment_impl.h"
+#include "core/tag_view.h"
+#include "storage/paged_tags.h"
+
+namespace sj::storage {
+
+Result<std::unique_ptr<CompressedTagIndex>> CompressedTagIndex::Create(
+    const DocTable& doc, SimulatedDisk* disk) {
+  // One scan of the document materializes every projection (transient;
+  // only the encoded images and the directories survive).
+  TagIndex index(doc);
+  return Create(doc, index, disk);
+}
+
+Result<std::unique_ptr<CompressedTagIndex>> CompressedTagIndex::Create(
+    const DocTable& doc, const TagIndex& index, SimulatedDisk* disk) {
+  if (disk == nullptr) {
+    return Status::InvalidArgument(
+        "CompressedTagIndex: disk must not be null");
+  }
+  auto compressed =
+      std::unique_ptr<CompressedTagIndex>(new CompressedTagIndex());
+  compressed->source_digest_ = FragmentColumnsDigest(doc);
+  compressed->fragments_.resize(doc.tags().size());
+  for (size_t t = 0; t < compressed->fragments_.size(); ++t) {
+    const TagView& view = index.view(static_cast<TagId>(t));
+    CompressedFragment& frag = compressed->fragments_[t];
+    frag.tag = static_cast<TagId>(t);
+    frag.size = static_cast<uint32_t>(view.size());
+    SJ_RETURN_NOT_OK(
+        WriteCompressedColumn(disk, view.pre, &frag.pre, &frag.fence_pre));
+    SJ_RETURN_NOT_OK(WriteCompressedColumn(disk, view.post, &frag.post));
+    compressed->page_count_ += frag.pre.pages.size() + frag.post.pages.size();
+  }
+  return compressed;
+}
+
+Status CompressedTagIndex::ValidateImage(const SimulatedDisk& disk) const {
+  for (const CompressedFragment& frag : fragments_) {
+    const std::string tag = std::to_string(frag.tag);
+    SJ_RETURN_NOT_OK(ValidateCompressedColumn(
+        disk, frag.pre, "fragment pre column of tag " + tag));
+    SJ_RETURN_NOT_OK(ValidateCompressedColumn(
+        disk, frag.post, "fragment post column of tag " + tag));
+  }
+  return Status::OK();
+}
+
+Result<NodeSequence> CompressedStaircaseJoinView(
+    const CompressedTagIndex& tags, TagId tag, const CompressedDocTable& doc,
+    BufferPool* pool, const NodeSequence& context, Axis axis,
+    const StaircaseOptions& options, JoinStats* stats) {
+  if (pool == nullptr) {
+    return Status::InvalidArgument("pool must not be null");
+  }
+  CompressedFragmentCursor frag(tags.fragment(tag), pool);
+  CompressedDocAccessor acc(doc, pool);
+  return internal::FragmentStaircaseJoinOver(frag, acc, context, axis,
+                                             options, stats);
+}
+
+}  // namespace sj::storage

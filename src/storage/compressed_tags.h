@@ -1,0 +1,188 @@
+// Compressed tag fragments: fragmentation by tag name, FOR/delta
+// encoded, behind the buffer pool.
+//
+// CompressedTagIndex lays every element tag's pre/post fragment columns
+// (core/tag_view.h) out as block-compressed images
+// (encoding/block_codec.h) behind the shared BufferPool; a fragment's
+// strictly monotone pre list is the codec's best case (small positive
+// deltas). CompressedFragmentCursor implements the FragmentCursor
+// concept (core/fragment_cursor.h) over one such fragment, and
+// CompressedStaircaseJoinView instantiates the ONE fragment join body
+// (core/fragment_impl.h) with it -- the compressed twin of
+// StaircaseJoinView / PagedStaircaseJoinView. Name-test pushdown then
+// faults compressed fragment pages: strictly fewer of them than the
+// paged fragments at equal page size.
+//
+// Only the block directories and the per-block fence keys (the first
+// pre rank in each pre block, for IO-free block location during binary
+// search) stay memory-resident. Integrity mirrors CompressedDocTable:
+// per-column digests over the encoded bytes, re-checked by
+// ValidateImage at Database open time.
+
+#ifndef STAIRJOIN_STORAGE_COMPRESSED_TAGS_H_
+#define STAIRJOIN_STORAGE_COMPRESSED_TAGS_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/fragment_cursor.h"
+#include "core/staircase_join.h"
+#include "encoding/doc_table.h"
+#include "storage/buffer_pool.h"
+#include "storage/compressed_accessor.h"
+#include "storage/compressed_doc.h"
+
+namespace sj::storage {
+
+/// \brief One tag's compressed projection: block directories + resident
+/// fences.
+struct CompressedFragment {
+  TagId tag = kNoTag;
+  /// Number of element nodes carrying the tag (== slots).
+  uint32_t size = 0;
+  /// Compressed image of the fragment's pre column.
+  CompressedColumn pre;
+  /// Compressed image of the fragment's post column.
+  CompressedColumn post;
+  /// First pre rank in each pre block (resident fence keys, so
+  /// LowerBound decodes at most one block).
+  std::vector<NodeId> fence_pre;
+};
+
+/// \brief Fragmentation by tag name, block-compressed: one image per
+/// element tag, built in a single scan of the document.
+class CompressedTagIndex {
+ public:
+  /// Encodes every tag fragment of `doc` onto `disk` (borrowed; must
+  /// outlive this). Use the same disk as the document's images so one
+  /// BufferPool serves everything. Materializes a transient TagIndex;
+  /// callers that already hold one should pass it to the overload below
+  /// and skip the second projection scan.
+  static Result<std::unique_ptr<CompressedTagIndex>> Create(
+      const DocTable& doc, SimulatedDisk* disk);
+
+  /// Same, reusing an already-built `index` over `doc` instead of
+  /// materializing the projections a second time (Database::Finish
+  /// passes its resident TagIndex here).
+  static Result<std::unique_ptr<CompressedTagIndex>> Create(
+      const DocTable& doc, const TagIndex& index, SimulatedDisk* disk);
+
+  /// The fragment for `tag` (empty fragment for unknown/attribute-only
+  /// tags).
+  const CompressedFragment& fragment(TagId tag) const {
+    if (tag == kNoTag || tag >= fragments_.size()) return empty_;
+    return fragments_[tag];
+  }
+
+  /// Number of element nodes carrying `tag` -- the selectivity statistic
+  /// the pushdown cost model uses (resident; reading it faults nothing).
+  uint64_t tag_count(TagId tag) const { return fragment(tag).size; }
+
+  /// FragmentColumnsDigest of the source table, captured at Create time.
+  uint64_t source_digest() const { return source_digest_; }
+
+  /// Total pages written for all fragments (for the bench report).
+  size_t page_count() const { return page_count_; }
+
+  /// Re-reads every fragment's blocks from `disk` and verifies them
+  /// against the captured image digests; a corrupt or stale block fails
+  /// with InvalidArgument naming the fragment column.
+  Status ValidateImage(const SimulatedDisk& disk) const;
+
+ private:
+  CompressedTagIndex() = default;
+
+  std::vector<CompressedFragment> fragments_;  // indexed by TagId
+  CompressedFragment empty_;
+  uint64_t source_digest_ = 0;
+  size_t page_count_ = 0;
+};
+
+/// \brief FragmentCursor over one compressed fragment behind a buffer
+/// pool.
+///
+/// Borrows the fragment and the pool; both must outlive the cursor. One
+/// cursor holds up to two pinned pages (one per column) plus two
+/// decoded-block frames. LowerBound locates the block through the
+/// resident fence keys and binary-searches inside the decoded frame, so
+/// a whole-fragment search costs at most one page pin and one decode.
+/// Sticky-error like CompressedDocAccessor.
+class CompressedFragmentCursor {
+ public:
+  CompressedFragmentCursor(const CompressedFragment& frag, BufferPool* pool)
+      : frag_(&frag), pre_(frag.pre, pool), post_(frag.post, pool) {}
+
+  size_t size() const { return frag_->size; }
+
+  NodeId Pre(size_t slot) {
+    if (!status_.ok()) return 0;
+    return pre_.At(slot, &status_);
+  }
+
+  uint32_t Post(size_t slot) {
+    if (!status_.ok()) return 0;
+    return post_.At(slot, &status_);
+  }
+
+  /// First slot with pre rank >= `pre` (size() if none, or after a
+  /// failure). Fence keys narrow the search to one decoded block.
+  size_t LowerBound(uint64_t pre) {
+    if (!status_.ok() || frag_->size == 0) return frag_->size;
+    const std::vector<NodeId>& fence = frag_->fence_pre;
+    if (pre <= fence.front()) return 0;
+    // Last block whose first pre rank is < `pre`; the answer lies in it
+    // (or right past its end, which is the next block's first slot).
+    size_t block = static_cast<size_t>(
+                       std::lower_bound(fence.begin(), fence.end(), pre) -
+                       fence.begin()) -
+                   1;
+    size_t lo = block * encoding::kBlockValues;
+    size_t hi = std::min<size_t>(lo + frag_->pre.BlockValueCount(block),
+                                 frag_->size);
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (pre_.At(mid, &status_) < pre) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (!status_.ok()) return frag_->size;
+    return lo;
+  }
+
+  /// A join jumps to `slot`: drop held pages the jump leaves behind so
+  /// the pool can evict them.
+  void SkipTo(size_t slot) {
+    pre_.SkipTo(slot);
+    post_.SkipTo(slot);
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  const CompressedFragment* frag_;
+  CompressedColumnCursor pre_;
+  CompressedColumnCursor post_;
+  Status status_;
+};
+
+static_assert(FragmentCursor<CompressedFragmentCursor>);
+
+/// \brief Staircase join over a compressed tag fragment: the compressed
+/// name-test pushdown path.
+///
+/// A shim over the backend-generic fragment join (core/fragment_impl.h)
+/// instantiated with CompressedFragmentCursor + CompressedDocAccessor.
+/// Semantics identical to StaircaseJoinView / PagedStaircaseJoinView;
+/// fragment slot reads AND context postorder reads go through `pool`.
+/// `doc` and `tags` must be built over the same disk as `pool`.
+Result<NodeSequence> CompressedStaircaseJoinView(
+    const CompressedTagIndex& tags, TagId tag, const CompressedDocTable& doc,
+    BufferPool* pool, const NodeSequence& context, Axis axis,
+    const StaircaseOptions& options = {}, JoinStats* stats = nullptr);
+
+}  // namespace sj::storage
+
+#endif  // STAIRJOIN_STORAGE_COMPRESSED_TAGS_H_

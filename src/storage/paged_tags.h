@@ -196,14 +196,10 @@ static_assert(FragmentCursor<PagedFragmentCursor>);
 /// postorder reads go through `pool` (context nodes are doc rows, as the
 /// paper stresses), so PoolStats charges the whole pushed-down step.
 /// `doc` and `tags` must be built over the same disk as `pool`.
-Result<NodeSequence> PagedStaircaseJoinView(const PagedTagIndex& tags,
-                                            TagId tag,
-                                            const PagedDocTable& doc,
-                                            BufferPool* pool,
-                                            const NodeSequence& context,
-                                            Axis axis,
-                                            const StaircaseOptions& options = {},
-                                            JoinStats* stats = nullptr);
+Result<NodeSequence> PagedStaircaseJoinView(
+    const PagedTagIndex& tags, TagId tag, const PagedDocTable& doc,
+    BufferPool* pool, const NodeSequence& context, Axis axis,
+    const StaircaseOptions& options = {}, JoinStats* stats = nullptr);
 
 }  // namespace sj::storage
 

@@ -219,7 +219,8 @@ class Generator {
     uint64_t incategories = struct_rng_.Range(1, 2);
     for (uint64_t i = 0; i < incategories; ++i) {
       SJ_RETURN_NOT_OK(Open("incategory"));
-      SJ_RETURN_NOT_OK(AttrId("category", "category", text_rng_.Below(categories_)));
+      SJ_RETURN_NOT_OK(
+          AttrId("category", "category", text_rng_.Below(categories_)));
       SJ_RETURN_NOT_OK(Close("incategory"));
     }
     if (struct_rng_.Percent(75)) {
@@ -256,7 +257,8 @@ class Generator {
     SJ_RETURN_NOT_OK(Open("catgraph"));
     for (uint64_t i = 0; i < edges_; ++i) {
       SJ_RETURN_NOT_OK(Open("edge"));
-      SJ_RETURN_NOT_OK(AttrId("from", "category", text_rng_.Below(categories_)));
+      SJ_RETURN_NOT_OK(
+          AttrId("from", "category", text_rng_.Below(categories_)));
       SJ_RETURN_NOT_OK(AttrId("to", "category", text_rng_.Below(categories_)));
       SJ_RETURN_NOT_OK(Close("edge"));
     }
@@ -317,7 +319,8 @@ class Generator {
     uint64_t interests = struct_rng_.Range(0, kMaxInterestsPerProfile);
     for (uint64_t i = 0; i < interests; ++i) {
       SJ_RETURN_NOT_OK(Open("interest"));
-      SJ_RETURN_NOT_OK(AttrId("category", "category", text_rng_.Below(categories_)));
+      SJ_RETURN_NOT_OK(
+          AttrId("category", "category", text_rng_.Below(categories_)));
       SJ_RETURN_NOT_OK(Close("interest"));
     }
     if (struct_rng_.Percent(kEducationPercent)) {
@@ -327,7 +330,8 @@ class Generator {
       SJ_RETURN_NOT_OK(
           TextElement("gender", text_rng_.Percent(50) ? "male" : "female"));
     }
-    SJ_RETURN_NOT_OK(TextElement("business", text_rng_.Percent(50) ? "Yes" : "No"));
+    SJ_RETURN_NOT_OK(
+        TextElement("business", text_rng_.Percent(50) ? "Yes" : "No"));
     if (struct_rng_.Percent(50)) {
       SJ_RETURN_NOT_OK(Open("age"));
       SJ_RETURN_NOT_OK(out_->Text(options_.rich_text

@@ -53,11 +53,14 @@ Evaluator::Evaluator(const DocTable& doc, EvalOptions options)
   // query (Evaluate would otherwise compute them lazily). A facade that
   // already validated the images at open time passes the digests in via
   // EvalOptions and skips the passes entirely.
-  if (options_.backend == StorageBackend::kPaged) {
+  if (options_.backend != StorageBackend::kMemory) {
     if (!doc_digest_.has_value()) {
       doc_digest_ = storage::DocColumnsDigest(doc_);
     }
-    if (options_.paged_tags != nullptr && !frag_digest_.has_value()) {
+    const bool has_fragments = options_.backend == StorageBackend::kPaged
+                                   ? options_.paged_tags != nullptr
+                                   : options_.compressed_tags != nullptr;
+    if (has_fragments && !frag_digest_.has_value()) {
       frag_digest_ = storage::FragmentColumnsDigest(doc_, *doc_digest_);
     }
   }
@@ -69,6 +72,33 @@ Result<NodeSequence> Evaluator::Evaluate(const LocationPath& path,
   return EvaluateKeepTrace(path, context);
 }
 
+Status Evaluator::CheckImageDigests(size_t image_size,
+                                    uint64_t image_doc_digest,
+                                    std::optional<uint64_t> image_frag_digest,
+                                    const char* backend_name) {
+  // Size alone cannot identify the document (two documents can share a
+  // node count); compare column digests, computed once per evaluator.
+  if (!doc_digest_.has_value()) {
+    doc_digest_ = storage::DocColumnsDigest(doc_);
+  }
+  if (image_size != doc_.size() || image_doc_digest != *doc_digest_) {
+    return Status::InvalidArgument(
+        std::string(backend_name) +
+        " table does not image the evaluator's document");
+  }
+  if (image_frag_digest.has_value()) {
+    if (!frag_digest_.has_value()) {
+      frag_digest_ = storage::FragmentColumnsDigest(doc_, *doc_digest_);
+    }
+    if (*image_frag_digest != *frag_digest_) {
+      return Status::InvalidArgument(
+          std::string(backend_name) +
+          " tag index does not image the evaluator's document");
+    }
+  }
+  return Status::OK();
+}
+
 Result<NodeSequence> Evaluator::EvaluateKeepTrace(const LocationPath& path,
                                                   const NodeSequence& context) {
   if (options_.backend == StorageBackend::kPaged) {
@@ -76,25 +106,26 @@ Result<NodeSequence> Evaluator::EvaluateKeepTrace(const LocationPath& path,
       return Status::InvalidArgument(
           "paged backend requires EvalOptions::paged_doc and pool");
     }
-    // Size alone cannot identify the document (two documents can share a
-    // node count); compare column digests, computed once per evaluator.
-    if (!doc_digest_.has_value()) {
-      doc_digest_ = storage::DocColumnsDigest(doc_);
-    }
-    if (options_.paged_doc->size() != doc_.size() ||
-        options_.paged_doc->source_digest() != *doc_digest_) {
+    SJ_RETURN_NOT_OK(CheckImageDigests(
+        options_.paged_doc->size(), options_.paged_doc->source_digest(),
+        options_.paged_tags != nullptr
+            ? std::optional<uint64_t>(options_.paged_tags->source_digest())
+            : std::nullopt,
+        "paged"));
+  }
+  if (options_.backend == StorageBackend::kCompressed) {
+    if (options_.compressed_doc == nullptr || options_.pool == nullptr) {
       return Status::InvalidArgument(
-          "paged table does not image the evaluator's document");
+          "compressed backend requires EvalOptions::compressed_doc and pool");
     }
-    if (options_.paged_tags != nullptr) {
-      if (!frag_digest_.has_value()) {
-        frag_digest_ = storage::FragmentColumnsDigest(doc_, *doc_digest_);
-      }
-      if (options_.paged_tags->source_digest() != *frag_digest_) {
-        return Status::InvalidArgument(
-            "paged tag index does not image the evaluator's document");
-      }
-    }
+    SJ_RETURN_NOT_OK(CheckImageDigests(
+        options_.compressed_doc->size(),
+        options_.compressed_doc->source_digest(),
+        options_.compressed_tags != nullptr
+            ? std::optional<uint64_t>(
+                  options_.compressed_tags->source_digest())
+            : std::nullopt,
+        "compressed"));
   }
   NodeSequence start = context;
   if (path.absolute) {
@@ -171,13 +202,23 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
 bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
   if (options_.engine != EngineMode::kStaircase) return false;
   // Backend-aware fragment selection: an IO-conscious query must read
-  // fragments through the pool, so on the paged backend only a paged tag
-  // index qualifies -- a memory-resident TagIndex would silently bypass
-  // the buffer pool and charge no faults.
-  const bool paged = options_.backend == StorageBackend::kPaged;
-  if (paged ? options_.paged_tags == nullptr
-            : options_.tag_index == nullptr) {
-    return false;
+  // fragments through the pool, so each pool-backed backend only
+  // qualifies with its own fragment image -- a memory-resident TagIndex
+  // would silently bypass the buffer pool and charge no faults.
+  uint64_t tag_count = 0;
+  switch (options_.backend) {
+    case StorageBackend::kMemory:
+      if (options_.tag_index == nullptr) return false;
+      tag_count = options_.tag_index->tag_count(tag);
+      break;
+    case StorageBackend::kPaged:
+      if (options_.paged_tags == nullptr) return false;
+      tag_count = options_.paged_tags->tag_count(tag);
+      break;
+    case StorageBackend::kCompressed:
+      if (options_.compressed_tags == nullptr) return false;
+      tag_count = options_.compressed_tags->tag_count(tag);
+      break;
   }
   if (step.test.kind != NodeTestKind::kName) return false;
   if (!IsStaircaseAxis(step.axis)) return false;
@@ -186,16 +227,12 @@ bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
       return false;
     case PushdownMode::kAlways:
       return true;
-    case PushdownMode::kAuto: {
+    case PushdownMode::kAuto:
       // "...obviously makes sense for selective name tests only"
-      // (Section 4.4). The fragment size is the exact selectivity; both
-      // indexes keep it resident.
-      double count = static_cast<double>(
-          paged ? options_.paged_tags->tag_count(tag)
-                : options_.tag_index->tag_count(tag));
-      return count <=
+      // (Section 4.4). The fragment size is the exact selectivity; every
+      // index keeps it resident.
+      return static_cast<double>(tag_count) <=
              options_.pushdown_selectivity * static_cast<double>(doc_.size());
-    }
   }
   return false;
 }
@@ -364,13 +401,14 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
     positional = positional || pred.kind != Predicate::Kind::kExists;
   }
   const bool paged = options_.backend == StorageBackend::kPaged;
+  const bool compressed = options_.backend == StorageBackend::kCompressed;
   if (positional) {
     SJ_ASSIGN_OR_RETURN(result, EvalStepPositional(step, context));
     if (top_level) {
       trace.description =
           ToString(step) + " via per-context evaluation (positional "
           "predicate)";
-      if (paged) {
+      if (paged || compressed) {
         // Until positional steps are set-at-a-time they read the
         // resident columns; disk experiments must not mistake them for
         // IO-charged steps.
@@ -425,6 +463,18 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
         trace.description =
             ToString(step) + " via paged staircase join over tag fragment '" +
             step.test.name + "' (name-test pushdown)";
+      } else if (compressed) {
+        // Same fragment join body over the compressed cursors: fragment
+        // block pages AND context postorder reads charge options_.pool.
+        SJ_ASSIGN_OR_RETURN(
+            result, storage::CompressedStaircaseJoinView(
+                        *options_.compressed_tags, *tag,
+                        *options_.compressed_doc, options_.pool, context,
+                        step.axis, options_.staircase, &stats));
+        trace.description =
+            ToString(step) +
+            " via compressed staircase join over tag fragment '" +
+            step.test.name + "' (name-test pushdown)";
       } else {
         SJ_ASSIGN_OR_RETURN(
             result, StaircaseJoinView(doc_, options_.tag_index->view(*tag),
@@ -458,6 +508,28 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
                     std::to_string(stats.workers) + " workers)"
               : ToString(step) + " via paged staircase join (buffer pool)";
       filter_after = true;
+    } else if (compressed) {
+      // The same kernels over the compressed-block cursor: fewer pages
+      // hold the same ranks, so the identical scan faults fewer of them.
+      if (options_.num_threads > 1) {
+        SJ_ASSIGN_OR_RETURN(
+            result, storage::ParallelCompressedStaircaseJoin(
+                        *options_.compressed_doc, options_.pool, context,
+                        step.axis, options_.staircase, options_.num_threads,
+                        &stats));
+      } else {
+        SJ_ASSIGN_OR_RETURN(
+            result, storage::CompressedStaircaseJoin(
+                        *options_.compressed_doc, options_.pool, context,
+                        step.axis, options_.staircase, &stats));
+      }
+      trace.description =
+          stats.workers > 1
+              ? ToString(step) + " via parallel compressed staircase join (" +
+                    std::to_string(stats.workers) + " workers)"
+              : ToString(step) +
+                    " via compressed staircase join (buffer pool)";
+      filter_after = true;
     } else {
       if (options_.num_threads > 1) {
         SJ_ASSIGN_OR_RETURN(
@@ -485,6 +557,11 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
         SJ_ASSIGN_OR_RETURN(
             result, storage::PagedFilterByTest(*options_.paged_doc,
                                                options_.pool, result, test));
+      } else if (compressed) {
+        SJ_ASSIGN_OR_RETURN(
+            result, storage::CompressedFilterByTest(*options_.compressed_doc,
+                                                    options_.pool, result,
+                                                    test));
       } else {
         result = FilterByTestSequence(doc_, result, test);
       }
@@ -500,6 +577,14 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
                                                options_.pool, context,
                                                step.axis, test, &stats));
       trace.description = ToString(step) + " via paged " +
+                          std::string(AxisName(step.axis)) +
+                          "-axis cursor join (buffer pool)";
+    } else if (compressed) {
+      SJ_ASSIGN_OR_RETURN(
+          result, storage::CompressedAxisCursorStep(*options_.compressed_doc,
+                                                    options_.pool, context,
+                                                    step.axis, test, &stats));
+      trace.description = ToString(step) + " via compressed " +
                           std::string(AxisName(step.axis)) +
                           "-axis cursor join (buffer pool)";
     } else {

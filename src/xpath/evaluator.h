@@ -24,6 +24,8 @@
 #include "core/staircase_join.h"
 #include "core/tag_view.h"
 #include "encoding/doc_table.h"
+#include "storage/compressed_doc.h"
+#include "storage/compressed_tags.h"
 #include "storage/paged_doc.h"
 #include "storage/paged_tags.h"
 #include "util/result.h"
@@ -40,8 +42,9 @@ enum class EngineMode : uint8_t {
 
 /// Which storage backend the staircase joins read the doc columns from.
 enum class StorageBackend : uint8_t {
-  kMemory,  ///< in-memory DocTable BATs
-  kPaged,   ///< paged columns behind a BufferPool (IO-conscious)
+  kMemory,      ///< in-memory DocTable BATs
+  kPaged,       ///< paged columns behind a BufferPool (IO-conscious)
+  kCompressed,  ///< block-compressed (FOR/delta) columns behind a BufferPool
 };
 
 /// Whether name tests are pushed through the staircase join.
@@ -81,6 +84,15 @@ struct EvalOptions {
   /// steps then charge their fragment page reads to `pool` instead of
   /// diving into the memory-resident TagIndex.
   const storage::PagedTagIndex* paged_tags = nullptr;
+  /// With kCompressed, every step reads the block-compressed columns
+  /// through `pool`; `compressed_doc` and `pool` are then required and
+  /// must image the same document the evaluator is bound to
+  /// (digest-checked, like the paged pair).
+  const storage::CompressedDocTable* compressed_doc = nullptr;
+  /// Compressed tag fragments for pushdown on the compressed backend
+  /// (pass null to disable pushdown there); same contract as
+  /// `paged_tags`.
+  const storage::CompressedTagIndex* compressed_tags = nullptr;
   /// Facade wiring (sj::Database): the DocColumnsDigest /
   /// FragmentColumnsDigest of the bound document, already computed and
   /// verified against the paged images at Database open time. When set,
@@ -136,6 +148,13 @@ class Evaluator {
   /// Evaluate() minus the trace reset: union branches share one trace.
   Result<NodeSequence> EvaluateKeepTrace(const LocationPath& path,
                                          const NodeSequence& context);
+  /// Shared identity check of the pool-backed backends: the bound image
+  /// (and, when present, its fragment index) must carry this document's
+  /// column digests. `image_frag_digest` is nullopt when the backend
+  /// has no fragment index configured.
+  Status CheckImageDigests(size_t image_size, uint64_t image_doc_digest,
+                           std::optional<uint64_t> image_frag_digest,
+                           const char* backend_name);
   Result<NodeSequence> EvalSteps(const std::vector<Step>& steps, size_t first,
                                  NodeSequence context, bool top_level);
   Result<NodeSequence> EvalStep(const Step& step, const NodeSequence& context,

@@ -28,14 +28,15 @@ constexpr const char* kQueries[] = {
     "/descendant::item[child::name] | /descendant::keyword",
 };
 
-/// The session configurations under test: both backends, pushdown on,
-/// off and cost-based. (Parallel intra-query workers are exercised on
-/// the memory backend; on the paged backend every concurrent session
-/// already stresses the shared pool.)
+/// The session configurations under test: all three storage backends,
+/// pushdown on, off and cost-based. (Parallel intra-query workers are
+/// exercised on the memory backend; on the pool-backed backends every
+/// concurrent session already stresses the shared pool.)
 std::vector<SessionOptions> Configs() {
   std::vector<SessionOptions> configs;
   for (StorageBackend backend :
-       {StorageBackend::kMemory, StorageBackend::kPaged}) {
+       {StorageBackend::kMemory, StorageBackend::kPaged,
+        StorageBackend::kCompressed}) {
     for (PushdownMode pushdown : {PushdownMode::kAuto, PushdownMode::kAlways,
                                   PushdownMode::kNever}) {
       SessionOptions o;

@@ -16,6 +16,7 @@
 #include "baselines/naive.h"
 #include "bat/operators.h"
 #include "core/axis_step.h"
+#include "storage/compressed_doc.h"
 #include "storage/paged_accessor.h"
 #include "storage/paged_doc.h"
 #include "test_util.h"
@@ -112,6 +113,7 @@ TEST_P(AxisBackendEquivalenceTest, CursorStepsAreByteIdenticalAcrossBackends) {
     ++exercised;
     SimulatedDisk disk;
     auto paged = PagedDocTable::Create(*doc, &disk).value();
+    auto compressed = CompressedDocTable::Create(*doc, &disk).value();
     BufferPool pool(&disk, 16);
     Rng rng(seed * 131 + shape);
     NodeSequence sparse = RandomContext(rng, *doc, 2);
@@ -120,7 +122,7 @@ TEST_P(AxisBackendEquivalenceTest, CursorStepsAreByteIdenticalAcrossBackends) {
     for (const NodeSequence* ctx : {&sparse, &dense, &nested}) {
       if (ctx->empty()) continue;
       for (Axis axis : kCursorAxes) {
-        JoinStats mem_stats, io_stats;
+        JoinStats mem_stats, io_stats, zip_stats;
         auto expected = AxisCursorStep(*doc, *ctx, axis, {}, &mem_stats);
         ASSERT_TRUE(expected.ok()) << expected.status();
         auto got = PagedAxisCursorStep(*paged, &pool, *ctx, axis, {},
@@ -128,10 +130,20 @@ TEST_P(AxisBackendEquivalenceTest, CursorStepsAreByteIdenticalAcrossBackends) {
         ASSERT_TRUE(got.ok()) << got.status();
         EXPECT_TRUE(BytesEqual(got.value(), expected.value()))
             << AxisName(axis) << " seed " << seed << " shape " << shape;
-        // The unified kernels touch the same nodes on both backends.
+        auto zip = CompressedAxisCursorStep(*compressed, &pool, *ctx, axis,
+                                            {}, &zip_stats);
+        ASSERT_TRUE(zip.ok()) << zip.status();
+        EXPECT_TRUE(BytesEqual(zip.value(), expected.value()))
+            << "compressed " << AxisName(axis) << " seed " << seed
+            << " shape " << shape;
+        // The unified kernels touch the same nodes on every backend.
         EXPECT_EQ(io_stats.nodes_scanned, mem_stats.nodes_scanned);
         EXPECT_EQ(io_stats.nodes_skipped, mem_stats.nodes_skipped);
         EXPECT_EQ(io_stats.pruned_context_size,
+                  mem_stats.pruned_context_size);
+        EXPECT_EQ(zip_stats.nodes_scanned, mem_stats.nodes_scanned);
+        EXPECT_EQ(zip_stats.nodes_skipped, mem_stats.nodes_skipped);
+        EXPECT_EQ(zip_stats.pruned_context_size,
                   mem_stats.pruned_context_size);
         // And both agree with the two independent oracles.
         auto naive = NaiveAxisStep(*doc, *ctx, axis);
@@ -174,6 +186,7 @@ TEST(AxisCursorTest, DeepChainsStressTheFrameMerge) {
     ctx.push_back(v);
   }
   ctx = bat::SortUnique(std::move(ctx));
+  auto compressed = CompressedDocTable::Create(*doc, &disk).value();
   for (Axis axis : kCursorAxes) {
     auto expected = NaiveAxisStep(*doc, ctx, axis);
     ASSERT_TRUE(expected.ok());
@@ -181,8 +194,11 @@ TEST(AxisCursorTest, DeepChainsStressTheFrameMerge) {
     ASSERT_TRUE(mem.ok()) << mem.status();
     auto io = PagedAxisCursorStep(*paged, &pool, ctx, axis);
     ASSERT_TRUE(io.ok()) << io.status();
+    auto zip = CompressedAxisCursorStep(*compressed, &pool, ctx, axis);
+    ASSERT_TRUE(zip.ok()) << zip.status();
     EXPECT_TRUE(BytesEqual(mem.value(), expected.value())) << AxisName(axis);
     EXPECT_TRUE(BytesEqual(io.value(), expected.value())) << AxisName(axis);
+    EXPECT_TRUE(BytesEqual(zip.value(), expected.value())) << AxisName(axis);
     EXPECT_TRUE(BytesEqual(mem.value(), RegionOracle(*doc, ctx, axis)))
         << AxisName(axis);
   }
@@ -270,6 +286,37 @@ TEST(PagedAxisCursorTest, ColdPoolStepsChargeFaults) {
   }
 }
 
+TEST(CompressedAxisCursorTest, ColdPoolStepsChargeFaultsButFewerThanPaged) {
+  auto doc = RandomDocument(7, {.target_nodes = 30000,
+                                .attribute_percent = 40});
+  ASSERT_GT(doc->size(), 10000u);
+  SimulatedDisk disk;
+  auto paged = PagedDocTable::Create(*doc, &disk).value();
+  auto compressed = CompressedDocTable::Create(*doc, &disk).value();
+  Rng rng(9);
+  NodeSequence ctx = RandomContext(rng, *doc, 10);
+  std::optional<TagId> t0 = doc->tags().Lookup("t0");
+  ASSERT_TRUE(t0.has_value());
+  for (Axis axis : kCursorAxes) {
+    AxisNodeTest test = AxisNodeTest::OfKindAndTag(
+        axis == Axis::kAttribute ? NodeKind::kAttribute : NodeKind::kElement,
+        *t0);
+    BufferPool paged_pool(&disk, 16);
+    auto r = PagedAxisCursorStep(*paged, &paged_pool, ctx, axis, test);
+    ASSERT_TRUE(r.ok()) << AxisName(axis) << ": " << r.status();
+    BufferPool zip_pool(&disk, 16);
+    auto z = CompressedAxisCursorStep(*compressed, &zip_pool, ctx, axis,
+                                      test);
+    ASSERT_TRUE(z.ok()) << AxisName(axis) << ": " << z.status();
+    // Every step charges the pool -- and the compressed image never
+    // needs more pages than the uncompressed one for the same reads.
+    EXPECT_GT(zip_pool.stats().faults, 0u)
+        << AxisName(axis) << " read no pages on a cold pool";
+    EXPECT_LE(zip_pool.stats().faults, paged_pool.stats().faults)
+        << AxisName(axis);
+  }
+}
+
 TEST(PagedAxisCursorTest, SurfacesPoolExhaustion) {
   auto doc = RandomDocument(33, {.target_nodes = 500});
   SimulatedDisk disk;
@@ -339,8 +386,11 @@ TEST(PagedEvaluatorAxisTest, MixedAxisQueriesMatchMemoryAndChargeThePool) {
   SessionOptions io_opt;
   io_opt.backend = StorageBackend::kPaged;
   io_opt.pushdown = PushdownMode::kNever;  // faults come from the doc scan
+  SessionOptions zip_opt = io_opt;
+  zip_opt.backend = StorageBackend::kCompressed;
   Session mem = std::move(db->CreateSession()).value();
   Session io = std::move(db->CreateSession(io_opt)).value();
+  Session zip = std::move(db->CreateSession(zip_opt)).value();
   storage::BufferPool* pool = db->buffer_pool();
 
   const char* queries[] = {
@@ -366,6 +416,14 @@ TEST(PagedEvaluatorAxisTest, MixedAxisQueriesMatchMemoryAndChargeThePool) {
     // No step of a staircase-engine plan runs per-context anymore.
     EXPECT_EQ(got.value().Explain().find("per-context"), std::string::npos)
         << got.value().Explain();
+    // The compressed backend runs the same plan over compressed blocks.
+    pool->FlushAll();
+    pool->ResetStats();
+    auto zipped = zip.Run(q);
+    ASSERT_TRUE(zipped.ok()) << q << ": " << zipped.status();
+    EXPECT_TRUE(BytesEqual(zipped.value().nodes, expected.value().nodes))
+        << q;
+    EXPECT_GT(pool->stats().faults, 0u) << q;
   }
   // EXPLAIN names the new paths.
   auto r = io.Run("/descendant::t0/child::t1");
@@ -373,6 +431,11 @@ TEST(PagedEvaluatorAxisTest, MixedAxisQueriesMatchMemoryAndChargeThePool) {
   EXPECT_NE(r.value().Explain().find("via paged child-axis cursor join"),
             std::string::npos)
       << r.value().Explain();
+  auto rz = zip.Run("/descendant::t0/child::t1");
+  ASSERT_TRUE(rz.ok());
+  EXPECT_NE(rz.value().Explain().find("via compressed child-axis cursor join"),
+            std::string::npos)
+      << rz.value().Explain();
 }
 
 TEST(EvaluatorTraceTest, ShortCircuitedStepsStayInExplain) {

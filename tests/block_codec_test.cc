@@ -1,0 +1,179 @@
+// Round-trip and edge-case property tests for the FOR/delta block codec
+// (encoding/block_codec.h): every block the compressed backend can ever
+// encode must decode bit-exactly, the encoder must pick encodings that
+// actually compress the column shapes the backend stores (monotone
+// fragment pre lists, near-constant kind/level runs, non-monotone parent
+// deltas, kNilNode extremes), and malformed headers must be rejected
+// rather than decoded into garbage.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "encoding/block_codec.h"
+#include "encoding/doc_table.h"
+#include "util/rng.h"
+
+namespace sj::encoding {
+namespace {
+
+std::vector<uint32_t> RoundTrip(const std::vector<uint32_t>& values) {
+  std::vector<uint8_t> buf(MaxEncodedBlockBytes(values.size()));
+  const size_t bytes = EncodeBlock(values, buf.data());
+  EXPECT_LE(bytes, buf.size());
+  auto size = EncodedBlockSize(buf.data(), bytes);
+  EXPECT_TRUE(size.ok()) << size.status();
+  EXPECT_EQ(size.value(), bytes);
+  std::vector<uint32_t> out(values.size());
+  Status decoded = DecodeBlock(buf.data(), bytes, values.size(), out.data());
+  EXPECT_TRUE(decoded.ok()) << decoded;
+  return out;
+}
+
+TEST(BlockCodecTest, EmptyBlockRoundTrips) {
+  std::vector<uint32_t> empty;
+  EXPECT_EQ(RoundTrip(empty), empty);
+  uint8_t buf[kBlockHeaderBytes + 8];
+  EXPECT_EQ(EncodeBlock(empty, buf), kBlockHeaderBytes);
+}
+
+TEST(BlockCodecTest, SingleValueRoundTrips) {
+  for (uint32_t v : {0u, 1u, 4096u, std::numeric_limits<uint32_t>::max()}) {
+    std::vector<uint32_t> one{v};
+    EXPECT_EQ(RoundTrip(one), one) << v;
+    // A single value needs only the header: base carries it.
+    uint8_t buf[kBlockHeaderBytes + sizeof(uint32_t)];
+    EXPECT_EQ(EncodeBlock(one, buf), kBlockHeaderBytes) << v;
+  }
+}
+
+TEST(BlockCodecTest, ConstantBlockEncodesToHeaderOnly) {
+  std::vector<uint32_t> values(kBlockValues, 123456789u);
+  EXPECT_EQ(RoundTrip(values), values);
+  std::vector<uint8_t> buf(MaxEncodedBlockBytes(values.size()));
+  EXPECT_EQ(EncodeBlock(values, buf.data()), kBlockHeaderBytes);
+}
+
+TEST(BlockCodecTest, MonotoneRunsCompressTightly) {
+  // A fragment pre list: strictly increasing with small steps. Delta
+  // encoding must land near 2 bits per value, far below the raw 32.
+  std::vector<uint32_t> values;
+  Rng rng(7);
+  uint32_t v = 1000;
+  for (size_t i = 0; i < kBlockValues; ++i) {
+    v += static_cast<uint32_t>(rng.Range(1, 3));
+    values.push_back(v);
+  }
+  EXPECT_EQ(RoundTrip(values), values);
+  std::vector<uint8_t> buf(MaxEncodedBlockBytes(values.size()));
+  const size_t bytes = EncodeBlock(values, buf.data());
+  EXPECT_LE(bytes, kBlockHeaderBytes + kBlockValues * 3 / 8 + 1);
+}
+
+TEST(BlockCodecTest, MaxWidthValuesRoundTrip) {
+  // Alternating extremes of the uint32 range, including kNilNode (the
+  // parent column's root marker, 0xFFFFFFFF). Circular FOR wraps the
+  // frame around the sentinel -- 0xFFFFFFFF becomes base + 0, 0 becomes
+  // base + 1 -- so even this block packs to one bit per value.
+  std::vector<uint32_t> values;
+  for (size_t i = 0; i < kBlockValues; ++i) {
+    values.push_back(i % 2 == 0 ? 0u : kNilNode);
+  }
+  EXPECT_EQ(RoundTrip(values), values);
+  std::vector<uint8_t> buf(MaxEncodedBlockBytes(values.size()));
+  const size_t bytes = EncodeBlock(values, buf.data());
+  EXPECT_LE(bytes, kBlockHeaderBytes + kBlockValues / 8);
+}
+
+TEST(BlockCodecTest, TagColumnShapePacksSmall) {
+  // The tag-column shape that motivates circular FOR: a handful of tiny
+  // dictionary codes with kNoTag sentinels for text nodes interspersed.
+  // Classic FOR would need 32 bits per value; circular FOR needs 5.
+  std::vector<uint32_t> values;
+  Rng rng(11);
+  for (size_t i = 0; i < kBlockValues; ++i) {
+    values.push_back(rng.Percent(40) ? kNoTag
+                                     : static_cast<uint32_t>(rng.Below(20)));
+  }
+  EXPECT_EQ(RoundTrip(values), values);
+  std::vector<uint8_t> buf(MaxEncodedBlockBytes(values.size()));
+  const size_t bytes = EncodeBlock(values, buf.data());
+  EXPECT_LE(bytes, kBlockHeaderBytes + kBlockValues);  // <= 8 bits/value
+}
+
+TEST(BlockCodecTest, NonMonotoneParentDeltasRoundTrip) {
+  // A parent column shape: mostly "a few ranks back", with jumps back
+  // to ancestors and the root's kNilNode up front -- signed deltas in
+  // both directions.
+  std::vector<uint32_t> values{kNilNode, 0, 0, 2, 2, 0, 5, 5, 6, 0};
+  Rng rng(21);
+  for (size_t i = 0; i < 900; ++i) {
+    values.push_back(static_cast<uint32_t>(
+        rng.Percent(20) ? rng.Below(10) : values.size() - rng.Range(1, 5)));
+  }
+  EXPECT_EQ(RoundTrip(values), values);
+}
+
+TEST(BlockCodecTest, RandomBlocksOfEveryShapeRoundTrip) {
+  Rng rng(1234);
+  for (int round = 0; round < 200; ++round) {
+    const size_t count = 1 + rng.Below(kBlockValues);
+    // Vary the value magnitude so every bit width 1..32 is exercised.
+    const uint32_t mask =
+        static_cast<uint32_t>((uint64_t{1} << rng.Range(1, 32)) - 1);
+    std::vector<uint32_t> values;
+    values.reserve(count);
+    uint32_t walk = static_cast<uint32_t>(rng.Next());
+    for (size_t i = 0; i < count; ++i) {
+      if (rng.Percent(50)) {
+        values.push_back(static_cast<uint32_t>(rng.Next()) & mask);
+      } else {
+        // Random-walk stretches favor the delta encoding.
+        walk += static_cast<uint32_t>(rng.Range(0, 64)) - 32;
+        values.push_back(walk);
+      }
+    }
+    EXPECT_EQ(RoundTrip(values), values) << "round " << round;
+  }
+}
+
+TEST(BlockCodecTest, MalformedHeadersAreRejected) {
+  std::vector<uint32_t> values{1, 2, 3, 4, 5};
+  std::vector<uint8_t> buf(MaxEncodedBlockBytes(values.size()));
+  const size_t bytes = EncodeBlock(values, buf.data());
+  std::vector<uint32_t> out(values.size());
+
+  // Truncated header.
+  EXPECT_FALSE(EncodedBlockSize(buf.data(), kBlockHeaderBytes - 1).ok());
+  // Unknown mode.
+  std::vector<uint8_t> bad = buf;
+  bad[0] = 7;
+  EXPECT_FALSE(DecodeBlock(bad.data(), bytes, values.size(), out.data()).ok());
+  // Impossible bit width.
+  bad = buf;
+  bad[1] = 33;
+  EXPECT_FALSE(DecodeBlock(bad.data(), bytes, values.size(), out.data()).ok());
+  // Count beyond kBlockValues.
+  bad = buf;
+  bad[2] = 0xFF;
+  bad[3] = 0xFF;
+  EXPECT_FALSE(DecodeBlock(bad.data(), bytes, values.size(), out.data()).ok());
+  // Count that disagrees with the directory's expectation.
+  EXPECT_FALSE(
+      DecodeBlock(buf.data(), bytes, values.size() + 1, out.data()).ok());
+  // Payload truncated below what the header promises.
+  std::vector<uint32_t> wide(64);
+  for (size_t i = 0; i < wide.size(); ++i) {
+    wide[i] = static_cast<uint32_t>(i * 92821u);
+  }
+  std::vector<uint8_t> wide_buf(MaxEncodedBlockBytes(wide.size()));
+  const size_t wide_bytes = EncodeBlock(wide, wide_buf.data());
+  std::vector<uint32_t> wide_out(wide.size());
+  EXPECT_FALSE(DecodeBlock(wide_buf.data(), wide_bytes - 1, wide.size(),
+                           wide_out.data())
+                   .ok());
+}
+
+}  // namespace
+}  // namespace sj::encoding

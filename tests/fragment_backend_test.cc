@@ -19,6 +19,7 @@
 #include "core/staircase_join.h"
 #include "core/tag_view.h"
 #include "encoding/loader.h"
+#include "storage/compressed_tags.h"
 #include "storage/paged_tags.h"
 #include "test_util.h"
 #include "util/rng.h"
@@ -94,6 +95,8 @@ TEST_P(FragmentBackendTest, BothBackendsEqualJoinThenFilter) {
   SimulatedDisk disk;
   auto paged_doc = PagedDocTable::Create(*doc, &disk).value();
   auto paged_tags = PagedTagIndex::Create(*doc, &disk).value();
+  auto compressed_doc = CompressedDocTable::Create(*doc, &disk).value();
+  auto compressed_tags = CompressedTagIndex::Create(*doc, &disk).value();
   BufferPool pool(&disk, 16);
   Rng rng(seed * 17 + 3);
 
@@ -116,12 +119,16 @@ TEST_P(FragmentBackendTest, BothBackendsEqualJoinThenFilter) {
         for (SkipMode mode : kSkipModes) {
           StaircaseOptions opt;
           opt.skip_mode = mode;
-          JoinStats mem_stats, io_stats;
+          JoinStats mem_stats, io_stats, zip_stats;
           auto mem = StaircaseJoinView(*doc, view, ctx, axis, opt, &mem_stats);
           ASSERT_TRUE(mem.ok()) << mem.status();
           auto io = PagedStaircaseJoinView(*paged_tags, tag, *paged_doc,
                                            &pool, ctx, axis, opt, &io_stats);
           ASSERT_TRUE(io.ok()) << io.status();
+          auto zip = CompressedStaircaseJoinView(*compressed_tags, tag,
+                                                 *compressed_doc, &pool, ctx,
+                                                 axis, opt, &zip_stats);
+          ASSERT_TRUE(zip.ok()) << zip.status();
 
           NodeSequence oracle = JoinThenFilter(*doc, ctx, axis, tag, opt);
           EXPECT_EQ(mem.value(), oracle)
@@ -131,6 +138,11 @@ TEST_P(FragmentBackendTest, BothBackendsEqualJoinThenFilter) {
               << AxisName(axis) << " mode " << static_cast<int>(mode)
               << " tag " << tag << " seed " << seed;
           EXPECT_TRUE(StatsEqual(io_stats, mem_stats)) << AxisName(axis);
+          EXPECT_TRUE(BytesEqual(zip.value(), mem.value()))
+              << "compressed " << AxisName(axis) << " mode "
+              << static_cast<int>(mode) << " tag " << tag << " seed " << seed;
+          EXPECT_TRUE(StatsEqual(zip_stats, mem_stats))
+              << "compressed " << AxisName(axis);
 
           // Kernels-consistent stats semantics, fragment slots being the
           // unit: every slot is scanned, copied, or skipped at most once.
@@ -229,6 +241,38 @@ TEST(PagedFragmentCursorTest, MultiPageLowerBoundMatchesMemory) {
   EXPECT_TRUE(io.ok()) << io.status();
 }
 
+TEST(CompressedFragmentCursorTest, MultiBlockLowerBoundMatchesMemory) {
+  // 5000 single-tag elements: the fragment spans multiple blocks, so
+  // LowerBound exercises the resident fence keys + in-block search.
+  std::string xml = "<t>";
+  for (int i = 0; i < 4999; ++i) xml += "<t/>";
+  xml += "</t>";
+  auto doc = LoadDocument(xml).value();
+  TagIndex index(*doc);
+  TagId t = doc->tags().Lookup("t").value();
+  const TagView& view = index.view(t);
+
+  SimulatedDisk disk;
+  auto compressed_tags = CompressedTagIndex::Create(*doc, &disk).value();
+  ASSERT_GT(compressed_tags->fragment(t).pre.blocks.size(), 1u);
+  ASSERT_EQ(compressed_tags->fragment(t).fence_pre.size(),
+            compressed_tags->fragment(t).pre.blocks.size());
+  BufferPool pool(&disk, 4);
+  MemoryFragmentCursor mem(view);
+  CompressedFragmentCursor zip(compressed_tags->fragment(t), &pool);
+  ASSERT_EQ(mem.size(), zip.size());
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    uint64_t pre = rng.Below(doc->size() + 2);
+    EXPECT_EQ(mem.LowerBound(pre), zip.LowerBound(pre)) << "pre " << pre;
+    size_t slot = rng.Below(view.size());
+    EXPECT_EQ(mem.Pre(slot), zip.Pre(slot)) << "slot " << slot;
+    EXPECT_EQ(mem.Post(slot), zip.Post(slot)) << "slot " << slot;
+    if (i % 9 == 0) zip.SkipTo(rng.Below(view.size() + 1));
+  }
+  EXPECT_TRUE(zip.ok()) << zip.status();
+}
+
 TEST(PagedFragmentCursorTest, StickyErrorOnPoolExhaustion) {
   auto doc = RandomDocument(51, {.target_nodes = 3000});
   SimulatedDisk disk;
@@ -295,6 +339,58 @@ TEST(PagedPushdownTest, PushdownChargesThePoolAndMatchesMemory) {
         << last_explain;
   }
   EXPECT_NE(last_explain.find("tag fragment 't3'"), std::string::npos);
+
+  // The compressed backend: same contract, compressed fragment images,
+  // EXPLAIN names the compressed fragment path.
+  SessionOptions zip_opt = mem_opt;
+  zip_opt.backend = StorageBackend::kCompressed;
+  Session zip = std::move(db->CreateSession(zip_opt)).value();
+  for (const char* q : queries) {
+    pool->FlushAll();
+    pool->ResetStats();
+    auto expected = mem.Run(q);
+    auto got = zip.Run(q);
+    ASSERT_TRUE(got.ok()) << q << ": " << got.status();
+    EXPECT_TRUE(BytesEqual(got.value().nodes, expected.value().nodes)) << q;
+    EXPECT_GT(pool->stats().faults, 0u) << q;
+    EXPECT_NE(got.value().Explain().find(
+                  "via compressed staircase join over tag fragment"),
+              std::string::npos)
+        << got.value().Explain();
+  }
+}
+
+TEST(CompressedPushdownTest, BitFlippedFragmentBlockRejectedAtOpenTime) {
+  // The fragment images are digest-covered too: flip one byte inside an
+  // encoded fragment block and the open must fail naming the fragment
+  // column, not serve the damaged fragment to a pushed-down step.
+  auto doc = RandomDocument(13, {.target_nodes = 5000});
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto compressed_doc = CompressedDocTable::Create(*doc, disk.get()).value();
+  auto compressed_tags =
+      CompressedTagIndex::Create(*doc, disk.get()).value();
+  TagId t0 = doc->tags().Lookup("t0").value();
+  const CompressedFragment& frag = compressed_tags->fragment(t0);
+  ASSERT_GT(frag.pre.blocks.size(), 0u);
+  const CompressedBlockRef& block = frag.pre.blocks.front();
+  Page page;
+  ASSERT_TRUE(disk->Read(block.page, &page).ok());
+  page.bytes[block.offset + encoding::kBlockHeaderBytes / 2] ^= 0x10;
+  ASSERT_TRUE(disk->Write(block.page, page).ok());
+
+  DatabaseOptions open;
+  open.build_paged = false;
+  open.build_compressed = false;
+  auto db = Database::FromParts(std::move(doc), nullptr, std::move(disk),
+                                nullptr, nullptr, std::move(compressed_doc),
+                                std::move(compressed_tags), open);
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().ToString().find("corrupt compressed image"),
+            std::string::npos)
+      << db.status();
+  EXPECT_NE(db.status().ToString().find("fragment pre column"),
+            std::string::npos)
+      << db.status();
 }
 
 /// Regression for the headline bug: on a database adopted without paged

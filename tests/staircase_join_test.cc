@@ -171,7 +171,7 @@ TEST(StaircaseJoinTest, RejectsNonStaircaseAxis) {
             StatusCode::kUnsupported);
 }
 
-// --- Algorithmic guarantees ---------------------------------------------------
+// --- Algorithmic guarantees -------------------------------------------------
 
 TEST(StaircaseJoinTest, DescendantTouchBound) {
   // Section 3.3: with skipping, no more than |result| + |context| nodes of

@@ -1,11 +1,12 @@
 // Backend equivalence for the unified staircase join: the ONE set of
 // Section 3/4 kernels (core/staircase_impl.h), instantiated with the
-// in-memory cursor and with the buffer-pool cursor, must return
-// byte-identical NodeSequences for every staircase axis and skip mode --
-// and the paged instantiation must turn skipping into page faults saved.
-// Also drives whole queries end-to-end over the paged backend through the
-// Database/Session facade (which owns the backend wiring and validates
-// image digests at open time).
+// in-memory cursor, the buffer-pool cursor AND the compressed-block
+// cursor, must return byte-identical NodeSequences for every staircase
+// axis and skip mode -- and the pool-backed instantiations must turn
+// skipping into page faults saved (the compressed one into strictly
+// fewer of them). Also drives whole queries end-to-end over the paged
+// and compressed backends through the Database/Session facade (which
+// owns the backend wiring and validates image digests at open time).
 
 #include <gtest/gtest.h>
 
@@ -13,6 +14,8 @@
 
 #include "api/database.h"
 #include "core/doc_accessor.h"
+#include "storage/compressed_accessor.h"
+#include "storage/compressed_doc.h"
 #include "storage/paged_accessor.h"
 #include "storage/paged_doc.h"
 #include "test_util.h"
@@ -62,6 +65,51 @@ TEST(DocAccessorTest, MemoryAndPagedCursorsReadTheSameColumns) {
   EXPECT_TRUE(io.ok()) << io.status();
 }
 
+TEST(DocAccessorTest, CompressedCursorReadsAllFiveColumnsExactly) {
+  auto doc = RandomDocument(11, {.target_nodes = 60000,
+                                 .attribute_percent = 30});
+  ASSERT_GT(doc->size(), 10000u);
+  SimulatedDisk disk;
+  auto compressed = CompressedDocTable::Create(*doc, &disk).value();
+  // Decoding never alters the columns: the compressed image must be a
+  // strict shrink of the raw one.
+  ASSERT_LT(compressed->encoded_bytes(), doc->size() * 14);
+  BufferPool pool(&disk, 8);
+  MemoryDocAccessor mem(*doc);
+  CompressedDocAccessor io(*compressed, &pool);
+  ASSERT_EQ(mem.size(), io.size());
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t pre = rng.Below(doc->size());
+    EXPECT_EQ(mem.Post(pre), io.Post(pre)) << "pre " << pre;
+    EXPECT_EQ(mem.Kind(pre), io.Kind(pre)) << "pre " << pre;
+    EXPECT_EQ(mem.Level(pre), io.Level(pre)) << "pre " << pre;
+    EXPECT_EQ(mem.Parent(pre), io.Parent(pre)) << "pre " << pre;
+    EXPECT_EQ(mem.Tag(pre), io.Tag(pre)) << "pre " << pre;
+    if (i % 7 == 0) io.SkipTo(rng.Below(doc->size() + 1));
+  }
+  EXPECT_TRUE(io.ok()) << io.status();
+}
+
+TEST(DocAccessorTest, CompressedCursorIsStickyOnPoolExhaustion) {
+  auto doc = RandomDocument(78, {.target_nodes = 500});
+  SimulatedDisk disk;
+  auto compressed = CompressedDocTable::Create(*doc, &disk).value();
+  BufferPool pool(&disk, 1);
+  // Starve the accessor: an outside pin occupies the single frame.
+  ASSERT_TRUE(pool.Pin(compressed->kind().pages.front()).ok());
+  CompressedDocAccessor io(*compressed, &pool);
+  (void)io.Post(0);
+  EXPECT_FALSE(io.ok());
+  (void)io.Post(1);  // still failed, no crash, no new pins
+  EXPECT_FALSE(io.status().ok());
+  // And the join surfaces the error instead of returning garbage.
+  auto r = CompressedStaircaseJoin(*compressed, &pool, {0},
+                                   Axis::kDescendant);
+  EXPECT_FALSE(r.ok());
+  ASSERT_TRUE(pool.Unpin(compressed->kind().pages.front()).ok());
+}
+
 TEST(DocAccessorTest, PagedCursorIsStickyOnPoolExhaustion) {
   auto doc = RandomDocument(78, {.target_nodes = 500});
   SimulatedDisk disk;
@@ -84,8 +132,9 @@ class BackendEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
 
 /// The satellite acceptance matrix: all staircase axes x all skip modes x
 /// both pruning flavors on randomized mixed-kind trees, serial and
-/// parallel paged joins both byte-identical to the in-memory join.
-TEST_P(BackendEquivalenceTest, PagedJoinsAreByteIdenticalToMemoryJoins) {
+/// parallel paged AND compressed joins all byte-identical to the
+/// in-memory join, with identical node-touch counters.
+TEST_P(BackendEquivalenceTest, PoolBackendJoinsAreByteIdenticalToMemory) {
   const uint64_t seed = GetParam();
   RandomDocOptions doc_opt;
   doc_opt.target_nodes = 60000;  // seeds below yield 11k-29k actual nodes
@@ -93,6 +142,7 @@ TEST_P(BackendEquivalenceTest, PagedJoinsAreByteIdenticalToMemoryJoins) {
   ASSERT_GT(doc->size(), 10000u) << "degenerate random doc for seed " << seed;
   SimulatedDisk disk;
   auto paged = PagedDocTable::Create(*doc, &disk).value();
+  auto compressed = CompressedDocTable::Create(*doc, &disk).value();
   BufferPool pool(&disk, 16);
   Rng rng(seed * 31 + 7);
   for (uint32_t percent : {2u, 25u}) {
@@ -103,7 +153,7 @@ TEST_P(BackendEquivalenceTest, PagedJoinsAreByteIdenticalToMemoryJoins) {
           StaircaseOptions opt;
           opt.skip_mode = mode;
           opt.prune_on_the_fly = fused;
-          JoinStats mem_stats, io_stats;
+          JoinStats mem_stats, io_stats, zip_stats;
           auto expected = StaircaseJoin(*doc, ctx, axis, opt, &mem_stats);
           ASSERT_TRUE(expected.ok()) << expected.status();
           auto got = PagedStaircaseJoin(*paged, &pool, ctx, axis, opt,
@@ -112,16 +162,31 @@ TEST_P(BackendEquivalenceTest, PagedJoinsAreByteIdenticalToMemoryJoins) {
           EXPECT_TRUE(BytesEqual(got.value(), expected.value()))
               << AxisName(axis) << " mode " << static_cast<int>(mode)
               << " fused " << fused << " seed " << seed;
+          auto zip = CompressedStaircaseJoin(*compressed, &pool, ctx, axis,
+                                             opt, &zip_stats);
+          ASSERT_TRUE(zip.ok()) << zip.status();
+          EXPECT_TRUE(BytesEqual(zip.value(), expected.value()))
+              << "compressed " << AxisName(axis) << " mode "
+              << static_cast<int>(mode) << " fused " << fused << " seed "
+              << seed;
           // The unified kernels also touch the same number of nodes.
           EXPECT_EQ(io_stats.nodes_scanned, mem_stats.nodes_scanned);
           EXPECT_EQ(io_stats.nodes_copied, mem_stats.nodes_copied);
           EXPECT_EQ(io_stats.nodes_skipped, mem_stats.nodes_skipped);
+          EXPECT_EQ(zip_stats.nodes_scanned, mem_stats.nodes_scanned);
+          EXPECT_EQ(zip_stats.nodes_copied, mem_stats.nodes_copied);
+          EXPECT_EQ(zip_stats.nodes_skipped, mem_stats.nodes_skipped);
 
           auto par = ParallelPagedStaircaseJoin(*paged, &pool, ctx, axis,
                                                 opt, 4);
           ASSERT_TRUE(par.ok()) << par.status();
           EXPECT_TRUE(BytesEqual(par.value(), expected.value()))
               << "parallel " << AxisName(axis) << " seed " << seed;
+          auto zpar = ParallelCompressedStaircaseJoin(*compressed, &pool,
+                                                      ctx, axis, opt, 4);
+          ASSERT_TRUE(zpar.ok()) << zpar.status();
+          EXPECT_TRUE(BytesEqual(zpar.value(), expected.value()))
+              << "parallel compressed " << AxisName(axis) << " seed " << seed;
         }
       }
     }
@@ -136,6 +201,7 @@ TEST(BackendEquivalenceTest, KeepAttributesAndExactLevelMatchToo) {
                                  .attribute_percent = 60});
   SimulatedDisk disk;
   auto paged = PagedDocTable::Create(*doc, &disk).value();
+  auto compressed = CompressedDocTable::Create(*doc, &disk).value();
   BufferPool pool(&disk, 16);
   Rng rng(17);
   NodeSequence ctx = RandomContext(rng, *doc, 10);
@@ -143,12 +209,17 @@ TEST(BackendEquivalenceTest, KeepAttributesAndExactLevelMatchToo) {
     for (bool keep_attributes : {false, true}) {
       StaircaseOptions opt;
       opt.keep_attributes = keep_attributes;
-      opt.use_exact_level = true;  // exercises the paged level column
+      opt.use_exact_level = true;  // exercises the pool-backed level column
       auto expected = StaircaseJoin(*doc, ctx, axis, opt);
       auto got = PagedStaircaseJoin(*paged, &pool, ctx, axis, opt);
       ASSERT_TRUE(got.ok()) << got.status();
       EXPECT_TRUE(BytesEqual(got.value(), expected.value()))
           << AxisName(axis) << " keep_attributes " << keep_attributes;
+      auto zip = CompressedStaircaseJoin(*compressed, &pool, ctx, axis, opt);
+      ASSERT_TRUE(zip.ok()) << zip.status();
+      EXPECT_TRUE(BytesEqual(zip.value(), expected.value()))
+          << "compressed " << AxisName(axis) << " keep_attributes "
+          << keep_attributes;
     }
   }
 }
@@ -158,8 +229,11 @@ TEST(PagedEvaluatorTest, MultiStepPathsMatchMemoryBackend) {
                 .value();
   SessionOptions io_opt;
   io_opt.backend = StorageBackend::kPaged;
+  SessionOptions zip_opt;
+  zip_opt.backend = StorageBackend::kCompressed;
   Session mem = std::move(db->CreateSession()).value();
   Session io = std::move(db->CreateSession(io_opt)).value();
+  Session zip = std::move(db->CreateSession(zip_opt)).value();
 
   const char* queries[] = {
       "/descendant::t0/descendant::t1",
@@ -171,11 +245,21 @@ TEST(PagedEvaluatorTest, MultiStepPathsMatchMemoryBackend) {
   for (const char* q : queries) {
     auto expected = mem.Run(q);
     auto got = io.Run(q);
+    auto zipped = zip.Run(q);
     ASSERT_TRUE(expected.ok()) << q << ": " << expected.status();
     ASSERT_TRUE(got.ok()) << q << ": " << got.status();
+    ASSERT_TRUE(zipped.ok()) << q << ": " << zipped.status();
     EXPECT_TRUE(BytesEqual(got.value().nodes, expected.value().nodes)) << q;
+    EXPECT_TRUE(BytesEqual(zipped.value().nodes, expected.value().nodes))
+        << q;
   }
   EXPECT_GT(db->buffer_pool()->stats().pins, 0u);
+  // EXPLAIN names the compressed path.
+  auto r = zip.Run("/descendant::t0/descendant::node()");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r.value().Explain().find("via compressed staircase join"),
+            std::string::npos)
+      << r.value().Explain();
 }
 
 TEST(PagedEvaluatorTest, ParallelWorkersMatchOverSharedPool) {
@@ -271,6 +355,129 @@ TEST(PagedEvaluatorTest, SkippingSavesFaultsOnMultiStepQuery) {
   uint64_t faults_none = faults_with(SkipMode::kNone);
   uint64_t faults_est = faults_with(SkipMode::kEstimated);
   EXPECT_LT(faults_est, faults_none);
+}
+
+TEST(CompressedEvaluatorTest, FaultsStrictlyFewerPagesThanPagedBackend) {
+  // The tentpole acceptance experiment in test form: the SAME query over
+  // the SAME document at the SAME page and pool size faults strictly
+  // fewer pages on the compressed backend, because the identical scan
+  // touches blocks that occupy a fraction of the pages. Cold private
+  // pools keep the runs independent.
+  auto db = Database::FromTable(RandomDocument(21, {.target_nodes = 60000}))
+                .value();
+  ASSERT_GT(db->doc().size(), 20000u);
+  auto faults_with = [&](StorageBackend backend) {
+    SessionOptions opt;
+    opt.backend = backend;
+    opt.pushdown = PushdownMode::kNever;
+    opt.private_pool_pages = 64;
+    Session s = std::move(db->CreateSession(opt)).value();
+    auto r = s.Run("/descendant::t0/descendant::t1");
+    EXPECT_TRUE(r.ok()) << r.status();
+    return s.pool()->stats().faults;
+  };
+  uint64_t paged_faults = faults_with(StorageBackend::kPaged);
+  uint64_t compressed_faults = faults_with(StorageBackend::kCompressed);
+  EXPECT_GT(compressed_faults, 0u);
+  EXPECT_LT(compressed_faults, paged_faults);
+}
+
+TEST(DatabaseOpenTest, StaleCompressedImageRejectedAtOpenTime) {
+  // A compressed image of a *different* document must be rejected when
+  // the database is opened, naming the failing column set.
+  auto doc = RandomDocument(9, {.target_nodes = 500});
+  auto other = RandomDocument(10, {.target_nodes = 800});
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto compressed_other =
+      CompressedDocTable::Create(*other, disk.get()).value();
+  DatabaseOptions open;
+  open.build_paged = false;
+  open.build_compressed = false;
+  auto db = Database::FromParts(std::move(doc), nullptr, std::move(disk),
+                                nullptr, nullptr,
+                                std::move(compressed_other), nullptr, open);
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().ToString().find("stale compressed image"),
+            std::string::npos)
+      << db.status();
+  EXPECT_NE(db.status().ToString().find("post/kind/level/parent/tag"),
+            std::string::npos)
+      << db.status();
+}
+
+TEST(DatabaseOpenTest, BitFlippedCompressedBlockRejectedAtOpenTime) {
+  // Digest coverage of the compressed image itself: flip ONE bit inside
+  // an encoded post block on disk and the open must fail with a Status
+  // naming the damaged column -- the corrupt block is never served.
+  auto doc = RandomDocument(9, {.target_nodes = 5000});
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto compressed = CompressedDocTable::Create(*doc, disk.get()).value();
+  const CompressedBlockRef& block = compressed->post().blocks.front();
+  Page page;
+  ASSERT_TRUE(disk->Read(block.page, &page).ok());
+  page.bytes[block.offset + encoding::kBlockHeaderBytes] ^= 0x04;
+  ASSERT_TRUE(disk->Write(block.page, page).ok());
+
+  DatabaseOptions open;
+  open.build_paged = false;
+  open.build_compressed = false;
+  auto db = Database::FromParts(std::move(doc), nullptr, std::move(disk),
+                                nullptr, nullptr, std::move(compressed),
+                                nullptr, open);
+  ASSERT_FALSE(db.ok());
+  EXPECT_NE(db.status().ToString().find("corrupt compressed image"),
+            std::string::npos)
+      << db.status();
+  EXPECT_NE(db.status().ToString().find("post column"), std::string::npos)
+      << db.status();
+
+  // The undamaged pairing passes validation and serves compressed
+  // queries.
+  auto doc2 = RandomDocument(9, {.target_nodes = 5000});
+  auto disk2 = std::make_unique<SimulatedDisk>();
+  auto compressed2 = CompressedDocTable::Create(*doc2, disk2.get()).value();
+  auto tags2 = CompressedTagIndex::Create(*doc2, disk2.get()).value();
+  auto genuine = Database::FromParts(std::move(doc2), nullptr,
+                                     std::move(disk2), nullptr, nullptr,
+                                     std::move(compressed2), std::move(tags2),
+                                     open);
+  ASSERT_TRUE(genuine.ok()) << genuine.status();
+  EXPECT_FALSE(genuine.value()->has_paged_backend());
+  SessionOptions opt;
+  opt.backend = StorageBackend::kCompressed;
+  auto r = std::move(genuine.value()->CreateSession(opt)).value()
+               .Run("/descendant::t0");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_GT(r.value().nodes.size(), 0u);
+}
+
+TEST(DatabaseOpenTest, CompressedImageWithoutDiskRejected) {
+  auto doc = RandomDocument(9, {.target_nodes = 500});
+  auto disk = std::make_unique<SimulatedDisk>();
+  auto compressed = CompressedDocTable::Create(*doc, disk.get()).value();
+  DatabaseOptions open;
+  open.build_paged = false;
+  open.build_compressed = false;
+  // Adopting the compressed table while dropping its disk is incoherent.
+  auto db = Database::FromParts(std::move(doc), nullptr, nullptr, nullptr,
+                                nullptr, std::move(compressed), nullptr,
+                                open);
+  EXPECT_FALSE(db.ok());
+}
+
+TEST(DatabaseOpenTest, SessionWithoutCompressedImageRejected) {
+  DatabaseOptions open;
+  open.build_compressed = false;
+  auto db = Database::FromTable(RandomDocument(9, {.target_nodes = 500}),
+                                open)
+                .value();
+  SessionOptions opt;
+  opt.backend = StorageBackend::kCompressed;
+  auto session = db->CreateSession(opt);
+  ASSERT_FALSE(session.ok());
+  EXPECT_NE(session.status().ToString().find("build_compressed"),
+            std::string::npos)
+      << session.status();
 }
 
 }  // namespace

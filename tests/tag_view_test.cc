@@ -106,7 +106,8 @@ TEST(TagViewTest, ViewJoinScansOnlyViewNodes) {
   // Pick the most frequent non-root element tag.
   TagId tag = doc->tag(doc->root());
   for (TagId t = 0; t < doc->tags().size(); ++t) {
-    if (t != doc->tag(doc->root()) && index.tag_count(t) > index.tag_count(tag)) {
+    if (t != doc->tag(doc->root()) &&
+        index.tag_count(t) > index.tag_count(tag)) {
       tag = t;
     }
   }

@@ -103,7 +103,8 @@ TEST(XMarkTest, Table1RatiosApproximatelyHold) {
   auto doc = GenerateXMarkDocument(opt).value();
   TagIndex index(*doc);
   auto count = [&](const char* tag) {
-    return static_cast<double>(index.tag_count(doc->tags().Lookup(tag).value()));
+    return static_cast<double>(
+        index.tag_count(doc->tags().Lookup(tag).value()));
   };
   const double mb = opt.size_mb;
 

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the BENCH_*.json benchmark records.
+
+Compares the deterministic metrics of freshly produced bench JSON files
+against committed baselines (bench/baselines/). Rows are keyed by
+(query, backend, size_mb); three metrics are gated:
+
+  faults   pages faulted on a cold pool -- a regression when the current
+           value exceeds baseline * (1 + threshold) + slack;
+  skipped  nodes never touched thanks to skipping -- a regression when
+           the current value drops below baseline * (1 - threshold) -
+           slack (the join stopped skipping);
+  result   join-result cardinality -- must match the baseline exactly
+           (a drifting cardinality is a correctness bug, not a perf
+           question).
+
+Wall-time (`ms`) is never gated: it is the one nondeterministic field.
+Every baseline file must have a current counterpart, and every baseline
+row must still be produced -- a silently vanished bench or query is
+itself a regression. Rows can be exempted with --allow
+"FILE:QUERY:BACKEND:METRIC" (fnmatch patterns per component).
+
+Exit status: 0 when clean, 1 on any regression, 2 on usage errors.
+Improvements beyond the threshold are reported as notes; refresh the
+baselines (copy the current JSON over bench/baselines/) to lock them in.
+"""
+
+import argparse
+import fnmatch
+import json
+import pathlib
+import sys
+
+
+def load_rows(path):
+    with open(path) as f:
+        rows = json.load(f)
+    keyed = {}
+    for row in rows:
+        key = (row["query"], row["backend"], row["size_mb"])
+        if key in keyed:
+            raise SystemExit(f"{path}: duplicate row key {key}")
+        keyed[key] = row
+    return keyed
+
+
+def allowed(allow_patterns, file_name, key, metric):
+    probe = (file_name, key[0], key[1], metric)
+    for pattern in allow_patterns:
+        parts = pattern.split(":")
+        if len(parts) != 4:
+            raise SystemExit(f"bad --allow entry (want FILE:QUERY:BACKEND:"
+                             f"METRIC): {pattern}")
+        if all(fnmatch.fnmatch(str(v), p) for v, p in zip(probe, parts)):
+            return True
+    return False
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baselines", default="bench/baselines",
+                        help="directory holding the committed BENCH_*.json")
+    parser.add_argument("--current", default=".",
+                        help="directory holding the freshly produced JSON")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative tolerance on faults/skipped")
+    parser.add_argument("--slack", type=int, default=2,
+                        help="absolute tolerance on faults/skipped")
+    parser.add_argument("--allow", action="append", default=[],
+                        metavar="FILE:QUERY:BACKEND:METRIC",
+                        help="fnmatch pattern exempting rows from the gate")
+    args = parser.parse_args()
+
+    baseline_dir = pathlib.Path(args.baselines)
+    current_dir = pathlib.Path(args.current)
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"no BENCH_*.json baselines under {baseline_dir}",
+              file=sys.stderr)
+        return 2
+
+    regressions = []
+    notes = []
+    checked = 0
+    for baseline_path in baseline_files:
+        name = baseline_path.name
+        current_path = current_dir / name
+        if not current_path.exists():
+            regressions.append(f"{name}: current run produced no file "
+                               f"(bench deleted or smoke list drifted?)")
+            continue
+        baseline = load_rows(baseline_path)
+        current = load_rows(current_path)
+        for key, base_row in baseline.items():
+            label = f"{name} [{key[0]} | {key[1]} | {key[2]} MB]"
+            if key in current:
+                cur_row = current[key]
+            elif allowed(args.allow, name, key, "*"):
+                continue
+            else:
+                regressions.append(f"{label}: row vanished from the "
+                                   f"current run")
+                continue
+            for metric in ("faults", "skipped", "result"):
+                base = base_row.get(metric, 0)
+                cur = cur_row.get(metric, 0)
+                if allowed(args.allow, name, key, metric):
+                    continue
+                checked += 1
+                if metric == "result":
+                    if cur != base:
+                        regressions.append(
+                            f"{label}: result cardinality changed "
+                            f"{base} -> {cur}")
+                    continue
+                if metric == "faults":
+                    limit = base * (1 + args.threshold) + args.slack
+                    if cur > limit:
+                        regressions.append(
+                            f"{label}: faults regressed {base} -> {cur} "
+                            f"(limit {limit:.1f})")
+                    elif base > cur * (1 + args.threshold) + args.slack:
+                        notes.append(
+                            f"{label}: faults improved {base} -> {cur}; "
+                            f"consider refreshing the baseline")
+                    continue
+                # skipped: fewer nodes skipped means skipping got worse.
+                floor = base * (1 - args.threshold) - args.slack
+                if cur < floor:
+                    regressions.append(
+                        f"{label}: skipped nodes regressed {base} -> {cur} "
+                        f"(floor {floor:.1f})")
+                elif cur * (1 - args.threshold) - args.slack > base:
+                    notes.append(
+                        f"{label}: skipped nodes improved {base} -> {cur}; "
+                        f"consider refreshing the baseline")
+        for key in current.keys() - baseline.keys():
+            notes.append(f"{name}: new row {key} has no baseline yet; add "
+                         f"it when refreshing baselines")
+
+    for note in notes:
+        print(f"note: {note}")
+    if regressions:
+        print(f"\n{len(regressions)} perf regression(s) against "
+              f"{baseline_dir}:", file=sys.stderr)
+        for regression in regressions:
+            print(f"  REGRESSION: {regression}", file=sys.stderr)
+        return 1
+    print(f"bench regression gate: {checked} metrics across "
+          f"{len(baseline_files)} files within threshold "
+          f"{args.threshold:.0%} (+{args.slack})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
