@@ -44,6 +44,10 @@ void Run() {
 
     SessionOptions mem_opt;
     mem_opt.pushdown = PushdownMode::kNever;
+    // Step-at-a-time on purpose: this bench measures the per-step axis
+    // kernels through the pool; the twig join would collapse the child
+    // chains (bench_twig_paths.cc measures that effect).
+    mem_opt.twig = TwigMode::kNever;
     auto mem = db->CreateSession(mem_opt).value();
 
     SessionOptions io_opt = mem_opt;

@@ -303,6 +303,7 @@ Result<Session> Database::CreateSession(SessionOptions options) const {
   eval.engine = options.engine;
   eval.staircase = options.staircase;
   eval.pushdown = options.pushdown;
+  eval.twig = options.twig;
   eval.pushdown_selectivity = options.pushdown_selectivity;
   eval.num_threads = options.num_threads;
   eval.backend = options.backend;

@@ -40,6 +40,7 @@ using xpath::EngineMode;
 using xpath::PushdownMode;
 using xpath::StepTrace;
 using xpath::StorageBackend;
+using xpath::TwigMode;
 
 /// \brief Per-session configuration: semantic knobs only.
 ///
@@ -54,6 +55,11 @@ struct SessionOptions {
   StaircaseOptions staircase;
   /// Whether name tests are pushed down onto tag fragments.
   PushdownMode pushdown = PushdownMode::kAuto;
+  /// Whether runs of consecutive predicate-free name-test
+  /// child/descendant steps collapse into the holistic twig join
+  /// (core/twig_join.h). kNever forces step-at-a-time evaluation (the
+  /// Fig. 11-style comparison baseline).
+  TwigMode twig = TwigMode::kAuto;
   /// kAuto pushdown threshold: fragment size / document size.
   double pushdown_selectivity = 0.125;
   /// >1 runs the partitioned parallel staircase join with this many

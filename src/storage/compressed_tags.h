@@ -27,6 +27,7 @@
 
 #include "core/fragment_cursor.h"
 #include "core/staircase_join.h"
+#include "core/twig_join.h"
 #include "encoding/doc_table.h"
 #include "storage/buffer_pool.h"
 #include "storage/compressed_accessor.h"
@@ -182,6 +183,21 @@ Result<NodeSequence> CompressedStaircaseJoinView(
     const CompressedTagIndex& tags, TagId tag, const CompressedDocTable& doc,
     BufferPool* pool, const NodeSequence& context, Axis axis,
     const StaircaseOptions& options = {}, JoinStats* stats = nullptr);
+
+/// \brief Holistic twig join over compressed tag fragments.
+///
+/// A shim over the backend-generic twig body (core/twig_impl.h)
+/// instantiated with one CompressedFragmentCursor per level plus a
+/// CompressedDocAccessor. Semantics identical to TwigJoin /
+/// PagedTwigJoin; the same merge faults compressed fragment blocks --
+/// strictly fewer pages than the paged fragments at equal page size.
+/// `doc` and `tags` must be built over the same disk as `pool`.
+Result<NodeSequence> CompressedTwigJoin(
+    const CompressedTagIndex& tags, const CompressedDocTable& doc,
+    BufferPool* pool, const NodeSequence& context,
+    const std::vector<TwigLevel>& levels, const StaircaseOptions& options = {},
+    JoinStats* stats = nullptr,
+    std::vector<TwigLevelStats>* level_stats = nullptr);
 
 }  // namespace sj::storage
 

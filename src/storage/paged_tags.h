@@ -24,6 +24,7 @@
 
 #include "core/fragment_cursor.h"
 #include "core/staircase_join.h"
+#include "core/twig_join.h"
 #include "encoding/doc_table.h"
 #include "storage/buffer_pool.h"
 #include "storage/paged_accessor.h"
@@ -200,6 +201,23 @@ Result<NodeSequence> PagedStaircaseJoinView(
     const PagedTagIndex& tags, TagId tag, const PagedDocTable& doc,
     BufferPool* pool, const NodeSequence& context, Axis axis,
     const StaircaseOptions& options = {}, JoinStats* stats = nullptr);
+
+/// \brief Holistic twig join over paged tag fragments: the IO-conscious
+/// chain-collapse path.
+///
+/// A shim over the backend-generic twig body (core/twig_impl.h)
+/// instantiated with one PagedFragmentCursor per level plus a
+/// PagedDocAccessor. Semantics identical to TwigJoin; every fragment
+/// slot read AND every context/candidate postorder or level read is
+/// charged to `pool`, and leapfrogged slots become fragment pages never
+/// faulted. Holds up to 2k + 5 pinned pages at once (two per cursor,
+/// five for the accessor) -- the pool must have at least that many
+/// frames. `doc` and `tags` must be built over the same disk as `pool`.
+Result<NodeSequence> PagedTwigJoin(
+    const PagedTagIndex& tags, const PagedDocTable& doc, BufferPool* pool,
+    const NodeSequence& context, const std::vector<TwigLevel>& levels,
+    const StaircaseOptions& options = {}, JoinStats* stats = nullptr,
+    std::vector<TwigLevelStats>* level_stats = nullptr);
 
 }  // namespace sj::storage
 

@@ -42,6 +42,178 @@ AxisNodeTest MakeAxisNodeTest(const Step& step,
   return {};
 }
 
+/// The ONE backend-selection point of the evaluator. Every per-backend
+/// shim family a step can run through -- staircase join, name-test
+/// pushdown join, axis cursor, node-test filter, twig join, fragment
+/// statistics -- dispatches here as an exhaustive switch over
+/// StorageBackend with no default case, so a new backend (or a new
+/// operation) that misses a site is a -Wswitch warning at compile time
+/// instead of a silent fall-through to the memory path. The EvalOptions
+/// wiring (which tables/pools/fragment images serve a query) was
+/// validated by EvaluateKeepTrace before any method here runs.
+class BackendDispatch {
+ public:
+  BackendDispatch(const DocTable& doc, const EvalOptions& opt)
+      : doc_(doc), opt_(opt) {}
+
+  /// EXPLAIN label prefix of the backend ("", "paged ", "compressed ").
+  const char* Label() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return "";
+      case StorageBackend::kPaged:
+        return "paged ";
+      case StorageBackend::kCompressed:
+        return "compressed ";
+    }
+    return "";
+  }
+
+  /// Whether steps charge their reads to a buffer pool (EXPLAIN suffix).
+  bool Pooled() const { return opt_.backend != StorageBackend::kMemory; }
+
+  /// Whether the active backend has a fragment index wired. Pushdown and
+  /// twig both require it; each pool-backed backend only qualifies with
+  /// its own fragment image -- a memory-resident TagIndex would silently
+  /// bypass the buffer pool and charge no faults.
+  bool HasFragments() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return opt_.tag_index != nullptr;
+      case StorageBackend::kPaged:
+        return opt_.paged_tags != nullptr;
+      case StorageBackend::kCompressed:
+        return opt_.compressed_tags != nullptr;
+    }
+    return false;
+  }
+
+  /// Fragment size of `tag` (the pushdown cost model's selectivity);
+  /// requires HasFragments().
+  uint64_t TagCount(TagId tag) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return opt_.tag_index->tag_count(tag);
+      case StorageBackend::kPaged:
+        return opt_.paged_tags->tag_count(tag);
+      case StorageBackend::kCompressed:
+        return opt_.compressed_tags->tag_count(tag);
+    }
+    return 0;
+  }
+
+  /// Staircase join over the whole document (parallel when configured).
+  Result<NodeSequence> Staircase(const NodeSequence& context, Axis axis,
+                                 JoinStats* stats) const {
+    const bool parallel = opt_.num_threads > 1;
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return parallel ? ParallelStaircaseJoin(doc_, context, axis,
+                                                opt_.staircase,
+                                                opt_.num_threads, stats)
+                        : StaircaseJoin(doc_, context, axis, opt_.staircase,
+                                        stats);
+      case StorageBackend::kPaged:
+        return parallel ? storage::ParallelPagedStaircaseJoin(
+                              *opt_.paged_doc, opt_.pool, context, axis,
+                              opt_.staircase, opt_.num_threads, stats)
+                        : storage::PagedStaircaseJoin(*opt_.paged_doc,
+                                                      opt_.pool, context, axis,
+                                                      opt_.staircase, stats);
+      case StorageBackend::kCompressed:
+        return parallel ? storage::ParallelCompressedStaircaseJoin(
+                              *opt_.compressed_doc, opt_.pool, context, axis,
+                              opt_.staircase, opt_.num_threads, stats)
+                        : storage::CompressedStaircaseJoin(
+                              *opt_.compressed_doc, opt_.pool, context, axis,
+                              opt_.staircase, stats);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Name-test pushdown: staircase join over one tag fragment.
+  Result<NodeSequence> PushdownView(TagId tag, const NodeSequence& context,
+                                    Axis axis, JoinStats* stats) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return StaircaseJoinView(doc_, opt_.tag_index->view(tag), context,
+                                 axis, opt_.staircase, stats);
+      case StorageBackend::kPaged:
+        return storage::PagedStaircaseJoinView(*opt_.paged_tags, tag,
+                                               *opt_.paged_doc, opt_.pool,
+                                               context, axis, opt_.staircase,
+                                               stats);
+      case StorageBackend::kCompressed:
+        return storage::CompressedStaircaseJoinView(
+            *opt_.compressed_tags, tag, *opt_.compressed_doc, opt_.pool,
+            context, axis, opt_.staircase, stats);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Non-staircase axis step with the node test folded into the scan.
+  Result<NodeSequence> AxisCursor(const NodeSequence& context, Axis axis,
+                                  const AxisNodeTest& test,
+                                  JoinStats* stats) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return AxisCursorStep(doc_, context, axis, test, stats);
+      case StorageBackend::kPaged:
+        return storage::PagedAxisCursorStep(*opt_.paged_doc, opt_.pool,
+                                            context, axis, test, stats);
+      case StorageBackend::kCompressed:
+        return storage::CompressedAxisCursorStep(*opt_.compressed_doc,
+                                                 opt_.pool, context, axis,
+                                                 test, stats);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Node-test filter pass over a join result (kind/tag reads are
+  /// charged to the step's backend, like every other read).
+  Result<NodeSequence> Filter(const NodeSequence& nodes,
+                              const AxisNodeTest& test) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return FilterByTestSequence(doc_, nodes, test);
+      case StorageBackend::kPaged:
+        return storage::PagedFilterByTest(*opt_.paged_doc, opt_.pool, nodes,
+                                          test);
+      case StorageBackend::kCompressed:
+        return storage::CompressedFilterByTest(*opt_.compressed_doc,
+                                               opt_.pool, nodes, test);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Holistic twig join over the backend's fragment cursors; requires
+  /// HasFragments().
+  Result<NodeSequence> Twig(const NodeSequence& context,
+                            const std::vector<TwigLevel>& levels,
+                            JoinStats* stats,
+                            std::vector<TwigLevelStats>* level_stats) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return TwigJoin(doc_, *opt_.tag_index, context, levels,
+                        opt_.staircase, stats, level_stats);
+      case StorageBackend::kPaged:
+        return storage::PagedTwigJoin(*opt_.paged_tags, *opt_.paged_doc,
+                                      opt_.pool, context, levels,
+                                      opt_.staircase, stats, level_stats);
+      case StorageBackend::kCompressed:
+        return storage::CompressedTwigJoin(*opt_.compressed_tags,
+                                           *opt_.compressed_doc, opt_.pool,
+                                           context, levels, opt_.staircase,
+                                           stats, level_stats);
+    }
+    return Status::Internal("unreachable");
+  }
+
+ private:
+  const DocTable& doc_;
+  const EvalOptions& opt_;
+};
+
 }  // namespace
 
 Evaluator::Evaluator(const DocTable& doc, EvalOptions options)
@@ -179,7 +351,7 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
                                           size_t first, NodeSequence context,
                                           bool top_level) {
   NodeSequence current = std::move(context);
-  for (size_t i = first; i < steps.size(); ++i) {
+  for (size_t i = first; i < steps.size();) {
     if (current.empty()) {
       // The remaining steps cannot produce anything, but EXPLAIN must
       // still list one entry per step of the query -- a trace shorter
@@ -194,32 +366,128 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
       }
       return NodeSequence{};
     }
-    SJ_ASSIGN_OR_RETURN(current, EvalStep(steps[i], current, top_level));
+    const TwigPlan plan = MatchTwigRun(steps, i);
+    if (plan.consumed > 0) {
+      SJ_ASSIGN_OR_RETURN(current,
+                          EvalTwigRun(steps, i, plan, current, top_level));
+      i += plan.consumed;
+    } else {
+      SJ_ASSIGN_OR_RETURN(current, EvalStep(steps[i], current, top_level));
+      ++i;
+    }
   }
   return current;
 }
 
+/// True for a predicate-free step the twig join can carry as one level.
+static bool IsTwigLevelStep(const Step& step) {
+  return step.predicates.empty() && step.test.kind == NodeTestKind::kName &&
+         IsTwigAxis(step.axis);
+}
+
+/// True for the `descendant-or-self::node()` half of the parser's `//`
+/// desugaring; folded with a following `child::name` into one
+/// kDescendant level (descendant-or-self::node()/child::n == descendant::n).
+static bool IsDescendantOrSelfNode(const Step& step) {
+  return step.predicates.empty() && step.axis == Axis::kDescendantOrSelf &&
+         step.test.kind == NodeTestKind::kAnyNode;
+}
+
+Evaluator::TwigPlan Evaluator::MatchTwigRun(const std::vector<Step>& steps,
+                                            size_t first) const {
+  TwigPlan plan;
+  if (options_.engine != EngineMode::kStaircase ||
+      options_.twig == TwigMode::kNever) {
+    return plan;
+  }
+  if (!BackendDispatch(doc_, options_).HasFragments()) return plan;
+  size_t i = first;
+  while (i < steps.size()) {
+    TwigLevel level;
+    size_t used = 0;
+    if (IsTwigLevelStep(steps[i])) {
+      level.axis = steps[i].axis;
+      plan.names.push_back(steps[i].test.name);
+      used = 1;
+    } else if (i + 1 < steps.size() && IsDescendantOrSelfNode(steps[i]) &&
+               IsTwigLevelStep(steps[i + 1]) &&
+               steps[i + 1].axis == Axis::kChild) {
+      level.axis = Axis::kDescendant;
+      plan.names.push_back(steps[i + 1].test.name);
+      used = 2;
+    } else {
+      break;
+    }
+    // A never-interned name keeps its level: the empty kNoTag fragment
+    // makes the whole twig empty in O(k), matching the single-step
+    // unknown-tag short-circuit.
+    level.tag = doc_.tags().Lookup(plan.names.back()).value_or(kNoTag);
+    plan.levels.push_back(level);
+    i += used;
+  }
+  // One level is just an ordinary step (pushdown already covers it); a
+  // twig needs a chain.
+  if (plan.levels.size() < 2) return TwigPlan{};
+  plan.consumed = i - first;
+  return plan;
+}
+
+Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
+                                            size_t first, const TwigPlan& plan,
+                                            const NodeSequence& context,
+                                            bool top_level) {
+  Timer timer;
+  JoinStats stats;
+  std::vector<TwigLevelStats> level_stats;
+  const BackendDispatch dispatch(doc_, options_);
+  SJ_ASSIGN_OR_RETURN(NodeSequence result,
+                      dispatch.Twig(context, plan.levels, &stats,
+                                    &level_stats));
+  if (top_level) {
+    // One twig entry carrying the collapsed plan, then one "subsumed"
+    // marker per remaining step: EXPLAIN keeps listing exactly one entry
+    // per step of the query, and no step text silently vanishes.
+    const size_t twig_entry = trace_.size() + 1;  // 1-based, as printed
+    std::string desc;
+    for (size_t s = 0; s < plan.consumed; ++s) {
+      if (s > 0) desc += "/";
+      desc += ToString(steps[first + s]);
+    }
+    desc += " via ";
+    desc += dispatch.Label();
+    desc += "twig join over fragments ";
+    for (size_t l = 0; l < plan.names.size(); ++l) {
+      if (l > 0) desc += "→";
+      desc += "'" + plan.names[l] + "'";
+    }
+    desc += ", k=" + std::to_string(plan.levels.size());
+    desc += " (cursor skips:";
+    for (size_t l = 0; l < level_stats.size(); ++l) {
+      desc += (l > 0 ? ", '" : " '") + plan.names[l] +
+              "'=" + std::to_string(level_stats[l].slots_skipped);
+    }
+    desc += ")";
+    StepTrace trace;
+    trace.description = std::move(desc);
+    stats.result_size = result.size();
+    trace.stats = stats;
+    trace.millis = timer.ElapsedMillis();
+    trace_.push_back(std::move(trace));
+    for (size_t s = 1; s < plan.consumed; ++s) {
+      StepTrace subsumed;
+      subsumed.description = ToString(steps[first + s]) +
+                             " -> subsumed by twig join (step " +
+                             std::to_string(twig_entry) + ")";
+      trace_.push_back(std::move(subsumed));
+    }
+  }
+  return result;
+}
+
 bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
   if (options_.engine != EngineMode::kStaircase) return false;
-  // Backend-aware fragment selection: an IO-conscious query must read
-  // fragments through the pool, so each pool-backed backend only
-  // qualifies with its own fragment image -- a memory-resident TagIndex
-  // would silently bypass the buffer pool and charge no faults.
-  uint64_t tag_count = 0;
-  switch (options_.backend) {
-    case StorageBackend::kMemory:
-      if (options_.tag_index == nullptr) return false;
-      tag_count = options_.tag_index->tag_count(tag);
-      break;
-    case StorageBackend::kPaged:
-      if (options_.paged_tags == nullptr) return false;
-      tag_count = options_.paged_tags->tag_count(tag);
-      break;
-    case StorageBackend::kCompressed:
-      if (options_.compressed_tags == nullptr) return false;
-      tag_count = options_.compressed_tags->tag_count(tag);
-      break;
-  }
+  const BackendDispatch dispatch(doc_, options_);
+  if (!dispatch.HasFragments()) return false;
   if (step.test.kind != NodeTestKind::kName) return false;
   if (!IsStaircaseAxis(step.axis)) return false;
   switch (options_.pushdown) {
@@ -231,7 +499,7 @@ bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
       // "...obviously makes sense for selective name tests only"
       // (Section 4.4). The fragment size is the exact selectivity; every
       // index keeps it resident.
-      return static_cast<double>(tag_count) <=
+      return static_cast<double>(dispatch.TagCount(tag)) <=
              options_.pushdown_selectivity * static_cast<double>(doc_.size());
   }
   return false;
@@ -446,154 +714,52 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
     trace.description = ToString(step) + " -> empty (unknown tag)";
     result.clear();
   } else if (staircase_axis) {
-    // Whether the branch taken below produced raw axis results that
-    // still need the node-test filter (pushdown already filters via the
-    // fragment; node() keeps every node).
-    bool filter_after = false;
+    const BackendDispatch dispatch(doc_, options_);
     if (step.test.kind == NodeTestKind::kName && ShouldPushdown(step, *tag)) {
-      if (paged) {
-        // The unified fragment join over the buffer-pool cursor: the
-        // pushed-down step's fragment pages AND its context postorder
-        // reads are charged to options_.pool.
-        SJ_ASSIGN_OR_RETURN(
-            result, storage::PagedStaircaseJoinView(
-                        *options_.paged_tags, *tag, *options_.paged_doc,
-                        options_.pool, context, step.axis, options_.staircase,
-                        &stats));
-        trace.description =
-            ToString(step) + " via paged staircase join over tag fragment '" +
-            step.test.name + "' (name-test pushdown)";
-      } else if (compressed) {
-        // Same fragment join body over the compressed cursors: fragment
-        // block pages AND context postorder reads charge options_.pool.
-        SJ_ASSIGN_OR_RETURN(
-            result, storage::CompressedStaircaseJoinView(
-                        *options_.compressed_tags, *tag,
-                        *options_.compressed_doc, options_.pool, context,
-                        step.axis, options_.staircase, &stats));
-        trace.description =
-            ToString(step) +
-            " via compressed staircase join over tag fragment '" +
-            step.test.name + "' (name-test pushdown)";
-      } else {
-        SJ_ASSIGN_OR_RETURN(
-            result, StaircaseJoinView(doc_, options_.tag_index->view(*tag),
-                                      context, step.axis, options_.staircase,
-                                      &stats));
-        trace.description =
-            ToString(step) + " via staircase join over tag fragment '" +
-            step.test.name + "' (name-test pushdown)";
-      }
-    } else if (paged) {
-      // The unified kernels over the buffer-pool cursor: the same join,
-      // IO-conscious. PoolStats accumulate on options_.pool.
-      if (options_.num_threads > 1) {
-        SJ_ASSIGN_OR_RETURN(
-            result, storage::ParallelPagedStaircaseJoin(
-                        *options_.paged_doc, options_.pool, context, step.axis,
-                        options_.staircase, options_.num_threads, &stats));
-      } else {
-        SJ_ASSIGN_OR_RETURN(
-            result, storage::PagedStaircaseJoin(*options_.paged_doc,
-                                                options_.pool, context,
-                                                step.axis, options_.staircase,
-                                                &stats));
-      }
-      // stats.workers reports what actually ran: the parallel driver
-      // falls back to the serial join for small contexts, degenerate
-      // axes, or undersized pools.
-      trace.description =
-          stats.workers > 1
-              ? ToString(step) + " via parallel paged staircase join (" +
-                    std::to_string(stats.workers) + " workers)"
-              : ToString(step) + " via paged staircase join (buffer pool)";
-      filter_after = true;
-    } else if (compressed) {
-      // The same kernels over the compressed-block cursor: fewer pages
-      // hold the same ranks, so the identical scan faults fewer of them.
-      if (options_.num_threads > 1) {
-        SJ_ASSIGN_OR_RETURN(
-            result, storage::ParallelCompressedStaircaseJoin(
-                        *options_.compressed_doc, options_.pool, context,
-                        step.axis, options_.staircase, options_.num_threads,
-                        &stats));
-      } else {
-        SJ_ASSIGN_OR_RETURN(
-            result, storage::CompressedStaircaseJoin(
-                        *options_.compressed_doc, options_.pool, context,
-                        step.axis, options_.staircase, &stats));
-      }
-      trace.description =
-          stats.workers > 1
-              ? ToString(step) + " via parallel compressed staircase join (" +
-                    std::to_string(stats.workers) + " workers)"
-              : ToString(step) +
-                    " via compressed staircase join (buffer pool)";
-      filter_after = true;
+      // The unified fragment join over the backend's cursor: the
+      // pushed-down step's fragment reads AND its context postorder
+      // reads are charged to the step's backend (options_.pool when
+      // pool-backed). The fragment already applies the name test.
+      SJ_ASSIGN_OR_RETURN(
+          result, dispatch.PushdownView(*tag, context, step.axis, &stats));
+      trace.description = ToString(step) + " via " + dispatch.Label() +
+                          "staircase join over tag fragment '" +
+                          step.test.name + "' (name-test pushdown)";
     } else {
-      if (options_.num_threads > 1) {
-        SJ_ASSIGN_OR_RETURN(
-            result, ParallelStaircaseJoin(doc_, context, step.axis,
-                                          options_.staircase,
-                                          options_.num_threads, &stats));
-      } else {
-        SJ_ASSIGN_OR_RETURN(result,
-                            StaircaseJoin(doc_, context, step.axis,
-                                          options_.staircase, &stats));
-      }
+      // The unified kernels over the backend's cursor: the same join,
+      // IO-conscious when pool-backed. stats.workers reports what
+      // actually ran -- the parallel driver falls back to the serial
+      // join for small contexts, degenerate axes, or undersized pools.
+      SJ_ASSIGN_OR_RETURN(result,
+                          dispatch.Staircase(context, step.axis, &stats));
       trace.description =
-          stats.workers > 1
-              ? ToString(step) + " via parallel staircase join (" +
-                    std::to_string(stats.workers) + " workers)"
-              : ToString(step) + " via staircase join";
-      filter_after = true;
-    }
-    if (filter_after && step.test.kind != NodeTestKind::kAnyNode) {
-      // The node-test pass reads kind/tag through the step's backend
-      // cursor, so even the filter is charged to the pool on the paged
-      // backend (FilterByTest's resident reads left the hot path).
-      AxisNodeTest test = MakeAxisNodeTest(step, tag);
-      if (paged) {
+          ToString(step) + " via " +
+          (stats.workers > 1 ? std::string("parallel ") : std::string()) +
+          dispatch.Label() + "staircase join" +
+          (stats.workers > 1
+               ? " (" + std::to_string(stats.workers) + " workers)"
+               : (dispatch.Pooled() ? std::string(" (buffer pool)")
+                                    : std::string()));
+      if (step.test.kind != NodeTestKind::kAnyNode) {
+        // The node-test pass reads kind/tag through the step's backend
+        // cursor, so even the filter is charged to the pool on the
+        // pool-backed backends.
         SJ_ASSIGN_OR_RETURN(
-            result, storage::PagedFilterByTest(*options_.paged_doc,
-                                               options_.pool, result, test));
-      } else if (compressed) {
-        SJ_ASSIGN_OR_RETURN(
-            result, storage::CompressedFilterByTest(*options_.compressed_doc,
-                                                    options_.pool, result,
-                                                    test));
-      } else {
-        result = FilterByTestSequence(doc_, result, test);
+            result, dispatch.Filter(result, MakeAxisNodeTest(step, tag)));
       }
     }
   } else {
     // Non-staircase axis: the set-at-a-time cursor kernels with the
     // node test folded into the scan -- the per-context NaiveAxisStep
     // is a baseline only (positional predicates excepted).
-    AxisNodeTest test = MakeAxisNodeTest(step, tag);
-    if (paged) {
-      SJ_ASSIGN_OR_RETURN(
-          result, storage::PagedAxisCursorStep(*options_.paged_doc,
-                                               options_.pool, context,
-                                               step.axis, test, &stats));
-      trace.description = ToString(step) + " via paged " +
-                          std::string(AxisName(step.axis)) +
-                          "-axis cursor join (buffer pool)";
-    } else if (compressed) {
-      SJ_ASSIGN_OR_RETURN(
-          result, storage::CompressedAxisCursorStep(*options_.compressed_doc,
-                                                    options_.pool, context,
-                                                    step.axis, test, &stats));
-      trace.description = ToString(step) + " via compressed " +
-                          std::string(AxisName(step.axis)) +
-                          "-axis cursor join (buffer pool)";
-    } else {
-      SJ_ASSIGN_OR_RETURN(result, AxisCursorStep(doc_, context, step.axis,
-                                                 test, &stats));
-      trace.description = ToString(step) + " via " +
-                          std::string(AxisName(step.axis)) +
-                          "-axis cursor join";
-    }
+    const BackendDispatch dispatch(doc_, options_);
+    SJ_ASSIGN_OR_RETURN(
+        result, dispatch.AxisCursor(context, step.axis,
+                                    MakeAxisNodeTest(step, tag), &stats));
+    trace.description = ToString(step) + " via " + dispatch.Label() +
+                        std::string(AxisName(step.axis)) +
+                        "-axis cursor join" +
+                        (dispatch.Pooled() ? " (buffer pool)" : "");
   }
 
   SJ_ASSIGN_OR_RETURN(result, ApplyPredicates(step, std::move(result)));

@@ -23,6 +23,7 @@
 #include "core/parallel.h"
 #include "core/staircase_join.h"
 #include "core/tag_view.h"
+#include "core/twig_join.h"
 #include "encoding/doc_table.h"
 #include "storage/compressed_doc.h"
 #include "storage/compressed_tags.h"
@@ -54,11 +55,25 @@ enum class PushdownMode : uint8_t {
   kNever,   ///< join over the document, name test afterwards
 };
 
+/// Whether runs of consecutive name-test descendant/child steps collapse
+/// into the holistic twig join (core/twig_join.h).
+enum class TwigMode : uint8_t {
+  kAuto,   ///< collapse every eligible run of >= 2 levels
+  kNever,  ///< strict step-at-a-time evaluation
+};
+
 /// Evaluator configuration.
 struct EvalOptions {
   EngineMode engine = EngineMode::kStaircase;
   StaircaseOptions staircase;
   PushdownMode pushdown = PushdownMode::kAuto;
+  /// Whether eligible step runs (consecutive predicate-free name-test
+  /// child/descendant(-or-self) steps) are evaluated as one holistic
+  /// twig join instead of step-at-a-time. Requires the active backend's
+  /// fragment index (tag_index / paged_tags / compressed_tags);
+  /// ineligible runs and missing indexes silently fall back to
+  /// step-at-a-time. EXPLAIN shows the collapse.
+  TwigMode twig = TwigMode::kAuto;
   /// Tag fragments for pushdown on the memory backend (pass null to
   /// disable). Never consulted on the paged backend -- a memory-resident
   /// fragment would silently bypass the buffer pool; see `paged_tags`.
@@ -159,6 +174,27 @@ class Evaluator {
                                  NodeSequence context, bool top_level);
   Result<NodeSequence> EvalStep(const Step& step, const NodeSequence& context,
                                 bool top_level);
+  /// A recognized twig run: `consumed` consecutive steps collapse into
+  /// `levels` (a folded `descendant-or-self::node()` + `child::name`
+  /// pair -- the parse of `//name` -- consumes two steps for one
+  /// kDescendant level). `consumed == 0` means "no collapse here".
+  struct TwigPlan {
+    size_t consumed = 0;
+    std::vector<TwigLevel> levels;
+    /// Tag names, parallel to `levels` (for EXPLAIN).
+    std::vector<std::string> names;
+  };
+  /// Longest eligible run starting at steps[first] (>= 2 levels, no
+  /// predicates, name tests only, twig axes only); empty plan when the
+  /// engine/backend gates or the steps disqualify it.
+  TwigPlan MatchTwigRun(const std::vector<Step>& steps, size_t first) const;
+  /// Evaluates a matched run as one twig join and records its trace:
+  /// one twig entry plus a "subsumed" marker per remaining step, so
+  /// EXPLAIN still lists one entry per query step.
+  Result<NodeSequence> EvalTwigRun(const std::vector<Step>& steps,
+                                   size_t first, const TwigPlan& plan,
+                                   const NodeSequence& context,
+                                   bool top_level);
   Result<NodeSequence> EvalStepPositional(const Step& step,
                                           const NodeSequence& context);
   Result<NodeSequence> ApplyPredicates(const Step& step, NodeSequence nodes);

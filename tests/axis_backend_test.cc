@@ -386,6 +386,10 @@ TEST(PagedEvaluatorAxisTest, MixedAxisQueriesMatchMemoryAndChargeThePool) {
   SessionOptions io_opt;
   io_opt.backend = StorageBackend::kPaged;
   io_opt.pushdown = PushdownMode::kNever;  // faults come from the doc scan
+  // This test pins the per-step axis-cursor paths; eligible name-test
+  // runs would otherwise collapse into the twig join
+  // (twig_join_test.cc covers that plan shape).
+  io_opt.twig = TwigMode::kNever;
   SessionOptions zip_opt = io_opt;
   zip_opt.backend = StorageBackend::kCompressed;
   Session mem = std::move(db->CreateSession()).value();
@@ -442,7 +446,11 @@ TEST(EvaluatorTraceTest, ShortCircuitedStepsStayInExplain) {
   DatabaseOptions open;
   open.build_paged = false;
   auto db = Database::FromTable(LoadPaperExample(), open).value();
-  Session session = std::move(db->CreateSession()).value();
+  // Short-circuit tracing is a step-at-a-time behavior; under kAuto the
+  // all-child query below would collapse into one twig join instead.
+  SessionOptions opt;
+  opt.twig = TwigMode::kNever;
+  Session session = std::move(db->CreateSession(opt)).value();
   // b(c) has no grandchildren: step 3 runs on an empty context and step
   // 4 onwards must still be listed.
   auto r = session.Run("/child::b/child::c/child::c/child::c");

@@ -310,6 +310,9 @@ TEST(PagedPushdownTest, PushdownChargesThePoolAndMatchesMemory) {
   ASSERT_NE(db->tag_index(), nullptr);
   SessionOptions mem_opt;
   mem_opt.pushdown = PushdownMode::kAlways;
+  // Pins the per-step fragment-pushdown path; the twig join would
+  // otherwise collapse the descendant chains (twig_join_test.cc).
+  mem_opt.twig = TwigMode::kNever;
   Session mem = std::move(db->CreateSession(mem_opt)).value();
 
   SessionOptions io_opt = mem_opt;

@@ -345,6 +345,10 @@ TEST(PagedEvaluatorTest, SkippingSavesFaultsOnMultiStepQuery) {
     SessionOptions opt;
     opt.backend = StorageBackend::kPaged;
     opt.pushdown = PushdownMode::kNever;
+    // Step-at-a-time on purpose: this experiment isolates the staircase
+    // join's skip machinery; the twig join reads so few doc pages that
+    // the two skip modes tie.
+    opt.twig = TwigMode::kNever;
     opt.staircase.skip_mode = mode;
     opt.private_pool_pages = 8;
     Session io = std::move(db->CreateSession(opt)).value();
