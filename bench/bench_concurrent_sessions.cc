@@ -12,10 +12,12 @@
 // fixed amount of work drops as sessions are added even on a single
 // core. Results land in BENCH_concurrent_sessions.json as
 //   {"query": "mix/<S>sessions", "backend": "pool-<N>-shards",
-//    "size_mb", "faults", "ms"}
-// records; throughput scaling beyond 1 session on the sharded pool is
-// the acceptance signal.
+//    "size_mb", "faults", "skipped", "result", "ms"}
+// records (skipped/result are the deterministic per-query sums over the
+// run); throughput scaling beyond 1 session on the sharded pool is the
+// acceptance signal.
 
+#include <atomic>
 #include <thread>
 #include <vector>
 
@@ -47,6 +49,8 @@ struct RunResult {
   double ms = 0;
   double qps = 0;
   uint64_t faults = 0;
+  uint64_t skipped = 0;  ///< JoinStats::nodes_skipped summed over every query
+  uint64_t result = 0;   ///< result cardinality summed over every query
 };
 
 RunResult RunSessions(const Database& db, unsigned session_count) {
@@ -68,6 +72,11 @@ RunResult RunSessions(const Database& db, unsigned session_count) {
 
   const int rounds_per_session =
       kTotalRounds / static_cast<int>(session_count);
+  // Per-query skipped/result are deterministic; their order-independent
+  // sums stay deterministic under concurrency (unlike ms, and unlike
+  // faults once sessions race on the shared pool).
+  std::atomic<uint64_t> total_skipped{0};
+  std::atomic<uint64_t> total_result{0};
   Timer timer;
   std::vector<std::thread> threads;
   threads.reserve(session_count);
@@ -84,6 +93,10 @@ RunResult RunSessions(const Database& db, unsigned session_count) {
             std::fprintf(stderr, "query failed under concurrency: %s\n", q);
             std::abort();
           }
+          total_skipped.fetch_add(r.value().totals.nodes_skipped,
+                                  std::memory_order_relaxed);
+          total_result.fetch_add(r.value().nodes.size(),
+                                 std::memory_order_relaxed);
         }
       }
     });
@@ -92,6 +105,8 @@ RunResult RunSessions(const Database& db, unsigned session_count) {
 
   RunResult result;
   result.ms = timer.ElapsedMillis();
+  result.skipped = total_skipped.load(std::memory_order_relaxed);
+  result.result = total_result.load(std::memory_order_relaxed);
   result.qps = 1000.0 *
                static_cast<double>(rounds_per_session) *
                static_cast<double>(session_count) *
@@ -132,8 +147,15 @@ void Run() {
                 TablePrinter::Count(static_cast<uint64_t>(r.qps)),
                 TablePrinter::Fixed(r.qps / base_qps, 2) + "x",
                 TablePrinter::Count(r.faults)});
-      json.push_back({"mix/" + std::to_string(sessions) + "sessions",
-                      label, mb, r.faults, r.ms});
+      JsonRecord rec;
+      rec.query = "mix/" + std::to_string(sessions) + "sessions";
+      rec.backend = label;
+      rec.size_mb = mb;
+      rec.faults = r.faults;
+      rec.ms = r.ms;
+      rec.skipped = r.skipped;
+      rec.result = r.result;
+      json.push_back(std::move(rec));
     }
   }
   t.Print();

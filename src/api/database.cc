@@ -9,6 +9,7 @@
 
 #include "encoding/collection.h"
 #include "encoding/loader.h"
+#include "xpath/backend_dispatch.h"
 
 namespace sj {
 namespace {
@@ -311,25 +312,10 @@ Result<Session> Database::CreateSession(SessionOptions options) const {
   eval.doc_digest = doc_digest_;
 
   std::unique_ptr<storage::BufferPool> private_pool;
-  if (options.backend != StorageBackend::kMemory) {
-    if (options.backend == StorageBackend::kPaged) {
-      if (!has_paged_backend()) {
-        return Status::InvalidArgument(
-            "session requests the paged backend but the database was opened "
-            "without a paged image (DatabaseOptions::build_paged)");
-      }
-      eval.paged_doc = paged_doc_.get();
-      eval.paged_tags = paged_tags_.get();
-    } else {
-      if (!has_compressed_backend()) {
-        return Status::InvalidArgument(
-            "session requests the compressed backend but the database was "
-            "opened without a compressed image "
-            "(DatabaseOptions::build_compressed)");
-      }
-      eval.compressed_doc = compressed_doc_.get();
-      eval.compressed_tags = compressed_tags_.get();
-    }
+  if (xpath::BackendDispatch::UsesPool(options.backend)) {
+    SJ_RETURN_NOT_OK(xpath::BackendDispatch::WireBackend(
+        &eval, paged_doc_.get(), paged_tags_.get(), compressed_doc_.get(),
+        compressed_tags_.get()));
     eval.frag_digest = frag_digest_;
     if (options.private_pool_pages > 0) {
       private_pool = std::make_unique<storage::BufferPool>(
@@ -339,7 +325,26 @@ Result<Session> Database::CreateSession(SessionOptions options) const {
       eval.pool = pool_.get();
     }
   }
+  {
+    MutexLock lock(stats_mu_);
+    ++stats_.sessions_created;
+  }
   return Session(this, std::move(options), std::move(private_pool), eval);
+}
+
+DatabaseStats Database::TotalStats() const {
+  MutexLock lock(stats_mu_);
+  return stats_;
+}
+
+void Database::RecordQuery(bool ok, uint64_t result_nodes) const {
+  MutexLock lock(stats_mu_);
+  if (ok) {
+    ++stats_.queries_run;
+    stats_.result_nodes += result_nodes;
+  } else {
+    ++stats_.queries_failed;
+  }
 }
 
 }  // namespace sj

@@ -30,6 +30,7 @@
 #include "storage/paged_doc.h"
 #include "storage/paged_tags.h"
 #include "util/result.h"
+#include "util/thread_annotations.h"
 #include "xmlgen/xmark.h"
 
 namespace sj {
@@ -55,6 +56,17 @@ struct DatabaseOptions {
   /// Latch shards of the shared pool; 0 picks one per hardware thread
   /// (capped at 16). 1 degenerates to a single global latch.
   size_t pool_shards = 0;
+};
+
+/// \brief Lifetime counters of one Database: how many sessions were
+/// created and what they ran. A consistent cross-session snapshot (the
+/// counters are updated under one mutex), the seed of the ROADMAP's
+/// query-serving layer (hit rates, admission control need exactly these).
+struct DatabaseStats {
+  uint64_t sessions_created = 0;  ///< successful CreateSession calls
+  uint64_t queries_run = 0;       ///< successful Session::Run calls
+  uint64_t queries_failed = 0;    ///< Run calls that returned a Status
+  uint64_t result_nodes = 0;      ///< result cardinality, summed
 };
 
 /// \brief An immutable, thread-safe set of backend images over one
@@ -155,8 +167,18 @@ class Database {
   /// opened over a directory; empty otherwise.
   const NodeSequence& document_roots() const { return document_roots_; }
 
+  /// A consistent snapshot of the lifetime counters (taken under the
+  /// stats mutex; safe to call concurrently with running sessions).
+  DatabaseStats TotalStats() const SJ_EXCLUDES(stats_mu_);
+
  private:
+  friend class Session;  // reports query completion into stats_
+
   Database() = default;
+
+  /// Called by Session::Run on completion (any thread).
+  void RecordQuery(bool ok, uint64_t result_nodes) const
+      SJ_EXCLUDES(stats_mu_);
 
   /// Builds the missing images per `options`, digest-validates whatever
   /// paged images are present, and opens the pool.
@@ -175,6 +197,13 @@ class Database {
   std::optional<uint64_t> doc_digest_;
   std::optional<uint64_t> frag_digest_;
   NodeSequence document_roots_;
+
+  /// The one mutable part of an open Database. Everything above is
+  /// immutable after open (or internally synchronized, like the pool);
+  /// these counters are written by every session's Run, so they take the
+  /// stats latch -- compile-time enforced, like the BufferPool shards.
+  mutable Mutex stats_mu_;
+  mutable DatabaseStats stats_ SJ_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace sj

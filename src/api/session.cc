@@ -26,8 +26,18 @@ Result<QueryResult> Session::Run(std::string_view xpath) {
 Result<QueryResult> Session::Run(std::string_view xpath,
                                  const NodeSequence& context) {
   Timer timer;
-  SJ_ASSIGN_OR_RETURN(xpath::UnionExpr expr, xpath::ParseXPathUnion(xpath));
-  SJ_ASSIGN_OR_RETURN(NodeSequence nodes, engine_->Evaluate(expr, context));
+  auto parsed = xpath::ParseXPathUnion(xpath);
+  if (!parsed.ok()) {
+    db_->RecordQuery(/*ok=*/false, 0);
+    return parsed.status();
+  }
+  auto evaluated = engine_->Evaluate(parsed.value(), context);
+  if (!evaluated.ok()) {
+    db_->RecordQuery(/*ok=*/false, 0);
+    return evaluated.status();
+  }
+  NodeSequence nodes = std::move(evaluated).value();
+  db_->RecordQuery(/*ok=*/true, nodes.size());
   QueryResult result;
   result.nodes = std::move(nodes);
   result.trace = engine_->last_trace();

@@ -20,6 +20,7 @@
 
 #include "core/doc_accessor.h"
 #include "core/kernels.h"
+#include "core/parallel.h"
 #include "core/staircase_join.h"
 #include "util/result.h"
 
@@ -403,24 +404,33 @@ Result<NodeSequence> ParallelStaircaseJoinOver(Factory&& make_accessor,
   const bool or_self =
       axis == Axis::kDescendantOrSelf || axis == Axis::kAncestorOrSelf;
 
-  std::vector<NodeSequence> results(workers);
+  // Dynamic load balancing: the context is cut into several chunks per
+  // worker and each worker claims the next one from the mutex-guarded
+  // queue when it finishes its current chunk (ChunkQueue, core/parallel.h)
+  // -- a static one-range-per-worker split would leave workers idle
+  // behind the largest partition. Per-chunk results concatenate in chunk
+  // order, so the merged result is identical to the serial join's.
+  ChunkQueue queue(kept.size(), static_cast<size_t>(workers) *
+                                    kChunksPerWorker);
+  std::vector<NodeSequence> results(queue.chunk_count());
   std::vector<JoinStats> worker_stats(workers);
   std::vector<Status> worker_status(workers);
   std::vector<std::thread> threads;
   threads.reserve(workers);
-  const size_t per = (kept.size() + workers - 1) / workers;
   for (unsigned t = 0; t < workers; ++t) {
-    size_t lo = static_cast<size_t>(t) * per;
-    size_t hi = std::min(kept.size(), lo + per);
-    if (lo >= hi) break;
-    threads.emplace_back([&, lo, hi, t] {
+    threads.emplace_back([&, t] {
       auto acc = make_accessor();
-      if (desc) {
-        ParallelWorkerDesc(acc, kept, lo, hi, or_self, options, &results[t],
-                           &worker_stats[t]);
-      } else {
-        ParallelWorkerAnc(acc, kept, lo, hi, or_self, options, &results[t],
-                          &worker_stats[t]);
+      size_t chunk, lo, hi;
+      while (acc.ok() && queue.Next(&chunk, &lo, &hi)) {
+        JoinStats chunk_stats;
+        if (desc) {
+          ParallelWorkerDesc(acc, kept, lo, hi, or_self, options,
+                             &results[chunk], &chunk_stats);
+        } else {
+          ParallelWorkerAnc(acc, kept, lo, hi, or_self, options,
+                            &results[chunk], &chunk_stats);
+        }
+        worker_stats[t].MergeFrom(chunk_stats);
       }
       worker_status[t] = acc.status();
     });

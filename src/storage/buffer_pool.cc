@@ -61,7 +61,7 @@ Status BufferPool::EvictOne(Shard* shard) {
 
 Result<const uint8_t*> BufferPool::Pin(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   ++shard.stats.pins;
   auto it = shard.frames.find(id);
   if (it != shard.frames.end()) {
@@ -89,7 +89,7 @@ Result<const uint8_t*> BufferPool::Pin(PageId id) {
 
 Status BufferPool::Unpin(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.frames.find(id);
   if (it == shard.frames.end() || it->second->pin_count == 0) {
     return Status::InvalidArgument("Unpin of page that is not pinned");
@@ -106,7 +106,7 @@ Status BufferPool::Unpin(PageId id) {
 PoolStats BufferPool::stats() const {
   PoolStats total;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total.MergeFrom(shard.stats);
   }
   return total;
@@ -114,14 +114,14 @@ PoolStats BufferPool::stats() const {
 
 void BufferPool::ResetStats() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.stats = PoolStats{};
   }
 }
 
 void BufferPool::FlushAll() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (PageId id : shard.lru) shard.frames.erase(id);
     shard.lru.clear();
   }
@@ -130,7 +130,7 @@ void BufferPool::FlushAll() {
 size_t BufferPool::resident_pages() const {
   size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     total += shard.frames.size();
   }
   return total;

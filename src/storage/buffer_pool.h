@@ -14,12 +14,12 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "util/result.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace sj::storage {
 
@@ -150,18 +150,23 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  /// One independently latched slice of the pool.
+  /// One independently latched slice of the pool. The frame table, LRU
+  /// list and counters are all guarded by the shard latch -- enforced at
+  /// compile time by Clang Thread Safety Analysis (-DSJ_THREAD_SAFETY=ON).
   struct Shard {
-    mutable std::mutex mu;
+    mutable Mutex mu;
+    /// Set once in the BufferPool constructor, before the pool is shared;
+    /// immutable afterwards, hence not guarded.
     size_t capacity = 0;
-    std::unordered_map<PageId, std::unique_ptr<Frame>> frames;
-    std::list<PageId> lru;  // front = least recently used
-    PoolStats stats;
+    std::unordered_map<PageId, std::unique_ptr<Frame>> frames
+        SJ_GUARDED_BY(mu);
+    std::list<PageId> lru SJ_GUARDED_BY(mu);  // front = least recently used
+    PoolStats stats SJ_GUARDED_BY(mu);
   };
 
   Shard& ShardFor(PageId id) { return shards_[id % shards_.size()]; }
 
-  static Status EvictOne(Shard* shard);  // requires shard->mu held
+  static Status EvictOne(Shard* shard) SJ_REQUIRES(shard->mu);
 
   SimulatedDisk* disk_;
   size_t capacity_;

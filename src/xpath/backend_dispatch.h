@@ -1,0 +1,326 @@
+// The ONE backend-selection point of the engine (internal header).
+//
+// Every per-backend shim family a step can run through -- staircase
+// join, name-test pushdown join, axis cursor, node-test filter, twig
+// join, fragment statistics, wiring validation -- dispatches here as an
+// exhaustive switch over StorageBackend with no default case, so a new
+// backend (or a new operation) that misses a site is a -Wswitch warning
+// at compile time instead of a silent fall-through to the memory path.
+//
+// This file is the only place allowed to compare or switch on
+// StorageBackend: sj-lint (tools/lint/sj_lint.py, rule backend-dispatch)
+// fails on a comparison or switch anywhere else under src/, which is
+// what keeps the dispatch exhaustive-by-construction promise honest as
+// the ROADMAP's mmap and sharded-collection backends land.
+
+#ifndef STAIRJOIN_XPATH_BACKEND_DISPATCH_H_
+#define STAIRJOIN_XPATH_BACKEND_DISPATCH_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/axis_step.h"
+#include "xpath/evaluator.h"
+#include "xpath/explain_strings.h"
+
+namespace sj::xpath {
+
+class BackendDispatch {
+ public:
+  /// `doc` and `opt` are borrowed; the EvalOptions wiring (which
+  /// tables/pools/fragment images serve a query) must have been
+  /// validated via ValidateWiring before the join methods run.
+  BackendDispatch(const DocTable& doc, const EvalOptions& opt)
+      : doc_(doc), opt_(opt) {}
+
+  /// True when sessions of backend `b` charge reads to a buffer pool.
+  static bool UsesPool(StorageBackend b) {
+    switch (b) {
+      case StorageBackend::kMemory:
+        return false;
+      case StorageBackend::kPaged:
+      case StorageBackend::kCompressed:
+        return true;
+    }
+    return false;
+  }
+
+  /// Facade wiring (sj::Database::CreateSession): points `eval` at the
+  /// backend images its chosen backend reads, or fails when the database
+  /// holds no such image. The pool is wired by the caller (shared vs
+  /// session-private), guarded by UsesPool.
+  static Status WireBackend(EvalOptions* eval,
+                            const storage::PagedDocTable* paged_doc,
+                            const storage::PagedTagIndex* paged_tags,
+                            const storage::CompressedDocTable* compressed_doc,
+                            const storage::CompressedTagIndex* compressed_tags) {
+    switch (eval->backend) {
+      case StorageBackend::kMemory:
+        return Status::OK();
+      case StorageBackend::kPaged:
+        if (paged_doc == nullptr) {
+          return Status::InvalidArgument(
+              "session requests the paged backend but the database was "
+              "opened without a paged image (DatabaseOptions::build_paged)");
+        }
+        eval->paged_doc = paged_doc;
+        eval->paged_tags = paged_tags;
+        return Status::OK();
+      case StorageBackend::kCompressed:
+        if (compressed_doc == nullptr) {
+          return Status::InvalidArgument(
+              "session requests the compressed backend but the database was "
+              "opened without a compressed image "
+              "(DatabaseOptions::build_compressed)");
+        }
+        eval->compressed_doc = compressed_doc;
+        eval->compressed_tags = compressed_tags;
+        return Status::OK();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// EXPLAIN label prefix of the backend ("", "paged ", "compressed ").
+  const char* Label() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return explain::kLabelMemory;
+      case StorageBackend::kPaged:
+        return explain::kLabelPaged;
+      case StorageBackend::kCompressed:
+        return explain::kLabelCompressed;
+    }
+    return explain::kLabelMemory;
+  }
+
+  /// Whether steps charge their reads to a buffer pool (EXPLAIN suffix).
+  bool Pooled() const { return UsesPool(opt_.backend); }
+
+  /// The pool-backed backend's name for digest-mismatch Statuses.
+  const char* DigestName() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return "memory";
+      case StorageBackend::kPaged:
+        return "paged";
+      case StorageBackend::kCompressed:
+        return "compressed";
+    }
+    return "memory";
+  }
+
+  /// Fails when the options name a backend whose tables or pool are not
+  /// wired. The join methods below assume this passed.
+  Status ValidateWiring() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return Status::OK();
+      case StorageBackend::kPaged:
+        if (opt_.paged_doc == nullptr || opt_.pool == nullptr) {
+          return Status::InvalidArgument(
+              "paged backend requires EvalOptions::paged_doc and pool");
+        }
+        return Status::OK();
+      case StorageBackend::kCompressed:
+        if (opt_.compressed_doc == nullptr || opt_.pool == nullptr) {
+          return Status::InvalidArgument(
+              "compressed backend requires EvalOptions::compressed_doc and "
+              "pool");
+        }
+        return Status::OK();
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Node count of the pool-backed image (0 on the memory backend);
+  /// requires ValidateWiring().
+  size_t ImageSize() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return doc_.size();
+      case StorageBackend::kPaged:
+        return opt_.paged_doc->size();
+      case StorageBackend::kCompressed:
+        return opt_.compressed_doc->size();
+    }
+    return 0;
+  }
+
+  /// DocColumnsDigest the pool-backed image was built from; requires
+  /// ValidateWiring() and Pooled().
+  uint64_t ImageDocDigest() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return 0;
+      case StorageBackend::kPaged:
+        return opt_.paged_doc->source_digest();
+      case StorageBackend::kCompressed:
+        return opt_.compressed_doc->source_digest();
+    }
+    return 0;
+  }
+
+  /// FragmentColumnsDigest of the backend's fragment index; nullopt when
+  /// the backend has none wired.
+  std::optional<uint64_t> ImageFragDigest() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return std::nullopt;
+      case StorageBackend::kPaged:
+        return opt_.paged_tags != nullptr
+                   ? std::optional<uint64_t>(opt_.paged_tags->source_digest())
+                   : std::nullopt;
+      case StorageBackend::kCompressed:
+        return opt_.compressed_tags != nullptr
+                   ? std::optional<uint64_t>(
+                         opt_.compressed_tags->source_digest())
+                   : std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  /// Whether the active backend has a fragment index wired. Pushdown and
+  /// twig both require it; each pool-backed backend only qualifies with
+  /// its own fragment image -- a memory-resident TagIndex would silently
+  /// bypass the buffer pool and charge no faults.
+  bool HasFragments() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return opt_.tag_index != nullptr;
+      case StorageBackend::kPaged:
+        return opt_.paged_tags != nullptr;
+      case StorageBackend::kCompressed:
+        return opt_.compressed_tags != nullptr;
+    }
+    return false;
+  }
+
+  /// Fragment size of `tag` (the pushdown cost model's selectivity);
+  /// requires HasFragments().
+  uint64_t TagCount(TagId tag) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return opt_.tag_index->tag_count(tag);
+      case StorageBackend::kPaged:
+        return opt_.paged_tags->tag_count(tag);
+      case StorageBackend::kCompressed:
+        return opt_.compressed_tags->tag_count(tag);
+    }
+    return 0;
+  }
+
+  /// Staircase join over the whole document (parallel when configured).
+  Result<NodeSequence> Staircase(const NodeSequence& context, Axis axis,
+                                 JoinStats* stats) const {
+    const bool parallel = opt_.num_threads > 1;
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return parallel ? ParallelStaircaseJoin(doc_, context, axis,
+                                                opt_.staircase,
+                                                opt_.num_threads, stats)
+                        : StaircaseJoin(doc_, context, axis, opt_.staircase,
+                                        stats);
+      case StorageBackend::kPaged:
+        return parallel ? storage::ParallelPagedStaircaseJoin(
+                              *opt_.paged_doc, opt_.pool, context, axis,
+                              opt_.staircase, opt_.num_threads, stats)
+                        : storage::PagedStaircaseJoin(*opt_.paged_doc,
+                                                      opt_.pool, context, axis,
+                                                      opt_.staircase, stats);
+      case StorageBackend::kCompressed:
+        return parallel ? storage::ParallelCompressedStaircaseJoin(
+                              *opt_.compressed_doc, opt_.pool, context, axis,
+                              opt_.staircase, opt_.num_threads, stats)
+                        : storage::CompressedStaircaseJoin(
+                              *opt_.compressed_doc, opt_.pool, context, axis,
+                              opt_.staircase, stats);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Name-test pushdown: staircase join over one tag fragment.
+  Result<NodeSequence> PushdownView(TagId tag, const NodeSequence& context,
+                                    Axis axis, JoinStats* stats) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return StaircaseJoinView(doc_, opt_.tag_index->view(tag), context,
+                                 axis, opt_.staircase, stats);
+      case StorageBackend::kPaged:
+        return storage::PagedStaircaseJoinView(*opt_.paged_tags, tag,
+                                               *opt_.paged_doc, opt_.pool,
+                                               context, axis, opt_.staircase,
+                                               stats);
+      case StorageBackend::kCompressed:
+        return storage::CompressedStaircaseJoinView(
+            *opt_.compressed_tags, tag, *opt_.compressed_doc, opt_.pool,
+            context, axis, opt_.staircase, stats);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Non-staircase axis step with the node test folded into the scan.
+  Result<NodeSequence> AxisCursor(const NodeSequence& context, Axis axis,
+                                  const AxisNodeTest& test,
+                                  JoinStats* stats) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return AxisCursorStep(doc_, context, axis, test, stats);
+      case StorageBackend::kPaged:
+        return storage::PagedAxisCursorStep(*opt_.paged_doc, opt_.pool,
+                                            context, axis, test, stats);
+      case StorageBackend::kCompressed:
+        return storage::CompressedAxisCursorStep(*opt_.compressed_doc,
+                                                 opt_.pool, context, axis,
+                                                 test, stats);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Node-test filter pass over a join result (kind/tag reads are
+  /// charged to the step's backend, like every other read).
+  Result<NodeSequence> Filter(const NodeSequence& nodes,
+                              const AxisNodeTest& test) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return FilterByTestSequence(doc_, nodes, test);
+      case StorageBackend::kPaged:
+        return storage::PagedFilterByTest(*opt_.paged_doc, opt_.pool, nodes,
+                                          test);
+      case StorageBackend::kCompressed:
+        return storage::CompressedFilterByTest(*opt_.compressed_doc,
+                                               opt_.pool, nodes, test);
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// Holistic twig join over the backend's fragment cursors; requires
+  /// HasFragments().
+  Result<NodeSequence> Twig(const NodeSequence& context,
+                            const std::vector<TwigLevel>& levels,
+                            JoinStats* stats,
+                            std::vector<TwigLevelStats>* level_stats) const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return TwigJoin(doc_, *opt_.tag_index, context, levels,
+                        opt_.staircase, stats, level_stats);
+      case StorageBackend::kPaged:
+        return storage::PagedTwigJoin(*opt_.paged_tags, *opt_.paged_doc,
+                                      opt_.pool, context, levels,
+                                      opt_.staircase, stats, level_stats);
+      case StorageBackend::kCompressed:
+        return storage::CompressedTwigJoin(*opt_.compressed_tags,
+                                           *opt_.compressed_doc, opt_.pool,
+                                           context, levels, opt_.staircase,
+                                           stats, level_stats);
+    }
+    return Status::Internal("unreachable");
+  }
+
+ private:
+  const DocTable& doc_;
+  const EvalOptions& opt_;
+};
+
+}  // namespace sj::xpath
+
+#endif  // STAIRJOIN_XPATH_BACKEND_DISPATCH_H_

@@ -6,6 +6,8 @@
 #include "baselines/naive.h"
 #include "core/axis_step.h"
 #include "util/timer.h"
+#include "xpath/backend_dispatch.h"
+#include "xpath/explain_strings.h"
 
 namespace sj::xpath {
 namespace {
@@ -42,178 +44,6 @@ AxisNodeTest MakeAxisNodeTest(const Step& step,
   return {};
 }
 
-/// The ONE backend-selection point of the evaluator. Every per-backend
-/// shim family a step can run through -- staircase join, name-test
-/// pushdown join, axis cursor, node-test filter, twig join, fragment
-/// statistics -- dispatches here as an exhaustive switch over
-/// StorageBackend with no default case, so a new backend (or a new
-/// operation) that misses a site is a -Wswitch warning at compile time
-/// instead of a silent fall-through to the memory path. The EvalOptions
-/// wiring (which tables/pools/fragment images serve a query) was
-/// validated by EvaluateKeepTrace before any method here runs.
-class BackendDispatch {
- public:
-  BackendDispatch(const DocTable& doc, const EvalOptions& opt)
-      : doc_(doc), opt_(opt) {}
-
-  /// EXPLAIN label prefix of the backend ("", "paged ", "compressed ").
-  const char* Label() const {
-    switch (opt_.backend) {
-      case StorageBackend::kMemory:
-        return "";
-      case StorageBackend::kPaged:
-        return "paged ";
-      case StorageBackend::kCompressed:
-        return "compressed ";
-    }
-    return "";
-  }
-
-  /// Whether steps charge their reads to a buffer pool (EXPLAIN suffix).
-  bool Pooled() const { return opt_.backend != StorageBackend::kMemory; }
-
-  /// Whether the active backend has a fragment index wired. Pushdown and
-  /// twig both require it; each pool-backed backend only qualifies with
-  /// its own fragment image -- a memory-resident TagIndex would silently
-  /// bypass the buffer pool and charge no faults.
-  bool HasFragments() const {
-    switch (opt_.backend) {
-      case StorageBackend::kMemory:
-        return opt_.tag_index != nullptr;
-      case StorageBackend::kPaged:
-        return opt_.paged_tags != nullptr;
-      case StorageBackend::kCompressed:
-        return opt_.compressed_tags != nullptr;
-    }
-    return false;
-  }
-
-  /// Fragment size of `tag` (the pushdown cost model's selectivity);
-  /// requires HasFragments().
-  uint64_t TagCount(TagId tag) const {
-    switch (opt_.backend) {
-      case StorageBackend::kMemory:
-        return opt_.tag_index->tag_count(tag);
-      case StorageBackend::kPaged:
-        return opt_.paged_tags->tag_count(tag);
-      case StorageBackend::kCompressed:
-        return opt_.compressed_tags->tag_count(tag);
-    }
-    return 0;
-  }
-
-  /// Staircase join over the whole document (parallel when configured).
-  Result<NodeSequence> Staircase(const NodeSequence& context, Axis axis,
-                                 JoinStats* stats) const {
-    const bool parallel = opt_.num_threads > 1;
-    switch (opt_.backend) {
-      case StorageBackend::kMemory:
-        return parallel ? ParallelStaircaseJoin(doc_, context, axis,
-                                                opt_.staircase,
-                                                opt_.num_threads, stats)
-                        : StaircaseJoin(doc_, context, axis, opt_.staircase,
-                                        stats);
-      case StorageBackend::kPaged:
-        return parallel ? storage::ParallelPagedStaircaseJoin(
-                              *opt_.paged_doc, opt_.pool, context, axis,
-                              opt_.staircase, opt_.num_threads, stats)
-                        : storage::PagedStaircaseJoin(*opt_.paged_doc,
-                                                      opt_.pool, context, axis,
-                                                      opt_.staircase, stats);
-      case StorageBackend::kCompressed:
-        return parallel ? storage::ParallelCompressedStaircaseJoin(
-                              *opt_.compressed_doc, opt_.pool, context, axis,
-                              opt_.staircase, opt_.num_threads, stats)
-                        : storage::CompressedStaircaseJoin(
-                              *opt_.compressed_doc, opt_.pool, context, axis,
-                              opt_.staircase, stats);
-    }
-    return Status::Internal("unreachable");
-  }
-
-  /// Name-test pushdown: staircase join over one tag fragment.
-  Result<NodeSequence> PushdownView(TagId tag, const NodeSequence& context,
-                                    Axis axis, JoinStats* stats) const {
-    switch (opt_.backend) {
-      case StorageBackend::kMemory:
-        return StaircaseJoinView(doc_, opt_.tag_index->view(tag), context,
-                                 axis, opt_.staircase, stats);
-      case StorageBackend::kPaged:
-        return storage::PagedStaircaseJoinView(*opt_.paged_tags, tag,
-                                               *opt_.paged_doc, opt_.pool,
-                                               context, axis, opt_.staircase,
-                                               stats);
-      case StorageBackend::kCompressed:
-        return storage::CompressedStaircaseJoinView(
-            *opt_.compressed_tags, tag, *opt_.compressed_doc, opt_.pool,
-            context, axis, opt_.staircase, stats);
-    }
-    return Status::Internal("unreachable");
-  }
-
-  /// Non-staircase axis step with the node test folded into the scan.
-  Result<NodeSequence> AxisCursor(const NodeSequence& context, Axis axis,
-                                  const AxisNodeTest& test,
-                                  JoinStats* stats) const {
-    switch (opt_.backend) {
-      case StorageBackend::kMemory:
-        return AxisCursorStep(doc_, context, axis, test, stats);
-      case StorageBackend::kPaged:
-        return storage::PagedAxisCursorStep(*opt_.paged_doc, opt_.pool,
-                                            context, axis, test, stats);
-      case StorageBackend::kCompressed:
-        return storage::CompressedAxisCursorStep(*opt_.compressed_doc,
-                                                 opt_.pool, context, axis,
-                                                 test, stats);
-    }
-    return Status::Internal("unreachable");
-  }
-
-  /// Node-test filter pass over a join result (kind/tag reads are
-  /// charged to the step's backend, like every other read).
-  Result<NodeSequence> Filter(const NodeSequence& nodes,
-                              const AxisNodeTest& test) const {
-    switch (opt_.backend) {
-      case StorageBackend::kMemory:
-        return FilterByTestSequence(doc_, nodes, test);
-      case StorageBackend::kPaged:
-        return storage::PagedFilterByTest(*opt_.paged_doc, opt_.pool, nodes,
-                                          test);
-      case StorageBackend::kCompressed:
-        return storage::CompressedFilterByTest(*opt_.compressed_doc,
-                                               opt_.pool, nodes, test);
-    }
-    return Status::Internal("unreachable");
-  }
-
-  /// Holistic twig join over the backend's fragment cursors; requires
-  /// HasFragments().
-  Result<NodeSequence> Twig(const NodeSequence& context,
-                            const std::vector<TwigLevel>& levels,
-                            JoinStats* stats,
-                            std::vector<TwigLevelStats>* level_stats) const {
-    switch (opt_.backend) {
-      case StorageBackend::kMemory:
-        return TwigJoin(doc_, *opt_.tag_index, context, levels,
-                        opt_.staircase, stats, level_stats);
-      case StorageBackend::kPaged:
-        return storage::PagedTwigJoin(*opt_.paged_tags, *opt_.paged_doc,
-                                      opt_.pool, context, levels,
-                                      opt_.staircase, stats, level_stats);
-      case StorageBackend::kCompressed:
-        return storage::CompressedTwigJoin(*opt_.compressed_tags,
-                                           *opt_.compressed_doc, opt_.pool,
-                                           context, levels, opt_.staircase,
-                                           stats, level_stats);
-    }
-    return Status::Internal("unreachable");
-  }
-
- private:
-  const DocTable& doc_;
-  const EvalOptions& opt_;
-};
-
 }  // namespace
 
 Evaluator::Evaluator(const DocTable& doc, EvalOptions options)
@@ -225,14 +55,12 @@ Evaluator::Evaluator(const DocTable& doc, EvalOptions options)
   // query (Evaluate would otherwise compute them lazily). A facade that
   // already validated the images at open time passes the digests in via
   // EvalOptions and skips the passes entirely.
-  if (options_.backend != StorageBackend::kMemory) {
+  const BackendDispatch dispatch(doc_, options_);
+  if (dispatch.Pooled()) {
     if (!doc_digest_.has_value()) {
       doc_digest_ = storage::DocColumnsDigest(doc_);
     }
-    const bool has_fragments = options_.backend == StorageBackend::kPaged
-                                   ? options_.paged_tags != nullptr
-                                   : options_.compressed_tags != nullptr;
-    if (has_fragments && !frag_digest_.has_value()) {
+    if (dispatch.HasFragments() && !frag_digest_.has_value()) {
       frag_digest_ = storage::FragmentColumnsDigest(doc_, *doc_digest_);
     }
   }
@@ -273,31 +101,12 @@ Status Evaluator::CheckImageDigests(size_t image_size,
 
 Result<NodeSequence> Evaluator::EvaluateKeepTrace(const LocationPath& path,
                                                   const NodeSequence& context) {
-  if (options_.backend == StorageBackend::kPaged) {
-    if (options_.paged_doc == nullptr || options_.pool == nullptr) {
-      return Status::InvalidArgument(
-          "paged backend requires EvalOptions::paged_doc and pool");
-    }
+  const BackendDispatch dispatch(doc_, options_);
+  if (dispatch.Pooled()) {
+    SJ_RETURN_NOT_OK(dispatch.ValidateWiring());
     SJ_RETURN_NOT_OK(CheckImageDigests(
-        options_.paged_doc->size(), options_.paged_doc->source_digest(),
-        options_.paged_tags != nullptr
-            ? std::optional<uint64_t>(options_.paged_tags->source_digest())
-            : std::nullopt,
-        "paged"));
-  }
-  if (options_.backend == StorageBackend::kCompressed) {
-    if (options_.compressed_doc == nullptr || options_.pool == nullptr) {
-      return Status::InvalidArgument(
-          "compressed backend requires EvalOptions::compressed_doc and pool");
-    }
-    SJ_RETURN_NOT_OK(CheckImageDigests(
-        options_.compressed_doc->size(),
-        options_.compressed_doc->source_digest(),
-        options_.compressed_tags != nullptr
-            ? std::optional<uint64_t>(
-                  options_.compressed_tags->source_digest())
-            : std::nullopt,
-        "compressed"));
+        dispatch.ImageSize(), dispatch.ImageDocDigest(),
+        dispatch.ImageFragDigest(), dispatch.DigestName()));
   }
   NodeSequence start = context;
   if (path.absolute) {
@@ -360,7 +169,7 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
         for (size_t k = i; k < steps.size(); ++k) {
           StepTrace skipped;
           skipped.description =
-              ToString(steps[k]) + " -> empty (short-circuited)";
+              ToString(steps[k]) + explain::kEmptyShortCircuited;
           trace_.push_back(std::move(skipped));
         }
       }
@@ -450,23 +259,24 @@ Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
     const size_t twig_entry = trace_.size() + 1;  // 1-based, as printed
     std::string desc;
     for (size_t s = 0; s < plan.consumed; ++s) {
-      if (s > 0) desc += "/";
+      if (s > 0) desc += explain::kStepSep;
       desc += ToString(steps[first + s]);
     }
-    desc += " via ";
+    desc += explain::kVia;
     desc += dispatch.Label();
-    desc += "twig join over fragments ";
+    desc += explain::kTwigJoinOverFragments;
     for (size_t l = 0; l < plan.names.size(); ++l) {
-      if (l > 0) desc += "→";
-      desc += "'" + plan.names[l] + "'";
+      if (l > 0) desc += explain::kTwigLevelSep;
+      desc += explain::kTwigQuote + plan.names[l] + explain::kTwigQuote;
     }
-    desc += ", k=" + std::to_string(plan.levels.size());
-    desc += " (cursor skips:";
+    desc += explain::kTwigK + std::to_string(plan.levels.size());
+    desc += explain::kTwigSkipsOpen;
     for (size_t l = 0; l < level_stats.size(); ++l) {
-      desc += (l > 0 ? ", '" : " '") + plan.names[l] +
-              "'=" + std::to_string(level_stats[l].slots_skipped);
+      desc += (l > 0 ? explain::kTwigSkipsNext : explain::kTwigSkipsFirst) +
+              plan.names[l] + explain::kTwigSkipsEq +
+              std::to_string(level_stats[l].slots_skipped);
     }
-    desc += ")";
+    desc += explain::kCloseParen;
     StepTrace trace;
     trace.description = std::move(desc);
     stats.result_size = result.size();
@@ -476,8 +286,9 @@ Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
     for (size_t s = 1; s < plan.consumed; ++s) {
       StepTrace subsumed;
       subsumed.description = ToString(steps[first + s]) +
-                             " -> subsumed by twig join (step " +
-                             std::to_string(twig_entry) + ")";
+                             explain::kSubsumedByTwigOpen +
+                             std::to_string(twig_entry) +
+                             explain::kCloseParen;
       trace_.push_back(std::move(subsumed));
     }
   }
@@ -668,19 +479,16 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
   for (const Predicate& pred : step.predicates) {
     positional = positional || pred.kind != Predicate::Kind::kExists;
   }
-  const bool paged = options_.backend == StorageBackend::kPaged;
-  const bool compressed = options_.backend == StorageBackend::kCompressed;
+  const BackendDispatch dispatch(doc_, options_);
   if (positional) {
     SJ_ASSIGN_OR_RETURN(result, EvalStepPositional(step, context));
     if (top_level) {
-      trace.description =
-          ToString(step) + " via per-context evaluation (positional "
-          "predicate)";
-      if (paged || compressed) {
+      trace.description = ToString(step) + explain::kPositionalSuffix;
+      if (dispatch.Pooled()) {
         // Until positional steps are set-at-a-time they read the
         // resident columns; disk experiments must not mistake them for
         // IO-charged steps.
-        trace.description += " (memory-resident -- bypasses buffer pool)";
+        trace.description += explain::kBypassesPoolSuffix;
       }
       trace.stats.context_size = context.size();
       trace.stats.result_size = result.size();
@@ -706,15 +514,14 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
     // "standard RDBMS join algorithms" route of [8]), per-node filter.
     SJ_ASSIGN_OR_RETURN(result, NaiveAxisStep(doc_, context, step.axis,
                                               &stats));
-    trace.description = ToString(step) + " via per-context evaluation";
+    trace.description = ToString(step) + explain::kPerContext;
     if (step.test.kind != NodeTestKind::kAnyNode) {
       result = FilterByTest(step, result);
     }
   } else if (needs_tag && !tag.has_value()) {
-    trace.description = ToString(step) + " -> empty (unknown tag)";
+    trace.description = ToString(step) + explain::kEmptyUnknownTag;
     result.clear();
   } else if (staircase_axis) {
-    const BackendDispatch dispatch(doc_, options_);
     if (step.test.kind == NodeTestKind::kName && ShouldPushdown(step, *tag)) {
       // The unified fragment join over the backend's cursor: the
       // pushed-down step's fragment reads AND its context postorder
@@ -722,9 +529,9 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
       // pool-backed). The fragment already applies the name test.
       SJ_ASSIGN_OR_RETURN(
           result, dispatch.PushdownView(*tag, context, step.axis, &stats));
-      trace.description = ToString(step) + " via " + dispatch.Label() +
-                          "staircase join over tag fragment '" +
-                          step.test.name + "' (name-test pushdown)";
+      trace.description = ToString(step) + explain::kVia + dispatch.Label() +
+                          explain::kPushdownOpen + step.test.name +
+                          explain::kPushdownClose;
     } else {
       // The unified kernels over the backend's cursor: the same join,
       // IO-conscious when pool-backed. stats.workers reports what
@@ -733,12 +540,14 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
       SJ_ASSIGN_OR_RETURN(result,
                           dispatch.Staircase(context, step.axis, &stats));
       trace.description =
-          ToString(step) + " via " +
-          (stats.workers > 1 ? std::string("parallel ") : std::string()) +
-          dispatch.Label() + "staircase join" +
+          ToString(step) + explain::kVia +
+          (stats.workers > 1 ? std::string(explain::kParallelPrefix)
+                             : std::string()) +
+          dispatch.Label() + explain::kStaircaseJoin +
           (stats.workers > 1
-               ? " (" + std::to_string(stats.workers) + " workers)"
-               : (dispatch.Pooled() ? std::string(" (buffer pool)")
+               ? explain::kWorkersOpen + std::to_string(stats.workers) +
+                     explain::kWorkersClose
+               : (dispatch.Pooled() ? std::string(explain::kBufferPoolSuffix)
                                     : std::string()));
       if (step.test.kind != NodeTestKind::kAnyNode) {
         // The node-test pass reads kind/tag through the step's backend
@@ -752,14 +561,13 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
     // Non-staircase axis: the set-at-a-time cursor kernels with the
     // node test folded into the scan -- the per-context NaiveAxisStep
     // is a baseline only (positional predicates excepted).
-    const BackendDispatch dispatch(doc_, options_);
     SJ_ASSIGN_OR_RETURN(
         result, dispatch.AxisCursor(context, step.axis,
                                     MakeAxisNodeTest(step, tag), &stats));
-    trace.description = ToString(step) + " via " + dispatch.Label() +
+    trace.description = ToString(step) + explain::kVia + dispatch.Label() +
                         std::string(AxisName(step.axis)) +
-                        "-axis cursor join" +
-                        (dispatch.Pooled() ? " (buffer pool)" : "");
+                        explain::kAxisCursorJoin +
+                        (dispatch.Pooled() ? explain::kBufferPoolSuffix : "");
   }
 
   SJ_ASSIGN_OR_RETURN(result, ApplyPredicates(step, std::move(result)));
@@ -777,14 +585,16 @@ std::string ExplainTrace(const std::vector<StepTrace>& trace) {
   std::string out;
   for (size_t i = 0; i < trace.size(); ++i) {
     const StepTrace& t = trace[i];
-    out += "step " + std::to_string(i + 1) + ": " + t.description + "\n";
-    out += "  context=" + std::to_string(t.stats.context_size) +
-           " pruned=" + std::to_string(t.stats.pruned_context_size) +
-           " scanned=" + std::to_string(t.stats.nodes_scanned) +
-           " copied=" + std::to_string(t.stats.nodes_copied) +
-           " skipped=" + std::to_string(t.stats.nodes_skipped) +
-           " result=" + std::to_string(t.stats.result_size) + "  (" +
-           std::to_string(t.millis) + " ms)\n";
+    out += explain::kStepPrefix + std::to_string(i + 1) + explain::kStepColon +
+           t.description + "\n";
+    out += explain::kStatContext + std::to_string(t.stats.context_size) +
+           explain::kStatPruned + std::to_string(t.stats.pruned_context_size) +
+           explain::kStatScanned + std::to_string(t.stats.nodes_scanned) +
+           explain::kStatCopied + std::to_string(t.stats.nodes_copied) +
+           explain::kStatSkipped + std::to_string(t.stats.nodes_skipped) +
+           explain::kStatResult + std::to_string(t.stats.result_size) +
+           explain::kStatMillisOpen + std::to_string(t.millis) +
+           explain::kStatMillisClose + "\n";
   }
   return out;
 }

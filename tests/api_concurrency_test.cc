@@ -185,6 +185,41 @@ TEST_F(ApiConcurrencyTest, SessionsWithPrivatePoolsStayIsolated) {
   background.join();
 }
 
+TEST_F(ApiConcurrencyTest, TotalStatsCountConcurrentQueries) {
+  // The database's lifetime counters (DatabaseStats, guarded by the
+  // stats latch) must count exactly, even with every thread reporting
+  // concurrently -- and a failed Run lands in queries_failed, never in
+  // queries_run.
+  const DatabaseStats before = db_->TotalStats();
+  constexpr int kThreads = 8;
+  constexpr int kRunsPerThread = 10;
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> expected_nodes{0};
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      Session s = std::move(db_->CreateSession(SessionOptions{})).value();
+      for (int i = 0; i < kRunsPerThread; ++i) {
+        auto r = s.Run(kQueries[i % 3]);
+        ASSERT_TRUE(r.ok()) << r.status();
+        expected_nodes.fetch_add(r.value().nodes.size(),
+                                 std::memory_order_relaxed);
+      }
+      ASSERT_FALSE(s.Run("/descendant::").ok());  // parse error
+    });
+  }
+  for (auto& th : threads) th.join();
+  const DatabaseStats after = db_->TotalStats();
+  EXPECT_EQ(after.sessions_created - before.sessions_created,
+            static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(after.queries_run - before.queries_run,
+            static_cast<uint64_t>(kThreads * kRunsPerThread));
+  EXPECT_EQ(after.queries_failed - before.queries_failed,
+            static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(after.result_nodes - before.result_nodes,
+            expected_nodes.load(std::memory_order_relaxed));
+}
+
 TEST_F(ApiConcurrencyTest, SessionCreationIsCheap) {
   // The open-time digest work must not be repaid per session: creating a
   // session is O(1) in document size. The PAGED backend is the one that

@@ -1,0 +1,18 @@
+// sj-lint fixture: MUST fail rule bench-json when linted as a
+// bench/bench_*.cc file (see sj_lint_test.py). The five-field
+// initializer leaves skipped/result at zero, so the CI perf-regression
+// gate would "verify" counters the bench never measured.
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sj::bench {
+
+void EmitTruncatedRecords(double mb, uint64_t faults, double ms) {
+  std::vector<JsonRecord> json;
+  json.push_back({"q1", "paged-cold", mb, faults, ms});  // violation
+  WriteJson(json, "BENCH_fixture.json");
+}
+
+}  // namespace sj::bench

@@ -1,0 +1,15 @@
+// sj-lint fixture: MUST fail rule explain-literal when linted as a
+// src/xpath/ file other than explain_strings.h (see sj_lint_test.py).
+// The literal below drifts from the table's "staircase join" spelling
+// by one word -- exactly the byte-level drift the trace-pinning tests
+// would catch a release too late.
+
+#include <string>
+
+namespace sj::xpath {
+
+std::string DriftedDescription(const std::string& step) {
+  return step + " via the staircase join (buffered pool)";  // violation
+}
+
+}  // namespace sj::xpath

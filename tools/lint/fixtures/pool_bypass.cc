@@ -1,0 +1,18 @@
+// sj-lint fixture: MUST fail rule pool-bypass when linted as a file
+// under src/ outside src/storage/ (see sj_lint_test.py). A step that
+// pins pages itself reads the image without charging faults, so every
+// IO experiment would silently under-count.
+
+#include "storage/buffer_pool.h"
+
+namespace sj {
+
+uint32_t ReadPostDirectly(storage::BufferPool* pool,
+                          storage::PageId page) {
+  auto frame = pool->Pin(page);  // the violation: Pin outside storage/
+  uint32_t post = frame.value()->data[0];
+  pool->Unpin(page);
+  return post;
+}
+
+}  // namespace sj

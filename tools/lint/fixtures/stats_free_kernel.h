@@ -1,0 +1,29 @@
+// sj-lint fixture: MUST fail rule stats-on-advance when linted as
+// src/core/kernels.h (see sj_lint_test.py). The loop below seeks the
+// cursor past a subtree but never counts the skipped slots, so the
+// paper's skipped/scanned acceptance evidence would read zero while the
+// kernel quietly does the right thing -- or quietly stops doing it.
+
+#ifndef STAIRJOIN_TOOLS_LINT_FIXTURES_STATS_FREE_KERNEL_H_
+#define STAIRJOIN_TOOLS_LINT_FIXTURES_STATS_FREE_KERNEL_H_
+
+#include <cstdint>
+
+namespace sj {
+
+template <typename Cursor>
+uint64_t CountMatchesForgettingTheCounters(Cursor& cursor, uint32_t bound) {
+  uint64_t matches = 0;
+  for (uint64_t i = 0; i < cursor.size(); ++i) {
+    if (cursor.Post(i) > bound) {
+      ++matches;
+    } else {
+      cursor.SkipTo(cursor.LowerBound(bound));  // violation: uncounted
+    }
+  }
+  return matches;
+}
+
+}  // namespace sj
+
+#endif  // STAIRJOIN_TOOLS_LINT_FIXTURES_STATS_FREE_KERNEL_H_

@@ -1,0 +1,26 @@
+// Thread-safety-analysis fixture: MUST FAIL to compile under
+//   clang++ -fsyntax-only -Isrc -Wthread-safety -Werror=thread-safety
+// (the static-analysis CI job runs exactly that). It reproduces the
+// dropped-lock_guard bug class the annotations exist to catch: the
+// writer below touches a SJ_GUARDED_BY member without holding its
+// mutex. Under gcc the annotations are no-ops and this file is inert --
+// it is never part of the build.
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace sj {
+
+struct Counter {
+  Mutex mu;
+  uint64_t value SJ_GUARDED_BY(mu) = 0;
+};
+
+uint64_t IncrementWithoutTheLock(Counter* counter) {
+  // MutexLock lock(counter->mu);  <-- the dropped guard
+  ++counter->value;  // clang TSA: writing variable requires holding mu
+  return counter->value;
+}
+
+}  // namespace sj

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Runs the curated .clang-tidy profile over every src/**/*.cc
+# translation unit using the compile_commands.json that every CMake
+# configure exports (CMAKE_EXPORT_COMPILE_COMMANDS is always on).
+#
+# Usage: tools/lint/run_clang_tidy.sh [BUILD_DIR] [JOBS]
+#   BUILD_DIR  directory holding compile_commands.json (default: build)
+#   JOBS       parallel clang-tidy processes (default: nproc)
+#
+# Exit status: 0 clean, 1 findings, 3 skipped (no clang-tidy on PATH --
+# a developer convenience; the static-analysis CI job pins
+# clang-tidy-18 and treats findings as failures).
+
+set -u
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+BUILD_DIR="${1:-$ROOT/build}"
+JOBS="${2:-$(nproc 2>/dev/null || echo 4)}"
+
+TIDY=""
+for candidate in clang-tidy-18 clang-tidy; do
+  if command -v "$candidate" >/dev/null 2>&1; then
+    TIDY="$candidate"
+    break
+  fi
+done
+if [ -z "$TIDY" ]; then
+  echo "run_clang_tidy: no clang-tidy on PATH; skipping (CI runs it)" >&2
+  exit 3
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: $BUILD_DIR/compile_commands.json not found;" \
+       "configure first: cmake -B $BUILD_DIR -S $ROOT" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: $($TIDY --version | head -n1)"
+
+# Only first-party translation units; headers are covered through
+# HeaderFilterRegex in .clang-tidy.
+mapfile -t FILES < <(cd "$ROOT" && find src -name '*.cc' | sort)
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy: no sources found under $ROOT/src" >&2
+  exit 2
+fi
+
+echo "run_clang_tidy: ${#FILES[@]} translation units, $JOBS jobs"
+FAILED=0
+printf '%s\n' "${FILES[@]}" |
+  (cd "$ROOT" && xargs -P "$JOBS" -n 1 \
+      "$TIDY" -p "$BUILD_DIR" --quiet --warnings-as-errors='*') || FAILED=1
+
+if [ "$FAILED" -ne 0 ]; then
+  echo "run_clang_tidy: findings above are errors (curated profile in" \
+       ".clang-tidy)" >&2
+  exit 1
+fi
+echo "run_clang_tidy: clean"
