@@ -125,10 +125,10 @@ void Run() {
                     "x",
                 TablePrinter::Fixed(p.ms, 2), TablePrinter::Fixed(z.ms, 2),
                 TablePrinter::Count(p.result)});
-      json.push_back(
-          {q, "paged-cold", mb, p.faults, p.ms, p.skipped, p.result});
-      json.push_back(
-          {q, "compressed-cold", mb, z.faults, z.ms, z.skipped, z.result});
+      json.push_back({q, "paged-cold", mb, p.faults, p.ms, p.skipped,
+                      p.result, 0, 0, 0});
+      json.push_back({q, "compressed-cold", mb, z.faults, z.ms, z.skipped,
+                      z.result, 0, 0, 0});
     }
   }
   sizes.Print();

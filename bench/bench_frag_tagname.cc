@@ -138,8 +138,10 @@ void Run() {
               TablePrinter::Fixed(
                   static_cast<double>(w.index->memory_bytes()) / 1048576.0,
                   1)});
-    json.push_back({"Q1", "memory/full-doc", mb, 0, full, 0, q1_result});
-    json.push_back({"Q1", "memory/fragments", mb, 0, frag, 0, q1_result});
+    json.push_back(
+        {"Q1", "memory/full-doc", mb, 0, full, 0, q1_result, 0, 0, 0});
+    json.push_back(
+        {"Q1", "memory/fragments", mb, 0, frag, 0, q1_result, 0, 0, 0});
 
     // The IO-conscious rerun: same Q1, columns behind the buffer pool.
     SimulatedDisk disk;
@@ -166,9 +168,9 @@ void Run() {
                                   1) +
                   "x"});
     json.push_back({"Q1", "paged/full-doc-cold", mb, paged_full_faults,
-                    paged_full_ms, 0, q1_result});
+                    paged_full_ms, 0, q1_result, 0, 0, 0});
     json.push_back({"Q1", "paged/fragments-cold", mb, paged_frag_faults,
-                    paged_frag_ms, 0, q1_result});
+                    paged_frag_ms, 0, q1_result, 0, 0, 0});
   }
   t.Print();
   std::printf("paper: 345 ms -> 39 ms for Q1 on the 1 GB instance (~9x); "

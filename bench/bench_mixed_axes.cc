@@ -90,9 +90,10 @@ void Run() {
                 TablePrinter::Fixed(io_ms, 2), TablePrinter::Count(ps.faults),
                 TablePrinter::Count(ps.pins),
                 TablePrinter::Count(result_size)});
-      json.push_back({q, "memory", mb, 0, mem_ms, mem_skipped, result_size});
       json.push_back(
-          {q, "paged-cold", mb, ps.faults, io_ms, io_skipped, result_size});
+          {q, "memory", mb, 0, mem_ms, mem_skipped, result_size, 0, 0, 0});
+      json.push_back({q, "paged-cold", mb, ps.faults, io_ms, io_skipped,
+                      result_size, 0, 0, 0});
     }
   }
   t.Print();

@@ -178,11 +178,11 @@ void Run() {
                     "x",
                 TablePrinter::Count(w.result)});
       json.push_back({chain.query, "twig-paged-cold", mb, w.faults, w.ms,
-                      w.skipped, w.result});
+                      w.skipped, w.result, 0, 0, 0});
       json.push_back({chain.query, "step-paged-cold", mb, s.faults, s.ms,
-                      s.skipped, s.result});
+                      s.skipped, s.result, 0, 0, 0});
       json.push_back({chain.query, "mpmgjn-memory", mb, 0, m.ms,
-                      0, m.result});
+                      0, m.result, 0, 0, 0});
     }
   }
   t.Print();

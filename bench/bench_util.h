@@ -135,6 +135,11 @@ struct JsonRecord {
   double ms = 0;
   uint64_t skipped = 0;  ///< JoinStats::nodes_skipped summed over the plan
   uint64_t result = 0;   ///< join-result cardinality
+  /// Client-observed latency percentiles, milliseconds (serving benches;
+  /// single-query benches leave them 0). Wall time, never gated.
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double p99_ms = 0;
 };
 
 /// Writes records as a JSON array to `path` (logs to stderr).
@@ -151,11 +156,13 @@ inline void WriteJson(const std::vector<JsonRecord>& records,
     std::fprintf(f,
                  "  {\"query\": \"%s\", \"backend\": \"%s\", "
                  "\"size_mb\": %.1f, \"faults\": %llu, \"skipped\": %llu, "
-                 "\"result\": %llu, \"ms\": %.3f}%s\n",
+                 "\"result\": %llu, \"ms\": %.3f, \"p50_ms\": %.3f, "
+                 "\"p95_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
                  r.query.c_str(), r.backend.c_str(), r.size_mb,
                  static_cast<unsigned long long>(r.faults),
                  static_cast<unsigned long long>(r.skipped),
-                 static_cast<unsigned long long>(r.result), r.ms,
+                 static_cast<unsigned long long>(r.result), r.ms, r.p50_ms,
+                 r.p95_ms, r.p99_ms,
                  i + 1 < records.size() ? "," : "");
   }
   std::fprintf(f, "]\n");

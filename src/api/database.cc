@@ -196,6 +196,11 @@ Result<std::unique_ptr<Database>> Database::Finish(
                                             : DefaultPoolShards();
     db->pool_ = std::make_unique<storage::BufferPool>(
         db->disk_.get(), options.pool_pages, shards);
+    db->pool_->set_prefetch_enabled(options.prefetch);
+  }
+  db->prefetch_ = options.prefetch;
+  if (options.plan_cache_entries > 0) {
+    db->plan_cache_ = std::make_unique<PlanCache>(options.plan_cache_entries);
   }
   return db;
 }
@@ -320,6 +325,7 @@ Result<Session> Database::CreateSession(SessionOptions options) const {
     if (options.private_pool_pages > 0) {
       private_pool = std::make_unique<storage::BufferPool>(
           disk_.get(), options.private_pool_pages);
+      private_pool->set_prefetch_enabled(prefetch_);
       eval.pool = private_pool.get();
     } else {
       eval.pool = pool_.get();
@@ -333,8 +339,18 @@ Result<Session> Database::CreateSession(SessionOptions options) const {
 }
 
 DatabaseStats Database::TotalStats() const {
-  MutexLock lock(stats_mu_);
-  return stats_;
+  DatabaseStats snapshot;
+  {
+    MutexLock lock(stats_mu_);
+    snapshot = stats_;
+  }
+  if (plan_cache_ != nullptr) {
+    const PlanCache::Stats cache = plan_cache_->stats();
+    snapshot.plan_cache_hits = cache.hits;
+    snapshot.plan_cache_misses = cache.misses;
+    snapshot.plan_cache_evictions = cache.evictions;
+  }
+  return snapshot;
 }
 
 void Database::RecordQuery(bool ok, uint64_t result_nodes) const {

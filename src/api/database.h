@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "api/plan_cache.h"
 #include "api/session.h"
 #include "core/tag_view.h"
 #include "encoding/builder.h"
@@ -56,6 +57,14 @@ struct DatabaseOptions {
   /// Latch shards of the shared pool; 0 picks one per hardware thread
   /// (capped at 16). 1 degenerates to a single global latch.
   size_t pool_shards = 0;
+  /// Capacity of the plan cache (entries); 0 disables it and every query
+  /// parses and plans afresh.
+  size_t plan_cache_entries = 64;
+  /// Turn SkipTo/LowerBound prefetch hints into batched pool reads
+  /// (BufferPool::Prefetch) on the shared pool AND every session's
+  /// private pool. Off by default: fault counts then stay exactly the
+  /// numbers the paper experiments (and the committed baselines) count.
+  bool prefetch = false;
 };
 
 /// \brief Lifetime counters of one Database: how many sessions were
@@ -67,6 +76,9 @@ struct DatabaseStats {
   uint64_t queries_run = 0;       ///< successful Session::Run calls
   uint64_t queries_failed = 0;    ///< Run calls that returned a Status
   uint64_t result_nodes = 0;      ///< result cardinality, summed
+  uint64_t plan_cache_hits = 0;       ///< queries served a cached plan
+  uint64_t plan_cache_misses = 0;     ///< queries that parsed + planned
+  uint64_t plan_cache_evictions = 0;  ///< plans displaced by capacity
 };
 
 /// \brief An immutable, thread-safe set of backend images over one
@@ -168,8 +180,17 @@ class Database {
   const NodeSequence& document_roots() const { return document_roots_; }
 
   /// A consistent snapshot of the lifetime counters (taken under the
-  /// stats mutex; safe to call concurrently with running sessions).
+  /// stats mutex; safe to call concurrently with running sessions). The
+  /// plan-cache counters are folded in from the cache's own latch.
   DatabaseStats TotalStats() const SJ_EXCLUDES(stats_mu_);
+
+  /// The plan cache; null when disabled (plan_cache_entries == 0).
+  /// Exposed for tests (entry counts); sessions go through Run.
+  PlanCache* plan_cache() const { return plan_cache_.get(); }
+
+  /// Whether this database turns cursor prefetch hints into batched
+  /// pool reads (DatabaseOptions::prefetch).
+  bool prefetch_enabled() const { return prefetch_; }
 
  private:
   friend class Session;  // reports query completion into stats_
@@ -194,6 +215,9 @@ class Database {
   std::unique_ptr<storage::CompressedDocTable> compressed_doc_;
   std::unique_ptr<storage::CompressedTagIndex> compressed_tags_;
   std::unique_ptr<storage::BufferPool> pool_;
+  /// Internally synchronized, like the pool; null when disabled.
+  std::unique_ptr<PlanCache> plan_cache_;
+  bool prefetch_ = false;
   std::optional<uint64_t> doc_digest_;
   std::optional<uint64_t> frag_digest_;
   NodeSequence document_roots_;

@@ -1,0 +1,54 @@
+#include "api/plan_cache.h"
+
+#include <utility>
+
+namespace sj {
+
+std::optional<PlanCache::Hit> PlanCache::Lookup(const std::string& key) {
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  Entry& entry = it->second;
+  lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+  ++entry.hits;
+  ++stats_.hits;
+  return Hit{entry.plan, entry.hits};
+}
+
+void PlanCache::Insert(const std::string& key,
+                       std::shared_ptr<const xpath::CompiledPlan> plan) {
+  if (capacity_ == 0) return;
+  MutexLock lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    // Replacement, not displacement: two sessions racing the same miss
+    // both insert; the loser must not charge an eviction.
+    Entry& entry = it->second;
+    entry.plan = std::move(plan);
+    entry.hits = 0;
+    lru_.splice(lru_.begin(), lru_, entry.lru_pos);
+    return;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(plan), lru_.begin(), 0});
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  MutexLock lock(mu_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  MutexLock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace sj

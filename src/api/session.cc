@@ -1,13 +1,27 @@
 #include "api/session.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "api/database.h"
 #include "util/timer.h"
+#include "xpath/explain_strings.h"
 #include "xpath/parser.h"
 
 namespace sj {
+
+std::string QueryResult::Explain() const {
+  std::string out;
+  if (plan_cached) {
+    out += xpath::explain::kPlanCachedOpen;
+    out += std::to_string(plan_cache_hits);
+    out += xpath::explain::kCloseParen;
+    out += "\n";
+  }
+  out += xpath::ExplainTrace(trace);
+  return out;
+}
 
 Session::Session(const Database* db, SessionOptions options,
                  std::unique_ptr<storage::BufferPool> private_pool,
@@ -18,6 +32,37 @@ Session::Session(const Database* db, SessionOptions options,
       eval_options_(eval_options),
       engine_(std::make_unique<xpath::Evaluator>(db->doc(), eval_options)) {}
 
+std::string Session::PlanKey(std::string_view xpath) const {
+  // '\x1f' (unit separator) cannot appear in a parseable query, so the
+  // key is unambiguous. The selectivity threshold is a double: print a
+  // round-trippable form, not a truncated one.
+  char selectivity[32];
+  std::snprintf(selectivity, sizeof(selectivity), "%.17g",
+                options_.pushdown_selectivity);
+  std::string key(xpath);
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(options_.engine));
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(options_.backend));
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(options_.pushdown));
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(options_.twig));
+  key += '\x1f';
+  key += selectivity;
+  return key;
+}
+
+void Session::Memoize(const std::string& key,
+                      std::shared_ptr<const xpath::CompiledPlan> plan,
+                      uint64_t serves) {
+  // Bounded by the shared cache's capacity; clearing wholesale on
+  // overflow is crude but rare, and refilling costs one shared lookup
+  // per key.
+  if (plan_memo_.size() >= db_->plan_cache()->capacity()) plan_memo_.clear();
+  plan_memo_.emplace(key, PlanMemoEntry{std::move(plan), serves});
+}
+
 Result<QueryResult> Session::Run(std::string_view xpath) {
   const DocTable& doc = db_->doc();
   return Run(xpath, doc.empty() ? NodeSequence{} : NodeSequence{doc.root()});
@@ -26,12 +71,48 @@ Result<QueryResult> Session::Run(std::string_view xpath) {
 Result<QueryResult> Session::Run(std::string_view xpath,
                                  const NodeSequence& context) {
   Timer timer;
-  auto parsed = xpath::ParseXPathUnion(xpath);
-  if (!parsed.ok()) {
-    db_->RecordQuery(/*ok=*/false, 0);
-    return parsed.status();
+  // The serving hot path: a hot query's parse + planning collapses into
+  // one cache lookup. The compiled plan is shared (shared_ptr) so an
+  // eviction mid-query cannot pull it out from under us, and it is keyed
+  // by the semantic options (PlanKey), so a plan compiled under one
+  // backend never drives another.
+  PlanCache* cache = db_->plan_cache();
+  std::shared_ptr<const xpath::CompiledPlan> plan;
+  bool plan_cached = false;
+  uint64_t plan_cache_hits = 0;
+  std::string key;
+  if (cache != nullptr) {
+    key = PlanKey(xpath);
+    // Hot path: the session-local memo serves repeat queries without
+    // touching the shared cache latch (sessions are single-threaded).
+    if (auto memo = plan_memo_.find(key); memo != plan_memo_.end()) {
+      plan = memo->second.plan;
+      plan_cached = true;
+      plan_cache_hits = ++memo->second.serves;
+    } else if (std::optional<PlanCache::Hit> hit = cache->Lookup(key)) {
+      plan = hit->plan;
+      plan_cached = true;
+      plan_cache_hits = hit->hits;
+      Memoize(key, std::move(hit->plan), hit->hits);
+    }
   }
-  auto evaluated = engine_->Evaluate(parsed.value(), context);
+  if (plan == nullptr) {
+    auto parsed = xpath::ParseXPathUnion(xpath);
+    if (!parsed.ok()) {
+      // A failed parse caches nothing: the miss was already counted, and
+      // an entry for garbage text would only displace real plans.
+      db_->RecordQuery(/*ok=*/false, 0);
+      return parsed.status();
+    }
+    auto compiled = std::make_shared<xpath::CompiledPlan>(
+        engine_->Compile(std::move(parsed).value()));
+    if (cache != nullptr) {
+      cache->Insert(key, compiled);
+      Memoize(key, compiled, 0);
+    }
+    plan = std::move(compiled);
+  }
+  auto evaluated = engine_->Evaluate(*plan, context);
   if (!evaluated.ok()) {
     db_->RecordQuery(/*ok=*/false, 0);
     return evaluated.status();
@@ -41,6 +122,8 @@ Result<QueryResult> Session::Run(std::string_view xpath,
   QueryResult result;
   result.nodes = std::move(nodes);
   result.trace = engine_->last_trace();
+  result.plan_cached = plan_cached;
+  result.plan_cache_hits = plan_cache_hits;
   for (const StepTrace& step : result.trace) {
     result.totals.MergeFrom(step.stats);
     result.totals.workers = std::max(result.totals.workers,

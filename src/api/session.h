@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/stats.h"
@@ -89,9 +90,17 @@ struct QueryResult {
   JoinStats totals;
   /// Wall time of parse + evaluation, milliseconds.
   double millis = 0.0;
+  /// True when the query was served a compiled plan from the database's
+  /// plan cache (parse + planning skipped).
+  bool plan_cached = false;
+  /// How often the cached plan has been served, this run included;
+  /// 0 when the query compiled its plan afresh.
+  uint64_t plan_cache_hits = 0;
 
-  /// Renders the trace as a readable multi-line EXPLAIN.
-  std::string Explain() const { return xpath::ExplainTrace(trace); }
+  /// Renders the trace as a readable multi-line EXPLAIN. A cache-served
+  /// query leads with one "plan: cached (hits=N)" line; everything after
+  /// it is byte-identical to the uncached run's report.
+  std::string Explain() const;
 };
 
 /// \brief A per-thread query handle over a shared Database.
@@ -129,8 +138,42 @@ class Session {
           std::unique_ptr<storage::BufferPool> private_pool,
           const xpath::EvalOptions& eval_options);
 
+  /// The plan-cache key of `xpath` under this session's SEMANTIC options
+  /// -- exactly the fields Evaluator::Compile's decisions depend on
+  /// (engine, backend, pushdown, twig, pushdown_selectivity), so two
+  /// sessions share a plan iff the plan is valid for both. Execution-only
+  /// options (staircase skips, num_threads, private pools) are excluded.
+  std::string PlanKey(std::string_view xpath) const;
+
+  /// Records a plan in the session-local memo (see plan_memo_), with
+  /// `serves` as the starting serve count EXPLAIN continues from.
+  void Memoize(const std::string& key,
+               std::shared_ptr<const xpath::CompiledPlan> plan,
+               uint64_t serves);
+
+  /// One entry of the session-local plan memo (see plan_memo_).
+  struct PlanMemoEntry {
+    std::shared_ptr<const xpath::CompiledPlan> plan;
+    /// Serves of this plan as seen by this session: the shared cache's
+    /// hit count when the plan was fetched, plus one per local serve --
+    /// the monotone count EXPLAIN's "plan: cached (hits=N)" reports.
+    uint64_t serves = 0;
+  };
+
   const Database* db_;
   SessionOptions options_;
+  /// Plans this session already obtained from the database's shared
+  /// PlanCache (or compiled and inserted itself), served on repeat runs
+  /// without touching the shared latch: sessions are single-threaded,
+  /// so the memo makes a hot session's serve path lock-free while the
+  /// shared cache stays the authoritative LRU (sharing across sessions,
+  /// hit/miss/eviction accounting, capacity). Entries pin their plan via
+  /// shared_ptr, so a concurrent eviction or replacement in the shared
+  /// cache never invalidates them -- plans are immutable and keyed by
+  /// the same semantic options. Bounded by the shared cache's capacity
+  /// (cleared wholesale when full; refilling costs one shared lookup
+  /// per key).
+  std::unordered_map<std::string, PlanMemoEntry> plan_memo_;
   /// Non-null iff private_pool_pages was set; eval_options_.pool then
   /// points here (heap-allocated, so moving the session keeps it valid).
   std::unique_ptr<storage::BufferPool> private_pool_;

@@ -1,5 +1,6 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <thread>
@@ -23,6 +24,35 @@ Status SimulatedDisk::Read(PageId id, Page* out) const {
     std::this_thread::sleep_for(std::chrono::microseconds(latency));
   }
   std::memcpy(out->bytes, pages_[id]->bytes, kPageSize);
+  return Status::OK();
+}
+
+Status SimulatedDisk::ReadBatch(std::span<const PageId> ids,
+                                std::span<Page* const> outs) const {
+  if (ids.size() != outs.size()) {
+    return Status::InvalidArgument("ReadBatch: ids/outs size mismatch");
+  }
+  if (ids.empty()) return Status::OK();
+  for (PageId id : ids) {
+    if (id >= pages_.size()) {
+      return Status::OutOfRange("disk batch read past end: page " +
+                                std::to_string(id));
+    }
+  }
+  reads_.fetch_add(ids.size(), std::memory_order_relaxed);
+  batch_reads_.fetch_add(1, std::memory_order_relaxed);
+  uint32_t latency = read_latency_micros_.load(std::memory_order_relaxed);
+  if (latency > 0) {
+    // One seek for the request, then a transfer cost per extra page --
+    // this is exactly why prefetching N pages beats N cold Pin calls.
+    uint64_t micros =
+        latency + (ids.size() - 1) *
+                      static_cast<uint64_t>(latency / kBatchTransferDivisor);
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    std::memcpy(outs[i]->bytes, pages_[ids[i]]->bytes, kPageSize);
+  }
   return Status::OK();
 }
 
@@ -101,6 +131,60 @@ Status BufferPool::Unpin(PageId id) {
     frame->in_lru = true;
   }
   return Status::OK();
+}
+
+void BufferPool::Prefetch(std::span<const PageId> ids) {
+  if (ids.empty() || !prefetch_enabled()) return;
+
+  // Filter the hint down to pages actually worth a disk read: in-range,
+  // not a duplicate within this batch, not already resident. Hint lists
+  // are tiny (one page per active column), so linear dedup is fine.
+  std::vector<PageId> needed;
+  needed.reserve(ids.size());
+  for (PageId id : ids) {
+    if (static_cast<size_t>(id) >= disk_->page_count()) continue;
+    if (std::find(needed.begin(), needed.end(), id) != needed.end()) continue;
+    Shard& shard = ShardFor(id);
+    MutexLock lock(shard.mu);
+    if (shard.frames.find(id) != shard.frames.end()) continue;
+    needed.push_back(id);
+  }
+  // A batch of one has no seek to amortize -- it costs exactly what the
+  // on-demand fault would, plus the risk of being wasted if the cursor
+  // never reads the page. Let degenerate hints fault on demand instead.
+  if (needed.size() < 2) return;
+
+  std::vector<std::unique_ptr<Frame>> frames;
+  std::vector<Page*> pages;
+  frames.reserve(needed.size());
+  pages.reserve(needed.size());
+  for (size_t i = 0; i < needed.size(); ++i) {
+    frames.push_back(std::make_unique<Frame>());
+    pages.push_back(&frames.back()->page);
+  }
+  // The ids were validated above, so a failure here cannot happen; if it
+  // somehow did, dropping the hint is the correct (best-effort) response.
+  if (!disk_->ReadBatch(needed, pages).ok()) return;
+
+  for (size_t i = 0; i < needed.size(); ++i) {
+    PageId id = needed[i];
+    Shard& shard = ShardFor(id);
+    MutexLock lock(shard.mu);
+    // Another session may have faulted the page in while we were reading
+    // off-latch; their frame may already be pinned, so ours is dropped.
+    if (shard.frames.find(id) != shard.frames.end()) continue;
+    while (shard.frames.size() >= shard.capacity) {
+      if (!EvictOne(&shard).ok()) break;
+    }
+    if (shard.frames.size() >= shard.capacity) continue;  // all pinned
+    Frame* frame = frames[i].get();
+    frame->pin_count = 0;
+    frame->lru_pos = shard.lru.insert(shard.lru.end(), id);
+    frame->in_lru = true;
+    ++shard.stats.faults;
+    ++shard.stats.prefetched;
+    shard.frames.emplace(id, std::move(frames[i]));
+  }
 }
 
 PoolStats BufferPool::stats() const {

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -34,6 +35,13 @@ struct Page {
   uint8_t bytes[kPageSize];
 };
 
+/// Per-page transfer cost of a batched read, as a divisor of the seek
+/// latency: page 2..n of one request each cost read_latency_micros /
+/// kBatchTransferDivisor. The 10:1 seek-to-transfer ratio is the classic
+/// rotating-disk shape; the exact value only matters for the *relative*
+/// win of batching, which benches measure in wall-clock.
+inline constexpr uint32_t kBatchTransferDivisor = 10;
+
 /// \brief Simulated disk: an array of pages with read accounting.
 ///
 /// Reads memcpy the page image (so buffer frames are genuinely distinct
@@ -48,6 +56,20 @@ class SimulatedDisk {
 
   /// Copies page `id` into `out`; OutOfRange for bad ids.
   Status Read(PageId id, Page* out) const;
+
+  /// Copies pages `ids[i]` into `*outs[i]` as ONE device request: the
+  /// seek latency is charged once, plus a per-page transfer cost of
+  /// read_latency_micros() / kBatchTransferDivisor for each page after
+  /// the first (a single-page batch costs exactly what Read costs).
+  /// Every page still counts in reads(); the request counts once in
+  /// batch_reads(). OutOfRange if any id is bad (no page is read).
+  Status ReadBatch(std::span<const PageId> ids,
+                   std::span<Page* const> outs) const;
+
+  /// Total batched requests served via ReadBatch.
+  uint64_t batch_reads() const {
+    return batch_reads_.load(std::memory_order_relaxed);
+  }
 
   /// Overwrites page `id`; OutOfRange for bad ids.
   Status Write(PageId id, const Page& in);
@@ -71,21 +93,24 @@ class SimulatedDisk {
   std::vector<std::unique_ptr<Page>> pages_;
   // Atomic so that pools on different threads may share one disk.
   mutable std::atomic<uint64_t> reads_{0};
+  mutable std::atomic<uint64_t> batch_reads_{0};
   std::atomic<uint32_t> read_latency_micros_{0};
 };
 
 /// Buffer pool counters.
 struct PoolStats {
-  uint64_t pins = 0;       ///< logical page requests
-  uint64_t hits = 0;       ///< served from a resident frame
-  uint64_t faults = 0;     ///< required a disk read
-  uint64_t evictions = 0;  ///< clean frames dropped for replacement
+  uint64_t pins = 0;        ///< logical page requests
+  uint64_t hits = 0;        ///< served from a resident frame
+  uint64_t faults = 0;      ///< required a disk read
+  uint64_t evictions = 0;   ///< clean frames dropped for replacement
+  uint64_t prefetched = 0;  ///< faults issued by Prefetch (also in faults)
 
   void MergeFrom(const PoolStats& other) {
     pins += other.pins;
     hits += other.hits;
     faults += other.faults;
     evictions += other.evictions;
+    prefetched += other.prefetched;
   }
 };
 
@@ -125,6 +150,33 @@ class BufferPool {
 
   /// Releases one pin on `id`; InvalidArgument if not pinned.
   Status Unpin(PageId id);
+
+  /// Prefetch hint: faults the absent pages among `ids` in ONE batched
+  /// disk request (SimulatedDisk::ReadBatch -- one seek, per-page
+  /// transfer) and parks them unpinned at the LRU tail, so the pins the
+  /// cursor issues right after a SkipTo leap land as hits.
+  ///
+  /// Strictly best-effort and never an error: a no-op unless
+  /// set_prefetch_enabled(true); out-of-range ids, duplicate ids,
+  /// already-resident pages and shards whose frames are all pinned are
+  /// silently skipped. A wrong or stale hint therefore costs at most the
+  /// absent pages it named -- it can never evict a pinned frame, replace
+  /// a resident page, or surface a wrong result. Prefetched pages count
+  /// in both `faults` (they are disk reads) and `prefetched`.
+  ///
+  /// Hints that boil down to fewer than two absent pages are dropped: a
+  /// batch of one amortizes no seek, so it could only match the cost of
+  /// the on-demand fault while risking a wasted read.
+  void Prefetch(std::span<const PageId> ids);
+
+  /// Prefetch hints are dropped unless enabled (default off, so exact
+  /// fault accounting of existing experiments is untouched).
+  void set_prefetch_enabled(bool enabled) {
+    prefetch_enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool prefetch_enabled() const {
+    return prefetch_enabled_.load(std::memory_order_relaxed);
+  }
 
   /// Counters since construction (aggregated over the shards; each shard
   /// is copied under its latch).
@@ -170,6 +222,7 @@ class BufferPool {
 
   SimulatedDisk* disk_;
   size_t capacity_;
+  std::atomic<bool> prefetch_enabled_{false};
   std::vector<Shard> shards_;
 };
 

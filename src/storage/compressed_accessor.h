@@ -19,6 +19,7 @@
 #ifndef STAIRJOIN_STORAGE_COMPRESSED_ACCESSOR_H_
 #define STAIRJOIN_STORAGE_COMPRESSED_ACCESSOR_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 
@@ -53,14 +54,28 @@ class CompressedColumnCursor {
       guard_.Release();
       return;
     }
-    guard_.ReleaseUnless(
-        col_->blocks[static_cast<size_t>(index / encoding::kBlockValues)]
-            .page);
+    guard_.ReleaseUnless(PageFor(index));
   }
+
+  /// The disk page holding `index`'s block (for prefetch hints).
+  PageId PageFor(uint64_t index) const {
+    return col_->blocks[static_cast<size_t>(index / encoding::kBlockValues)]
+        .page;
+  }
+
+  /// The guard the hint emission inspects (holding()/held()).
+  const PageGuard& guard() const { return guard_; }
 
  private:
   bool Load(size_t b, Status* status) {
     const CompressedBlockRef& ref = col_->blocks[b];
+    // Announce the page switch with the column's NEXT page as the
+    // readahead window, so sequential block-boundary crossings batch
+    // like SkipTo leaps. Several blocks share a page, so "next page" is
+    // the page of the first block past the landing page -- block page
+    // ids are non-decreasing (BlockPageWriter appends), hence the
+    // binary search. Clamps to the landing page on the last page.
+    guard_.AnnounceSwitch(ref.page, NextPageAfter(b, ref.page));
     const uint8_t* page = guard_.Get(ref.page, status);
     if (page == nullptr) return false;
     Status decoded = encoding::DecodeBlock(
@@ -71,6 +86,15 @@ class CompressedColumnCursor {
     }
     block_ = b;
     return true;
+  }
+
+  /// Page of the first block past `page`, searching from block `b`;
+  /// `page` itself when the column ends there (degenerate hint).
+  PageId NextPageAfter(size_t b, PageId page) const {
+    auto it = std::upper_bound(
+        col_->blocks.begin() + static_cast<ptrdiff_t>(b), col_->blocks.end(),
+        page, [](PageId p, const CompressedBlockRef& r) { return p < r.page; });
+    return it != col_->blocks.end() ? it->page : page;
   }
 
   const CompressedColumn* col_;
@@ -91,6 +115,7 @@ class CompressedDocAccessor {
  public:
   CompressedDocAccessor(const CompressedDocTable& doc, BufferPool* pool)
       : size_(doc.size()),
+        pool_(pool),
         post_(doc.post(), pool),
         kind_(doc.kind(), pool),
         level_(doc.level(), pool),
@@ -121,8 +146,32 @@ class CompressedDocAccessor {
   }
 
   /// A kernel jumps to pre rank `pre`: release the pages the jump
-  /// leaves behind so the pool can evict them.
+  /// leaves behind so the pool can evict them, and -- when prefetching
+  /// is on -- announce the landing blocks' pages of the columns being
+  /// scanned so the pool faults them in ONE batched read.
   void SkipTo(uint64_t pre) {
+    if (pool_->prefetch_enabled() && pre < size_) {
+      // Landing block's page per active column, plus a one-block
+      // readahead window: a leap is usually followed by a forward scan,
+      // so the next block's page rides the same seek (see
+      // PagedDocAccessor::SkipTo).
+      PageId hints[10];
+      size_t count = 0;
+      AddSkipHint(post_.guard(), post_.PageFor(pre), hints, &count);
+      AddSkipHint(kind_.guard(), kind_.PageFor(pre), hints, &count);
+      AddSkipHint(level_.guard(), level_.PageFor(pre), hints, &count);
+      AddSkipHint(parent_.guard(), parent_.PageFor(pre), hints, &count);
+      AddSkipHint(tag_.guard(), tag_.PageFor(pre), hints, &count);
+      if (pre + encoding::kBlockValues < size_) {
+        const uint64_t next = pre + encoding::kBlockValues;
+        AddSkipHint(post_.guard(), post_.PageFor(next), hints, &count);
+        AddSkipHint(kind_.guard(), kind_.PageFor(next), hints, &count);
+        AddSkipHint(level_.guard(), level_.PageFor(next), hints, &count);
+        AddSkipHint(parent_.guard(), parent_.PageFor(next), hints, &count);
+        AddSkipHint(tag_.guard(), tag_.PageFor(next), hints, &count);
+      }
+      if (count > 0) pool_->Prefetch({hints, count});
+    }
     post_.SkipTo(pre);
     kind_.SkipTo(pre);
     level_.SkipTo(pre);
@@ -135,6 +184,7 @@ class CompressedDocAccessor {
 
  private:
   size_t size_;
+  BufferPool* pool_;
   CompressedColumnCursor post_;
   CompressedColumnCursor kind_;
   CompressedColumnCursor level_;

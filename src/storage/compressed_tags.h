@@ -111,7 +111,10 @@ class CompressedTagIndex {
 class CompressedFragmentCursor {
  public:
   CompressedFragmentCursor(const CompressedFragment& frag, BufferPool* pool)
-      : frag_(&frag), pre_(frag.pre, pool), post_(frag.post, pool) {}
+      : frag_(&frag),
+        pool_(pool),
+        pre_(frag.pre, pool),
+        post_(frag.post, pool) {}
 
   size_t size() const { return frag_->size; }
 
@@ -140,6 +143,21 @@ class CompressedFragmentCursor {
     size_t lo = block * encoding::kBlockValues;
     size_t hi = std::min<size_t>(lo + frag_->pre.BlockValueCount(block),
                                  frag_->size);
+    // A seek lands here next: the pre block is decoded immediately below
+    // and the join reads the slot's post rank right after, so announce
+    // both blocks' pages -- plus a one-block readahead window for the
+    // forward scan that follows -- as one batched fault.
+    if (pool_->prefetch_enabled()) {
+      PageId hints[4];
+      size_t count = 0;
+      hints[count++] = pre_.PageFor(lo);
+      hints[count++] = post_.PageFor(lo);
+      if (lo + encoding::kBlockValues < frag_->size) {
+        hints[count++] = pre_.PageFor(lo + encoding::kBlockValues);
+        hints[count++] = post_.PageFor(lo + encoding::kBlockValues);
+      }
+      pool_->Prefetch({hints, count});
+    }
     while (lo < hi) {
       size_t mid = lo + (hi - lo) / 2;
       if (pre_.At(mid, &status_) < pre) {
@@ -153,8 +171,24 @@ class CompressedFragmentCursor {
   }
 
   /// A join jumps to `slot`: drop held pages the jump leaves behind so
-  /// the pool can evict them.
+  /// the pool can evict them, and -- when prefetching is on -- announce
+  /// the landing blocks' pages as one batched fault.
   void SkipTo(size_t slot) {
+    if (pool_->prefetch_enabled() && slot < frag_->size) {
+      // Landing blocks' pages plus a one-block readahead window per
+      // column: the leapfrog scans forward from the landing slot, so
+      // the next block's page rides the same seek.
+      PageId hints[4];
+      size_t count = 0;
+      AddSkipHint(pre_.guard(), pre_.PageFor(slot), hints, &count);
+      AddSkipHint(post_.guard(), post_.PageFor(slot), hints, &count);
+      if (slot + encoding::kBlockValues < frag_->size) {
+        const size_t next = slot + encoding::kBlockValues;
+        AddSkipHint(pre_.guard(), pre_.PageFor(next), hints, &count);
+        AddSkipHint(post_.guard(), post_.PageFor(next), hints, &count);
+      }
+      if (count > 0) pool_->Prefetch({hints, count});
+    }
     pre_.SkipTo(slot);
     post_.SkipTo(slot);
   }
@@ -164,6 +198,7 @@ class CompressedFragmentCursor {
 
  private:
   const CompressedFragment* frag_;
+  BufferPool* pool_;
   CompressedColumnCursor pre_;
   CompressedColumnCursor post_;
   Status status_;

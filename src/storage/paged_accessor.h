@@ -63,12 +63,46 @@ class PageGuard {
     }
   }
 
+  /// True while a page is pinned (i.e. the column is actively scanning).
+  bool holding() const { return holding_; }
+
+  /// The pinned page id (meaningful only while holding()).
+  PageId held() const { return held_; }
+
+  /// Announces that the next read moves this guard to `page`, with
+  /// `next` as the column's following page (the readahead window): when
+  /// the column is actively scanning elsewhere and prefetching is on,
+  /// both pages are handed to BufferPool::Prefetch as one batched
+  /// fault. Cursors call this right before Get on every page switch, so
+  /// sequential boundary crossings batch exactly like SkipTo leaps --
+  /// and since a scan that crossed into `page` usually keeps going,
+  /// `next` rides the same seek for the cheap per-page transfer cost
+  /// instead of its own synchronous fault. Pass `next == page` at
+  /// end-of-column (the duplicate is dropped, leaving a degenerate
+  /// single-page hint that Prefetch ignores). No-op when not scanning,
+  /// not switching, or prefetch is off.
+  void AnnounceSwitch(PageId page, PageId next) {
+    if (!holding_ || held_ == page || !pool_->prefetch_enabled()) return;
+    const PageId hints[2] = {page, next};
+    pool_->Prefetch(hints);
+  }
+
  private:
   BufferPool* pool_;
   PageId held_ = 0;
   bool holding_ = false;
   const uint8_t* data_ = nullptr;
 };
+
+/// Appends `target` to the hint list `out` iff `guard` is actively
+/// scanning (holding a page) and the jump moves it to a different page
+/// -- the two signals that the kernel reads this column and that the
+/// read will fault without help. Shared by the SkipTo hint emission of
+/// every pool-backed accessor.
+inline void AddSkipHint(const PageGuard& guard, PageId target, PageId* out,
+                        size_t* count) {
+  if (guard.holding() && guard.held() != target) out[(*count)++] = target;
+}
 
 /// \brief DocAccessor over paged columns behind a buffer pool.
 ///
@@ -83,6 +117,7 @@ class PagedDocAccessor {
  public:
   PagedDocAccessor(const PagedDocTable& doc, BufferPool* pool)
       : doc_(&doc),
+        pool_(pool),
         post_guard_(pool),
         kind_guard_(pool),
         level_guard_(pool),
@@ -93,8 +128,10 @@ class PagedDocAccessor {
 
   uint32_t Post(uint64_t pre) {
     if (!status_.ok()) return 0;
-    const uint8_t* page =
-        post_guard_.Get(doc_->PostPage(static_cast<NodeId>(pre)), &status_);
+    const NodeId v = static_cast<NodeId>(pre);
+    post_guard_.AnnounceSwitch(doc_->PostPage(v),
+                               doc_->PostPage(RankAhead(pre, kRanksPerPage)));
+    const uint8_t* page = post_guard_.Get(doc_->PostPage(v), &status_);
     if (page == nullptr) return 0;
     uint32_t value;
     std::memcpy(&value, page + (pre % kRanksPerPage) * sizeof(uint32_t),
@@ -104,23 +141,28 @@ class PagedDocAccessor {
 
   uint8_t Kind(uint64_t pre) {
     if (!status_.ok()) return 0;
-    const uint8_t* page =
-        kind_guard_.Get(doc_->KindPage(static_cast<NodeId>(pre)), &status_);
+    const NodeId v = static_cast<NodeId>(pre);
+    kind_guard_.AnnounceSwitch(doc_->KindPage(v),
+                               doc_->KindPage(RankAhead(pre, kPageSize)));
+    const uint8_t* page = kind_guard_.Get(doc_->KindPage(v), &status_);
     return page == nullptr ? 0 : page[pre % kPageSize];
   }
 
   uint8_t Level(uint64_t pre) {
     if (!status_.ok()) return 0;
-    const uint8_t* page =
-        level_guard_.Get(doc_->LevelPage(static_cast<NodeId>(pre)), &status_);
+    const NodeId v = static_cast<NodeId>(pre);
+    level_guard_.AnnounceSwitch(doc_->LevelPage(v),
+                                doc_->LevelPage(RankAhead(pre, kPageSize)));
+    const uint8_t* page = level_guard_.Get(doc_->LevelPage(v), &status_);
     return page == nullptr ? 0 : page[pre % kPageSize];
   }
 
   NodeId Parent(uint64_t pre) {
     if (!status_.ok()) return 0;
-    const uint8_t* page =
-        parent_guard_.Get(doc_->ParentPage(static_cast<NodeId>(pre)),
-                          &status_);
+    const NodeId v = static_cast<NodeId>(pre);
+    parent_guard_.AnnounceSwitch(
+        doc_->ParentPage(v), doc_->ParentPage(RankAhead(pre, kRanksPerPage)));
+    const uint8_t* page = parent_guard_.Get(doc_->ParentPage(v), &status_);
     if (page == nullptr) return 0;
     uint32_t value;
     std::memcpy(&value, page + (pre % kRanksPerPage) * sizeof(uint32_t),
@@ -130,8 +172,10 @@ class PagedDocAccessor {
 
   TagId Tag(uint64_t pre) {
     if (!status_.ok()) return 0;
-    const uint8_t* page =
-        tag_guard_.Get(doc_->TagPage(static_cast<NodeId>(pre)), &status_);
+    const NodeId v = static_cast<NodeId>(pre);
+    tag_guard_.AnnounceSwitch(doc_->TagPage(v),
+                              doc_->TagPage(RankAhead(pre, kRanksPerPage)));
+    const uint8_t* page = tag_guard_.Get(doc_->TagPage(v), &status_);
     if (page == nullptr) return 0;
     uint32_t value;
     std::memcpy(&value, page + (pre % kRanksPerPage) * sizeof(uint32_t),
@@ -140,7 +184,10 @@ class PagedDocAccessor {
   }
 
   /// A kernel jumps to pre rank `pre`: drop held pages the jump leaves
-  /// behind so the pool can evict them (pages in between are never read).
+  /// behind so the pool can evict them (pages in between are never read),
+  /// and -- when prefetching is on -- announce the landing pages of the
+  /// columns being scanned so the pool faults them in ONE batched read
+  /// instead of one synchronous seek per column.
   void SkipTo(uint64_t pre) {
     if (pre >= doc_->size()) {
       post_guard_.Release();
@@ -150,18 +197,56 @@ class PagedDocAccessor {
       tag_guard_.Release();
       return;
     }
-    post_guard_.ReleaseUnless(doc_->PostPage(static_cast<NodeId>(pre)));
-    kind_guard_.ReleaseUnless(doc_->KindPage(static_cast<NodeId>(pre)));
-    level_guard_.ReleaseUnless(doc_->LevelPage(static_cast<NodeId>(pre)));
-    parent_guard_.ReleaseUnless(doc_->ParentPage(static_cast<NodeId>(pre)));
-    tag_guard_.ReleaseUnless(doc_->TagPage(static_cast<NodeId>(pre)));
+    const NodeId target = static_cast<NodeId>(pre);
+    if (pool_->prefetch_enabled()) {
+      // Landing page of every column being scanned, plus a one-page
+      // readahead window per column: a leap is usually followed by a
+      // forward scan, so the next page rides the same seek for a
+      // kBatchTransferDivisor-times cheaper transfer instead of its own
+      // synchronous fault at the page boundary.
+      PageId hints[10];
+      size_t count = 0;
+      AddSkipHint(post_guard_, doc_->PostPage(target), hints, &count);
+      AddSkipHint(kind_guard_, doc_->KindPage(target), hints, &count);
+      AddSkipHint(level_guard_, doc_->LevelPage(target), hints, &count);
+      AddSkipHint(parent_guard_, doc_->ParentPage(target), hints, &count);
+      AddSkipHint(tag_guard_, doc_->TagPage(target), hints, &count);
+      if (pre + kRanksPerPage < doc_->size()) {
+        const NodeId next = static_cast<NodeId>(pre + kRanksPerPage);
+        AddSkipHint(post_guard_, doc_->PostPage(next), hints, &count);
+        AddSkipHint(parent_guard_, doc_->ParentPage(next), hints, &count);
+        AddSkipHint(tag_guard_, doc_->TagPage(next), hints, &count);
+      }
+      if (pre + kPageSize < doc_->size()) {
+        const NodeId next = static_cast<NodeId>(pre + kPageSize);
+        AddSkipHint(kind_guard_, doc_->KindPage(next), hints, &count);
+        AddSkipHint(level_guard_, doc_->LevelPage(next), hints, &count);
+      }
+      if (count > 0) pool_->Prefetch({hints, count});
+    }
+    post_guard_.ReleaseUnless(doc_->PostPage(target));
+    kind_guard_.ReleaseUnless(doc_->KindPage(target));
+    level_guard_.ReleaseUnless(doc_->LevelPage(target));
+    parent_guard_.ReleaseUnless(doc_->ParentPage(target));
+    tag_guard_.ReleaseUnless(doc_->TagPage(target));
   }
 
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
  private:
+  /// The rank one column page past `pre` (clamped to `pre` at
+  /// end-of-column, which degenerates the readahead hint into the
+  /// landing page itself): the second half of AnnounceSwitch hints.
+  /// `per_page` is the column's values-per-page (kRanksPerPage for the
+  /// uint32 columns, kPageSize for the byte columns).
+  NodeId RankAhead(uint64_t pre, uint64_t per_page) const {
+    const uint64_t ahead = pre + per_page;
+    return static_cast<NodeId>(ahead < doc_->size() ? ahead : pre);
+  }
+
   const PagedDocTable* doc_;
+  BufferPool* pool_;
   PageGuard post_guard_;
   PageGuard kind_guard_;
   PageGuard level_guard_;

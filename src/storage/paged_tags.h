@@ -107,14 +107,16 @@ class PagedTagIndex {
 class PagedFragmentCursor {
  public:
   PagedFragmentCursor(const PagedFragment& frag, BufferPool* pool)
-      : frag_(&frag), pre_guard_(pool), post_guard_(pool) {}
+      : frag_(&frag), pool_(pool), pre_guard_(pool), post_guard_(pool) {}
 
   size_t size() const { return frag_->size; }
 
   NodeId Pre(size_t slot) {
     if (!status_.ok()) return 0;
-    const uint8_t* page =
-        pre_guard_.Get(frag_->pre_pages[slot / kRanksPerPage], &status_);
+    const size_t p = slot / kRanksPerPage;
+    pre_guard_.AnnounceSwitch(frag_->pre_pages[p],
+                              frag_->pre_pages[PageAhead(p)]);
+    const uint8_t* page = pre_guard_.Get(frag_->pre_pages[p], &status_);
     if (page == nullptr) return 0;
     uint32_t value;
     std::memcpy(&value, page + (slot % kRanksPerPage) * sizeof(uint32_t),
@@ -124,8 +126,10 @@ class PagedFragmentCursor {
 
   uint32_t Post(size_t slot) {
     if (!status_.ok()) return 0;
-    const uint8_t* page =
-        post_guard_.Get(frag_->post_pages[slot / kRanksPerPage], &status_);
+    const size_t p = slot / kRanksPerPage;
+    post_guard_.AnnounceSwitch(frag_->post_pages[p],
+                               frag_->post_pages[PageAhead(p)]);
+    const uint8_t* page = post_guard_.Get(frag_->post_pages[p], &status_);
     if (page == nullptr) return 0;
     uint32_t value;
     std::memcpy(&value, page + (slot % kRanksPerPage) * sizeof(uint32_t),
@@ -145,6 +149,21 @@ class PagedFragmentCursor {
                       std::lower_bound(fence.begin(), fence.end(), pre) -
                       fence.begin()) -
                   1;
+    // A seek lands here next: the pre page is read immediately below and
+    // the join reads the slot's post rank right after, so announce both
+    // pages -- plus a one-page readahead window for the forward scan
+    // that follows -- as one batched fault instead of synchronous seeks.
+    if (pool_->prefetch_enabled()) {
+      PageId hints[4];
+      size_t count = 0;
+      hints[count++] = frag_->pre_pages[page];
+      hints[count++] = frag_->post_pages[page];
+      if (page + 1 < frag_->pre_pages.size()) {
+        hints[count++] = frag_->pre_pages[page + 1];
+        hints[count++] = frag_->post_pages[page + 1];
+      }
+      pool_->Prefetch({hints, count});
+    }
     const uint8_t* bytes = pre_guard_.Get(frag_->pre_pages[page], &status_);
     if (bytes == nullptr) return frag_->size;
     size_t begin = page * kRanksPerPage;
@@ -165,12 +184,29 @@ class PagedFragmentCursor {
   }
 
   /// A join jumps to `slot`: drop held pages the jump leaves behind so
-  /// the pool can evict them (pages in between are never read).
+  /// the pool can evict them (pages in between are never read), and --
+  /// when prefetching is on -- announce the landing pages of the columns
+  /// being scanned as one batched fault.
   void SkipTo(size_t slot) {
     if (slot >= frag_->size) {
       pre_guard_.Release();
       post_guard_.Release();
       return;
+    }
+    if (pool_->prefetch_enabled()) {
+      // Landing pages plus a one-page readahead window per column (see
+      // PagedDocAccessor::SkipTo): the leapfrog scans forward from the
+      // landing slot, so the next page rides the same seek.
+      PageId hints[4];
+      size_t count = 0;
+      const size_t page = slot / kRanksPerPage;
+      AddSkipHint(pre_guard_, frag_->pre_pages[page], hints, &count);
+      AddSkipHint(post_guard_, frag_->post_pages[page], hints, &count);
+      if (page + 1 < frag_->pre_pages.size()) {
+        AddSkipHint(pre_guard_, frag_->pre_pages[page + 1], hints, &count);
+        AddSkipHint(post_guard_, frag_->post_pages[page + 1], hints, &count);
+      }
+      if (count > 0) pool_->Prefetch({hints, count});
     }
     pre_guard_.ReleaseUnless(frag_->pre_pages[slot / kRanksPerPage]);
     post_guard_.ReleaseUnless(frag_->post_pages[slot / kRanksPerPage]);
@@ -180,7 +216,15 @@ class PagedFragmentCursor {
   const Status& status() const { return status_; }
 
  private:
+  /// The page index after `p` (clamped to `p` on the last page, which
+  /// degenerates the readahead hint into the landing page itself): the
+  /// second half of AnnounceSwitch hints.
+  size_t PageAhead(size_t p) const {
+    return p + 1 < frag_->pre_pages.size() ? p + 1 : p;
+  }
+
   const PagedFragment* frag_;
+  BufferPool* pool_;
   PageGuard pre_guard_;
   PageGuard post_guard_;
   Status status_;

@@ -100,7 +100,8 @@ Status Evaluator::CheckImageDigests(size_t image_size,
 }
 
 Result<NodeSequence> Evaluator::EvaluateKeepTrace(const LocationPath& path,
-                                                  const NodeSequence& context) {
+                                                  const NodeSequence& context,
+                                                  const PlannedPath* planned) {
   const BackendDispatch dispatch(doc_, options_);
   if (dispatch.Pooled()) {
     SJ_RETURN_NOT_OK(dispatch.ValidateWiring());
@@ -119,7 +120,8 @@ Result<NodeSequence> Evaluator::EvaluateKeepTrace(const LocationPath& path,
   if (!start.empty() && start.back() >= doc_.size()) {
     return Status::InvalidArgument("context node out of range");
   }
-  return EvalSteps(path.steps, 0, std::move(start), /*top_level=*/true);
+  return EvalSteps(path.steps, 0, std::move(start), /*top_level=*/true,
+                   planned);
 }
 
 Result<NodeSequence> Evaluator::Evaluate(const LocationPath& path) {
@@ -132,14 +134,18 @@ Result<NodeSequence> Evaluator::EvaluateString(std::string_view xpath) {
   return Evaluate(path);
 }
 
-Result<NodeSequence> Evaluator::Evaluate(const UnionExpr& expr,
-                                         const NodeSequence& context) {
+Result<NodeSequence> Evaluator::EvaluateUnion(
+    const UnionExpr& expr, const std::vector<PlannedPath>* planned,
+    const NodeSequence& context) {
   // One trace for the whole union: clearing per branch would leave
   // ExplainLastQuery reporting only the final branch's steps.
   trace_.clear();
   NodeSequence merged;
-  for (const LocationPath& branch : expr.branches) {
-    SJ_ASSIGN_OR_RETURN(NodeSequence r, EvaluateKeepTrace(branch, context));
+  for (size_t b = 0; b < expr.branches.size(); ++b) {
+    SJ_ASSIGN_OR_RETURN(
+        NodeSequence r,
+        EvaluateKeepTrace(expr.branches[b], context,
+                          planned != nullptr ? &(*planned)[b] : nullptr));
     NodeSequence next;
     next.reserve(merged.size() + r.size());
     std::merge(merged.begin(), merged.end(), r.begin(), r.end(),
@@ -150,6 +156,42 @@ Result<NodeSequence> Evaluator::Evaluate(const UnionExpr& expr,
   return merged;
 }
 
+Result<NodeSequence> Evaluator::Evaluate(const UnionExpr& expr,
+                                         const NodeSequence& context) {
+  return EvaluateUnion(expr, /*planned=*/nullptr, context);
+}
+
+Result<NodeSequence> Evaluator::Evaluate(const CompiledPlan& plan,
+                                         const NodeSequence& context) {
+  if (plan.branches.size() != plan.expr.branches.size()) {
+    return Status::InvalidArgument(
+        "compiled plan does not match its expression");
+  }
+  return EvaluateUnion(plan.expr, &plan.branches, context);
+}
+
+CompiledPlan Evaluator::Compile(UnionExpr expr) const {
+  CompiledPlan plan;
+  plan.expr = std::move(expr);
+  plan.branches.reserve(plan.expr.branches.size());
+  for (const LocationPath& branch : plan.expr.branches) {
+    // The same walk EvalSteps performs at execution time: a twig match
+    // consumes its whole run, every other step is planned individually.
+    // (Steps inside a consumed run keep defaulted, never-read slots.)
+    PlannedPath planned;
+    planned.steps.resize(branch.steps.size());
+    for (size_t i = 0; i < branch.steps.size();) {
+      PlannedStep step = MatchTwigRun(branch.steps, i);
+      if (step.twig_consumed == 0) step = PlanStep(branch.steps[i]);
+      const size_t consumed = std::max<size_t>(step.twig_consumed, 1);
+      planned.steps[i] = std::move(step);
+      i += consumed;
+    }
+    plan.branches.push_back(std::move(planned));
+  }
+  return plan;
+}
+
 Result<NodeSequence> Evaluator::EvaluateUnionString(std::string_view xpath) {
   SJ_ASSIGN_OR_RETURN(UnionExpr expr, ParseXPathUnion(xpath));
   return Evaluate(expr, doc_.empty() ? NodeSequence{}
@@ -158,7 +200,8 @@ Result<NodeSequence> Evaluator::EvaluateUnionString(std::string_view xpath) {
 
 Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
                                           size_t first, NodeSequence context,
-                                          bool top_level) {
+                                          bool top_level,
+                                          const PlannedPath* planned) {
   NodeSequence current = std::move(context);
   for (size_t i = first; i < steps.size();) {
     if (current.empty()) {
@@ -175,13 +218,25 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
       }
       return NodeSequence{};
     }
-    const TwigPlan plan = MatchTwigRun(steps, i);
-    if (plan.consumed > 0) {
-      SJ_ASSIGN_OR_RETURN(current,
-                          EvalTwigRun(steps, i, plan, current, top_level));
-      i += plan.consumed;
+    // Planned and unplanned execution share every line below this one:
+    // a compiled plan just supplies the PlannedStep; otherwise it is
+    // derived here, per step, exactly as Compile would have.
+    PlannedStep dynamic;
+    const PlannedStep* plan;
+    if (planned != nullptr) {
+      plan = &planned->steps[i];
     } else {
-      SJ_ASSIGN_OR_RETURN(current, EvalStep(steps[i], current, top_level));
+      dynamic = MatchTwigRun(steps, i);
+      if (dynamic.twig_consumed == 0) dynamic = PlanStep(steps[i]);
+      plan = &dynamic;
+    }
+    if (plan->twig_consumed > 0) {
+      SJ_ASSIGN_OR_RETURN(current,
+                          EvalTwigRun(steps, i, *plan, current, top_level));
+      i += plan->twig_consumed;
+    } else {
+      SJ_ASSIGN_OR_RETURN(current,
+                          EvalStep(steps[i], current, top_level, *plan));
       ++i;
     }
   }
@@ -202,9 +257,9 @@ static bool IsDescendantOrSelfNode(const Step& step) {
          step.test.kind == NodeTestKind::kAnyNode;
 }
 
-Evaluator::TwigPlan Evaluator::MatchTwigRun(const std::vector<Step>& steps,
-                                            size_t first) const {
-  TwigPlan plan;
+PlannedStep Evaluator::MatchTwigRun(const std::vector<Step>& steps,
+                                    size_t first) const {
+  PlannedStep plan;
   if (options_.engine != EngineMode::kStaircase ||
       options_.twig == TwigMode::kNever) {
     return plan;
@@ -216,13 +271,13 @@ Evaluator::TwigPlan Evaluator::MatchTwigRun(const std::vector<Step>& steps,
     size_t used = 0;
     if (IsTwigLevelStep(steps[i])) {
       level.axis = steps[i].axis;
-      plan.names.push_back(steps[i].test.name);
+      plan.twig_names.push_back(steps[i].test.name);
       used = 1;
     } else if (i + 1 < steps.size() && IsDescendantOrSelfNode(steps[i]) &&
                IsTwigLevelStep(steps[i + 1]) &&
                steps[i + 1].axis == Axis::kChild) {
       level.axis = Axis::kDescendant;
-      plan.names.push_back(steps[i + 1].test.name);
+      plan.twig_names.push_back(steps[i + 1].test.name);
       used = 2;
     } else {
       break;
@@ -230,19 +285,38 @@ Evaluator::TwigPlan Evaluator::MatchTwigRun(const std::vector<Step>& steps,
     // A never-interned name keeps its level: the empty kNoTag fragment
     // makes the whole twig empty in O(k), matching the single-step
     // unknown-tag short-circuit.
-    level.tag = doc_.tags().Lookup(plan.names.back()).value_or(kNoTag);
-    plan.levels.push_back(level);
+    level.tag = doc_.tags().Lookup(plan.twig_names.back()).value_or(kNoTag);
+    plan.twig_levels.push_back(level);
     i += used;
   }
   // One level is just an ordinary step (pushdown already covers it); a
   // twig needs a chain.
-  if (plan.levels.size() < 2) return TwigPlan{};
-  plan.consumed = i - first;
+  if (plan.twig_levels.size() < 2) return PlannedStep{};
+  plan.twig_consumed = i - first;
+  return plan;
+}
+
+PlannedStep Evaluator::PlanStep(const Step& step) const {
+  PlannedStep plan;
+  for (const Predicate& pred : step.predicates) {
+    plan.positional = plan.positional || pred.kind != Predicate::Kind::kExists;
+  }
+  // std::nullopt tag: the step's name test (or PI target) references a
+  // never-interned name and can only produce the empty sequence.
+  // Distinct from a text/comment node's kNoTag column value, which
+  // Lookup can never return.
+  plan.needs_tag = step.test.kind == NodeTestKind::kName ||
+                   (step.test.kind == NodeTestKind::kPi &&
+                    !step.test.name.empty());
+  if (plan.needs_tag) plan.tag = doc_.tags().Lookup(step.test.name);
+  plan.pushdown = !plan.positional && step.test.kind == NodeTestKind::kName &&
+                  plan.tag.has_value() && ShouldPushdown(step, *plan.tag);
   return plan;
 }
 
 Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
-                                            size_t first, const TwigPlan& plan,
+                                            size_t first,
+                                            const PlannedStep& plan,
                                             const NodeSequence& context,
                                             bool top_level) {
   Timer timer;
@@ -250,7 +324,7 @@ Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
   std::vector<TwigLevelStats> level_stats;
   const BackendDispatch dispatch(doc_, options_);
   SJ_ASSIGN_OR_RETURN(NodeSequence result,
-                      dispatch.Twig(context, plan.levels, &stats,
+                      dispatch.Twig(context, plan.twig_levels, &stats,
                                     &level_stats));
   if (top_level) {
     // One twig entry carrying the collapsed plan, then one "subsumed"
@@ -258,22 +332,22 @@ Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
     // per step of the query, and no step text silently vanishes.
     const size_t twig_entry = trace_.size() + 1;  // 1-based, as printed
     std::string desc;
-    for (size_t s = 0; s < plan.consumed; ++s) {
+    for (size_t s = 0; s < plan.twig_consumed; ++s) {
       if (s > 0) desc += explain::kStepSep;
       desc += ToString(steps[first + s]);
     }
     desc += explain::kVia;
     desc += dispatch.Label();
     desc += explain::kTwigJoinOverFragments;
-    for (size_t l = 0; l < plan.names.size(); ++l) {
+    for (size_t l = 0; l < plan.twig_names.size(); ++l) {
       if (l > 0) desc += explain::kTwigLevelSep;
-      desc += explain::kTwigQuote + plan.names[l] + explain::kTwigQuote;
+      desc += explain::kTwigQuote + plan.twig_names[l] + explain::kTwigQuote;
     }
-    desc += explain::kTwigK + std::to_string(plan.levels.size());
+    desc += explain::kTwigK + std::to_string(plan.twig_levels.size());
     desc += explain::kTwigSkipsOpen;
     for (size_t l = 0; l < level_stats.size(); ++l) {
       desc += (l > 0 ? explain::kTwigSkipsNext : explain::kTwigSkipsFirst) +
-              plan.names[l] + explain::kTwigSkipsEq +
+              plan.twig_names[l] + explain::kTwigSkipsEq +
               std::to_string(level_stats[l].slots_skipped);
     }
     desc += explain::kCloseParen;
@@ -283,7 +357,7 @@ Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
     trace.stats = stats;
     trace.millis = timer.ElapsedMillis();
     trace_.push_back(std::move(trace));
-    for (size_t s = 1; s < plan.consumed; ++s) {
+    for (size_t s = 1; s < plan.twig_consumed; ++s) {
       StepTrace subsumed;
       subsumed.description = ToString(steps[first + s]) +
                              explain::kSubsumedByTwigOpen +
@@ -469,18 +543,15 @@ Result<NodeSequence> Evaluator::EvalStepPositional(
 
 Result<NodeSequence> Evaluator::EvalStep(const Step& step,
                                          const NodeSequence& context,
-                                         bool top_level) {
+                                         bool top_level,
+                                         const PlannedStep& plan) {
   Timer timer;
   StepTrace trace;
   JoinStats stats;
   NodeSequence result;
 
-  bool positional = false;
-  for (const Predicate& pred : step.predicates) {
-    positional = positional || pred.kind != Predicate::Kind::kExists;
-  }
   const BackendDispatch dispatch(doc_, options_);
-  if (positional) {
+  if (plan.positional) {
     SJ_ASSIGN_OR_RETURN(result, EvalStepPositional(step, context));
     if (top_level) {
       trace.description = ToString(step) + explain::kPositionalSuffix;
@@ -499,15 +570,7 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
   }
 
   const bool staircase_axis = IsStaircaseAxis(step.axis);
-  // std::nullopt: the step's name test (or PI target) references a
-  // never-interned name and can only produce the empty sequence (a trace
-  // entry is still recorded below). Distinct from a text/comment node's
-  // kNoTag column value, which Lookup can never return.
-  std::optional<TagId> tag;
-  const bool needs_tag = step.test.kind == NodeTestKind::kName ||
-                         (step.test.kind == NodeTestKind::kPi &&
-                          !step.test.name.empty());
-  if (needs_tag) tag = doc_.tags().Lookup(step.test.name);
+  const std::optional<TagId>& tag = plan.tag;
 
   if (options_.engine != EngineMode::kStaircase) {
     // Naive engine: per-context evaluation with sort + unique (the
@@ -518,11 +581,11 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
     if (step.test.kind != NodeTestKind::kAnyNode) {
       result = FilterByTest(step, result);
     }
-  } else if (needs_tag && !tag.has_value()) {
+  } else if (plan.needs_tag && !tag.has_value()) {
     trace.description = ToString(step) + explain::kEmptyUnknownTag;
     result.clear();
   } else if (staircase_axis) {
-    if (step.test.kind == NodeTestKind::kName && ShouldPushdown(step, *tag)) {
+    if (plan.pushdown) {
       // The unified fragment join over the backend's cursor: the
       // pushed-down step's fragment reads AND its context postorder
       // reads are charged to the step's backend (options_.pool when

@@ -32,6 +32,7 @@
 #include "util/result.h"
 #include "xpath/ast.h"
 #include "xpath/parser.h"
+#include "xpath/plan.h"
 
 namespace sj::xpath {
 
@@ -153,6 +154,22 @@ class Evaluator {
   /// Parses and evaluates a union expression from the document element.
   Result<NodeSequence> EvaluateUnionString(std::string_view xpath);
 
+  /// Analyzes `expr` into an immutable CompiledPlan: twig-run collapse,
+  /// positional detection, tag interning and the pushdown decision are
+  /// settled HERE, once, instead of on every run. The decisions depend
+  /// only on the document and the semantic options (engine, backend,
+  /// pushdown, twig, pushdown_selectivity), so a plan compiled by one
+  /// evaluator is valid for any evaluator over the same document with
+  /// equal semantic options -- the sharing contract of the Database
+  /// plan cache, whose key is exactly those fields.
+  CompiledPlan Compile(UnionExpr expr) const;
+
+  /// Evaluates a compiled plan (document-order merge of the branches).
+  /// Takes the same code paths as Evaluate(UnionExpr) with the planning
+  /// work pre-done; EXPLAIN traces are byte-identical.
+  Result<NodeSequence> Evaluate(const CompiledPlan& plan,
+                                const NodeSequence& context);
+
   /// Plan diagnostics of the most recent top-level Evaluate call.
   const std::vector<StepTrace>& last_trace() const { return trace_; }
 
@@ -161,8 +178,15 @@ class Evaluator {
 
  private:
   /// Evaluate() minus the trace reset: union branches share one trace.
+  /// `planned` carries the branch's compiled decisions; null re-derives
+  /// them per step (the uncached path -- same decisions, same traces).
   Result<NodeSequence> EvaluateKeepTrace(const LocationPath& path,
-                                         const NodeSequence& context);
+                                         const NodeSequence& context,
+                                         const PlannedPath* planned = nullptr);
+  /// Shared body of the two union Evaluate overloads.
+  Result<NodeSequence> EvaluateUnion(const UnionExpr& expr,
+                                     const std::vector<PlannedPath>* planned,
+                                     const NodeSequence& context);
   /// Shared identity check of the pool-backed backends: the bound image
   /// (and, when present, its fragment index) must carry this document's
   /// column digests. `image_frag_digest` is nullopt when the backend
@@ -171,28 +195,25 @@ class Evaluator {
                            std::optional<uint64_t> image_frag_digest,
                            const char* backend_name);
   Result<NodeSequence> EvalSteps(const std::vector<Step>& steps, size_t first,
-                                 NodeSequence context, bool top_level);
+                                 NodeSequence context, bool top_level,
+                                 const PlannedPath* planned = nullptr);
   Result<NodeSequence> EvalStep(const Step& step, const NodeSequence& context,
-                                bool top_level);
-  /// A recognized twig run: `consumed` consecutive steps collapse into
-  /// `levels` (a folded `descendant-or-self::node()` + `child::name`
-  /// pair -- the parse of `//name` -- consumes two steps for one
-  /// kDescendant level). `consumed == 0` means "no collapse here".
-  struct TwigPlan {
-    size_t consumed = 0;
-    std::vector<TwigLevel> levels;
-    /// Tag names, parallel to `levels` (for EXPLAIN).
-    std::vector<std::string> names;
-  };
-  /// Longest eligible run starting at steps[first] (>= 2 levels, no
-  /// predicates, name tests only, twig axes only); empty plan when the
-  /// engine/backend gates or the steps disqualify it.
-  TwigPlan MatchTwigRun(const std::vector<Step>& steps, size_t first) const;
+                                bool top_level, const PlannedStep& plan);
+  /// Longest eligible twig run starting at steps[first] (>= 2 levels, no
+  /// predicates, name tests only, twig axes only): twig_consumed > 0 and
+  /// one TwigLevel per chain level (a folded `descendant-or-self::node()`
+  /// + `child::name` pair -- the parse of `//name` -- consumes two steps
+  /// for one kDescendant level). twig_consumed == 0 when the
+  /// engine/backend gates or the steps disqualify a collapse.
+  PlannedStep MatchTwigRun(const std::vector<Step>& steps, size_t first) const;
+  /// The per-step planning decisions of one non-twig step (positional
+  /// detection, tag interning, pushdown choice).
+  PlannedStep PlanStep(const Step& step) const;
   /// Evaluates a matched run as one twig join and records its trace:
   /// one twig entry plus a "subsumed" marker per remaining step, so
   /// EXPLAIN still lists one entry per query step.
   Result<NodeSequence> EvalTwigRun(const std::vector<Step>& steps,
-                                   size_t first, const TwigPlan& plan,
+                                   size_t first, const PlannedStep& plan,
                                    const NodeSequence& context,
                                    bool top_level);
   Result<NodeSequence> EvalStepPositional(const Step& step,

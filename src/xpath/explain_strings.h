@@ -56,6 +56,11 @@ inline constexpr const char kStepSep[] = "/";
 inline constexpr const char kSubsumedByTwigOpen[] =
     " -> subsumed by twig join (step ";
 
+// --- plan cache (sj::QueryResult::Explain) ----------------------------------
+/// Leading line of a cache-served query's EXPLAIN; closed by kCloseParen.
+/// The rest of the report stays byte-identical to the uncached run.
+inline constexpr const char kPlanCachedOpen[] = "plan: cached (hits=";
+
 // --- per-context fallbacks --------------------------------------------------
 inline constexpr const char kPerContext[] = " via per-context evaluation";
 inline constexpr const char kPositionalSuffix[] =

@@ -220,6 +220,103 @@ TEST_F(ApiConcurrencyTest, TotalStatsCountConcurrentQueries) {
             expected_nodes.load(std::memory_order_relaxed));
 }
 
+TEST_F(ApiConcurrencyTest, ConcurrentPlanCacheHitsServeTheUncachedResult) {
+  // 8 threads, fresh sessions every round, all asking the plan cache for
+  // the same few plans across three backends: every served plan must
+  // produce node-for-node the uncached oracle, and the TSan job proves
+  // the cache latch and the shared_ptr plan handoff are clean. The
+  // queries are unique to this test so the first run of each config is
+  // genuinely uncached.
+  constexpr const char* kCachedQueries[] = {
+      "/descendant::bidder/child::increase",
+      "/descendant::category/child::name",
+  };
+  std::vector<SessionOptions> configs;
+  for (StorageBackend backend :
+       {StorageBackend::kMemory, StorageBackend::kPaged,
+        StorageBackend::kCompressed}) {
+    SessionOptions o;
+    o.backend = backend;
+    configs.push_back(o);
+  }
+
+  const uint64_t hits_before = db_->TotalStats().plan_cache_hits;
+  std::vector<std::vector<Oracle>> oracles(configs.size());
+  for (size_t c = 0; c < configs.size(); ++c) {
+    Session session = std::move(db_->CreateSession(configs[c])).value();
+    for (const char* q : kCachedQueries) {
+      auto r = session.Run(q);
+      ASSERT_TRUE(r.ok()) << q << ": " << r.status();
+      ASSERT_FALSE(r.value().plan_cached)
+          << q << " was already cached; the oracle must be the uncached run";
+      ASSERT_GT(r.value().nodes.size(), 0u) << q;
+      oracles[c].push_back(MakeOracle(r.value()));
+    }
+  }
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 5;
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> served{0};
+  std::vector<std::string> messages(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        for (size_t i = 0; i < configs.size(); ++i) {
+          const size_t c = (i + static_cast<size_t>(t)) % configs.size();
+          // A fresh session per round: every first run goes through the
+          // SHARED cache latch, not the session-local memo.
+          auto session = db_->CreateSession(configs[c]);
+          if (!session.ok()) {
+            messages[t] = session.status().ToString();
+            ++failures;
+            return;
+          }
+          for (size_t qi = 0; qi < std::size(kCachedQueries); ++qi) {
+            auto r = session.value().Run(kCachedQueries[qi]);
+            if (!r.ok()) {
+              messages[t] = std::string(kCachedQueries[qi]) + ": " +
+                            r.status().ToString();
+              ++failures;
+              return;
+            }
+            if (!r.value().plan_cached) {
+              messages[t] = std::string("expected a cache hit: ") +
+                            kCachedQueries[qi];
+              ++failures;
+              return;
+            }
+            ++served;
+            const Oracle got = MakeOracle(r.value());
+            const Oracle& want = oracles[c][qi];
+            if (got.nodes != want.nodes || got.steps != want.steps ||
+                got.scanned != want.scanned ||
+                got.result_size != want.result_size) {
+              messages[t] = std::string("cached plan diverged: ") +
+                            kCachedQueries[qi];
+              ++failures;
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (const std::string& m : messages) {
+    EXPECT_TRUE(m.empty()) << m;
+  }
+  EXPECT_EQ(served.load(), static_cast<uint64_t>(kThreads * kRounds *
+                                                 configs.size() *
+                                                 std::size(kCachedQueries)));
+  // Every one of those serves went through the shared cache (fresh
+  // sessions have empty memos), so the lifetime hit counter moved.
+  EXPECT_GE(db_->TotalStats().plan_cache_hits - hits_before, served.load());
+}
+
 TEST_F(ApiConcurrencyTest, SessionCreationIsCheap) {
   // The open-time digest work must not be repaid per session: creating a
   // session is O(1) in document size. The PAGED backend is the one that

@@ -1,0 +1,23 @@
+// sj-lint fixture: MUST fail rule bench-json when linted as a
+// bench/bench_*.cc file (see sj_lint_test.py). The seven-field
+// initializer predates the serving-latency percentiles: p50/p95/p99
+// stay silently zero, so a JSON consumer would read "no latency" where
+// the bench simply never set the fields. Brace initializers must name
+// every field of the row format; benches that do not measure
+// percentiles assign the scalar fields by name instead.
+
+#include <vector>
+
+#include "bench_util.h"
+
+namespace sj::bench {
+
+void EmitPrePercentileRecords(double mb, uint64_t faults, double ms,
+                              uint64_t skipped, uint64_t result) {
+  std::vector<JsonRecord> json;
+  json.push_back(
+      {"q1", "paged-cold", mb, faults, ms, skipped, result});  // violation
+  WriteJson(json, "BENCH_fixture.json");
+}
+
+}  // namespace sj::bench

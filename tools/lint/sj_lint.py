@@ -173,6 +173,7 @@ _EXPLAIN_PHRASES = (
     "-> empty",
     " workers)",
     " via ",
+    "plan: cached",
 )
 
 _STRINGS_FILE = "src/xpath/explain_strings.h"
@@ -271,7 +272,8 @@ def check_stats_on_advance(rel, code, _literals, allows, findings):
                     "never touches JoinStats; skipped work must be counted")
 
 
-_JSON_FIELDS = 7  # query, backend, size_mb, faults, ms, skipped, result
+_JSON_FIELDS = 10  # query, backend, size_mb, faults, ms, skipped, result,
+                   # p50_ms, p95_ms, p99_ms
 _PUSH_RE = re.compile(r"(?:push_back|emplace_back)\s*\(\s*\{|JsonRecord\s*\{")
 
 
