@@ -38,55 +38,55 @@ Result<std::string> ReadFileText(const std::filesystem::path& path) {
 
 }  // namespace
 
-Result<std::unique_ptr<Database>> Database::Finish(
-    std::unique_ptr<Database> db, const DatabaseOptions& options,
+Result<std::shared_ptr<const DatabaseImages>> Database::BuildImages(
+    std::unique_ptr<DatabaseImages> img, const DatabaseOptions& options,
     bool build_missing) {
-  const DocTable& doc = *db->doc_;
-  if (build_missing && options.build_tag_index && db->tag_index_ == nullptr) {
-    db->tag_index_ = std::make_unique<TagIndex>(doc);
+  const DocTable& doc = *img->doc;
+  if (build_missing && options.build_tag_index && img->tag_index == nullptr) {
+    img->tag_index = std::make_unique<TagIndex>(doc);
   }
-  if (build_missing && options.build_paged && db->paged_doc_ == nullptr) {
-    if (db->disk_ == nullptr) {
-      db->disk_ = std::make_unique<storage::SimulatedDisk>();
+  if (build_missing && options.build_paged && img->paged_doc == nullptr) {
+    if (img->disk == nullptr) {
+      img->disk = std::make_unique<storage::SimulatedDisk>();
     }
-    SJ_ASSIGN_OR_RETURN(db->paged_doc_,
-                        storage::PagedDocTable::Create(doc, db->disk_.get()));
-    SJ_ASSIGN_OR_RETURN(db->paged_tags_,
-                        storage::PagedTagIndex::Create(doc, db->disk_.get()));
+    SJ_ASSIGN_OR_RETURN(img->paged_doc,
+                        storage::PagedDocTable::Create(doc, img->disk.get()));
+    SJ_ASSIGN_OR_RETURN(img->paged_tags,
+                        storage::PagedTagIndex::Create(doc, img->disk.get()));
     // Create captured both digests from this very document: adopt them
     // (coherent by construction) instead of paying a second O(doc)
     // digest pass only to compare guaranteed-equal values.
-    db->doc_digest_ = db->paged_doc_->source_digest();
-    db->frag_digest_ = db->paged_tags_->source_digest();
+    img->doc_digest = img->paged_doc->source_digest();
+    img->frag_digest = img->paged_tags->source_digest();
   }
   bool compressed_built_here = false;
   if (build_missing && options.build_compressed &&
-      db->compressed_doc_ == nullptr) {
+      img->compressed_doc == nullptr) {
     // The compressed image shares the paged image's disk (one pool
     // serves every pool-backed backend); a compressed-only database
     // still needs a disk of its own.
-    if (db->disk_ == nullptr) {
-      db->disk_ = std::make_unique<storage::SimulatedDisk>();
+    if (img->disk == nullptr) {
+      img->disk = std::make_unique<storage::SimulatedDisk>();
     }
     SJ_ASSIGN_OR_RETURN(
-        db->compressed_doc_,
-        storage::CompressedDocTable::Create(doc, db->disk_.get()));
+        img->compressed_doc,
+        storage::CompressedDocTable::Create(doc, img->disk.get()));
     // Reuse the resident TagIndex when it exists; encoding should not
     // pay a second projection scan of the whole document.
-    if (db->tag_index_ != nullptr) {
-      SJ_ASSIGN_OR_RETURN(db->compressed_tags_,
+    if (img->tag_index != nullptr) {
+      SJ_ASSIGN_OR_RETURN(img->compressed_tags,
                           storage::CompressedTagIndex::Create(
-                              doc, *db->tag_index_, db->disk_.get()));
+                              doc, *img->tag_index, img->disk.get()));
     } else {
       SJ_ASSIGN_OR_RETURN(
-          db->compressed_tags_,
-          storage::CompressedTagIndex::Create(doc, db->disk_.get()));
+          img->compressed_tags,
+          storage::CompressedTagIndex::Create(doc, img->disk.get()));
     }
-    if (!db->doc_digest_.has_value()) {
-      db->doc_digest_ = db->compressed_doc_->source_digest();
+    if (!img->doc_digest.has_value()) {
+      img->doc_digest = img->compressed_doc->source_digest();
     }
-    if (!db->frag_digest_.has_value()) {
-      db->frag_digest_ = db->compressed_tags_->source_digest();
+    if (!img->frag_digest.has_value()) {
+      img->frag_digest = img->compressed_tags->source_digest();
     }
     compressed_built_here = true;
   }
@@ -95,44 +95,44 @@ Result<std::unique_ptr<Database>> Database::Finish(
   // image must carry the digest of THIS document's columns. A stale
   // image (rebuilt document, image of a different document) is rejected
   // here with the failing column set named -- not lazily on the first
-  // paged query. The digests are computed exactly once per database and
-  // travel to every session (EvalOptions::doc_digest), so neither
+  // paged query. The digests are computed exactly once per image set
+  // and travel to every session (EvalOptions::doc_digest), so neither
   // session creation nor the first query repeats the pass.
-  if (db->paged_doc_ != nullptr) {
-    if (db->disk_ == nullptr) {
+  if (img->paged_doc != nullptr) {
+    if (img->disk == nullptr) {
       return Status::InvalidArgument(
           "paged document image adopted without its disk");
     }
-    if (!db->doc_digest_.has_value()) {
-      db->doc_digest_ = storage::DocColumnsDigest(doc);
+    if (!img->doc_digest.has_value()) {
+      img->doc_digest = storage::DocColumnsDigest(doc);
     }
-    if (db->paged_doc_->size() != doc.size() ||
-        db->paged_doc_->source_digest() != *db->doc_digest_) {
+    if (img->paged_doc->size() != doc.size() ||
+        img->paged_doc->source_digest() != *img->doc_digest) {
       return Status::InvalidArgument(
           "stale paged image: the document column set "
           "(post/kind/level/parent/tag) has digest " +
-          std::to_string(db->paged_doc_->source_digest()) +
+          std::to_string(img->paged_doc->source_digest()) +
           " but this document's columns digest to " +
-          std::to_string(*db->doc_digest_) +
+          std::to_string(*img->doc_digest) +
           "; the paged table does not image this document");
     }
   }
-  if (db->paged_tags_ != nullptr) {
-    if (db->paged_doc_ == nullptr) {
+  if (img->paged_tags != nullptr) {
+    if (img->paged_doc == nullptr) {
       return Status::InvalidArgument(
           "paged tag fragments adopted without a paged document image");
     }
-    if (!db->frag_digest_.has_value()) {
-      db->frag_digest_ =
-          storage::FragmentColumnsDigest(doc, *db->doc_digest_);
+    if (!img->frag_digest.has_value()) {
+      img->frag_digest =
+          storage::FragmentColumnsDigest(doc, *img->doc_digest);
     }
-    if (db->paged_tags_->source_digest() != *db->frag_digest_) {
+    if (img->paged_tags->source_digest() != *img->frag_digest) {
       return Status::InvalidArgument(
           "stale paged image: the tag fragment column set (per-tag "
           "pre/post) has digest " +
-          std::to_string(db->paged_tags_->source_digest()) +
+          std::to_string(img->paged_tags->source_digest()) +
           " but this document's fragments digest to " +
-          std::to_string(*db->frag_digest_) +
+          std::to_string(*img->frag_digest) +
           "; the paged tag index does not image this document");
     }
   }
@@ -145,63 +145,80 @@ Result<std::unique_ptr<Database>> Database::Finish(
   // results. Images built in this very call are coherent by
   // construction (the digests were captured from the bytes Create just
   // wrote), so only ADOPTED images pay the re-read pass.
-  if (db->compressed_doc_ != nullptr) {
-    if (db->disk_ == nullptr) {
+  if (img->compressed_doc != nullptr) {
+    if (img->disk == nullptr) {
       return Status::InvalidArgument(
           "compressed document image adopted without its disk");
     }
-    if (!db->doc_digest_.has_value()) {
-      db->doc_digest_ = storage::DocColumnsDigest(doc);
+    if (!img->doc_digest.has_value()) {
+      img->doc_digest = storage::DocColumnsDigest(doc);
     }
-    if (db->compressed_doc_->size() != doc.size() ||
-        db->compressed_doc_->source_digest() != *db->doc_digest_) {
+    if (img->compressed_doc->size() != doc.size() ||
+        img->compressed_doc->source_digest() != *img->doc_digest) {
       return Status::InvalidArgument(
           "stale compressed image: the document column set "
           "(post/kind/level/parent/tag) has digest " +
-          std::to_string(db->compressed_doc_->source_digest()) +
+          std::to_string(img->compressed_doc->source_digest()) +
           " but this document's columns digest to " +
-          std::to_string(*db->doc_digest_) +
+          std::to_string(*img->doc_digest) +
           "; the compressed table does not image this document");
     }
     if (!compressed_built_here) {
-      SJ_RETURN_NOT_OK(db->compressed_doc_->ValidateImage(*db->disk_));
+      SJ_RETURN_NOT_OK(img->compressed_doc->ValidateImage(*img->disk));
     }
   }
-  if (db->compressed_tags_ != nullptr) {
-    if (db->compressed_doc_ == nullptr) {
+  if (img->compressed_tags != nullptr) {
+    if (img->compressed_doc == nullptr) {
       return Status::InvalidArgument(
           "compressed tag fragments adopted without a compressed document "
           "image");
     }
-    if (!db->frag_digest_.has_value()) {
-      db->frag_digest_ =
-          storage::FragmentColumnsDigest(doc, *db->doc_digest_);
+    if (!img->frag_digest.has_value()) {
+      img->frag_digest =
+          storage::FragmentColumnsDigest(doc, *img->doc_digest);
     }
-    if (db->compressed_tags_->source_digest() != *db->frag_digest_) {
+    if (img->compressed_tags->source_digest() != *img->frag_digest) {
       return Status::InvalidArgument(
           "stale compressed image: the tag fragment column set (per-tag "
           "pre/post) has digest " +
-          std::to_string(db->compressed_tags_->source_digest()) +
+          std::to_string(img->compressed_tags->source_digest()) +
           " but this document's fragments digest to " +
-          std::to_string(*db->frag_digest_) +
+          std::to_string(*img->frag_digest) +
           "; the compressed tag index does not image this document");
     }
     if (!compressed_built_here) {
-      SJ_RETURN_NOT_OK(db->compressed_tags_->ValidateImage(*db->disk_));
+      SJ_RETURN_NOT_OK(img->compressed_tags->ValidateImage(*img->disk));
     }
   }
 
-  if (db->paged_doc_ != nullptr || db->compressed_doc_ != nullptr) {
+  if (img->paged_doc != nullptr || img->compressed_doc != nullptr) {
     size_t shards = options.pool_shards > 0 ? options.pool_shards
                                             : DefaultPoolShards();
-    db->pool_ = std::make_unique<storage::BufferPool>(
-        db->disk_.get(), options.pool_pages, shards);
-    db->pool_->set_prefetch_enabled(options.prefetch);
+    img->pool = std::make_unique<storage::BufferPool>(
+        img->disk.get(), options.pool_pages, shards);
+    img->pool->set_prefetch_enabled(options.prefetch);
   }
+  return std::shared_ptr<const DatabaseImages>(std::move(img));
+}
+
+Result<std::unique_ptr<Database>> Database::Finish(
+    std::unique_ptr<DatabaseImages> images, DatabaseOptions options,
+    bool build_missing, NodeSequence document_roots) {
+  images->base_document_roots = document_roots;
+  SJ_ASSIGN_OR_RETURN(std::shared_ptr<const DatabaseImages> built,
+                      BuildImages(std::move(images), options, build_missing));
+  std::unique_ptr<Database> db(new Database());
   db->prefetch_ = options.prefetch;
   if (options.plan_cache_entries > 0) {
     db->plan_cache_ = std::make_unique<PlanCache>(options.plan_cache_entries);
   }
+  {
+    MutexLock lock(db->snapshot_mu_);
+    db->snapshot_ = std::make_shared<DatabaseSnapshot>(
+        /*epoch=*/0, std::move(built), /*overlay=*/nullptr,
+        std::move(document_roots), options.build);
+  }
+  db->options_ = std::move(options);
   return db;
 }
 
@@ -249,11 +266,10 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& path,
       SJ_RETURN_NOT_OK(collection.AddDocumentText(text));
     }
     SJ_ASSIGN_OR_RETURN(std::unique_ptr<DocTable> doc, collection.Finish());
-    NodeSequence roots = collection.document_roots();
-    SJ_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
-                        FromTable(std::move(doc), std::move(options)));
-    db->document_roots_ = std::move(roots);
-    return db;
+    auto images = std::make_unique<DatabaseImages>();
+    images->doc = std::move(doc);
+    return Finish(std::move(images), std::move(options),
+                  /*build_missing=*/true, collection.document_roots());
   }
   SJ_ASSIGN_OR_RETURN(std::unique_ptr<DocTable> doc,
                       LoadDocumentFile(path, options.build));
@@ -265,9 +281,10 @@ Result<std::unique_ptr<Database>> Database::FromTable(
   if (doc == nullptr) {
     return Status::InvalidArgument("Database::FromTable: null table");
   }
-  std::unique_ptr<Database> db(new Database());
-  db->doc_ = std::move(doc);
-  return Finish(std::move(db), options, /*build_missing=*/true);
+  auto images = std::make_unique<DatabaseImages>();
+  images->doc = std::move(doc);
+  return Finish(std::move(images), std::move(options),
+                /*build_missing=*/true, {});
 }
 
 Result<std::unique_ptr<Database>> Database::FromParts(
@@ -293,18 +310,28 @@ Result<std::unique_ptr<Database>> Database::FromParts(
   if (doc == nullptr) {
     return Status::InvalidArgument("Database::FromParts: null table");
   }
-  std::unique_ptr<Database> db(new Database());
-  db->doc_ = std::move(doc);
-  db->tag_index_ = std::move(tag_index);
-  db->disk_ = std::move(disk);
-  db->paged_doc_ = std::move(paged_doc);
-  db->paged_tags_ = std::move(paged_tags);
-  db->compressed_doc_ = std::move(compressed_doc);
-  db->compressed_tags_ = std::move(compressed_tags);
-  return Finish(std::move(db), options, /*build_missing=*/false);
+  auto images = std::make_unique<DatabaseImages>();
+  images->doc = std::move(doc);
+  images->tag_index = std::move(tag_index);
+  images->disk = std::move(disk);
+  images->paged_doc = std::move(paged_doc);
+  images->paged_tags = std::move(paged_tags);
+  images->compressed_doc = std::move(compressed_doc);
+  images->compressed_tags = std::move(compressed_tags);
+  return Finish(std::move(images), std::move(options),
+                /*build_missing=*/false, {});
 }
 
-Result<Session> Database::CreateSession(SessionOptions options) const {
+std::shared_ptr<const DatabaseSnapshot> Database::CurrentSnapshot() const {
+  MutexLock lock(snapshot_mu_);
+  return snapshot_;
+}
+
+Result<xpath::EvalOptions> Database::MakeEvalOptions(
+    const std::shared_ptr<const DatabaseSnapshot>& snap,
+    const SessionOptions& options,
+    std::unique_ptr<storage::BufferPool>* private_pool) const {
+  const DatabaseImages& img = snap->images();
   xpath::EvalOptions eval;
   eval.engine = options.engine;
   eval.staircase = options.staircase;
@@ -313,29 +340,169 @@ Result<Session> Database::CreateSession(SessionOptions options) const {
   eval.pushdown_selectivity = options.pushdown_selectivity;
   eval.num_threads = options.num_threads;
   eval.backend = options.backend;
-  eval.tag_index = tag_index_.get();
-  eval.doc_digest = doc_digest_;
+  eval.tag_index = img.tag_index.get();
+  eval.doc_digest = img.doc_digest;
 
-  std::unique_ptr<storage::BufferPool> private_pool;
+  std::unique_ptr<storage::BufferPool> pool;
   if (xpath::BackendDispatch::UsesPool(options.backend)) {
     SJ_RETURN_NOT_OK(xpath::BackendDispatch::WireBackend(
-        &eval, paged_doc_.get(), paged_tags_.get(), compressed_doc_.get(),
-        compressed_tags_.get()));
-    eval.frag_digest = frag_digest_;
+        &eval, img.paged_doc.get(), img.paged_tags.get(),
+        img.compressed_doc.get(), img.compressed_tags.get()));
+    eval.frag_digest = img.frag_digest;
     if (options.private_pool_pages > 0) {
-      private_pool = std::make_unique<storage::BufferPool>(
-          disk_.get(), options.private_pool_pages);
-      private_pool->set_prefetch_enabled(prefetch_);
-      eval.pool = private_pool.get();
+      pool = std::make_unique<storage::BufferPool>(
+          img.disk.get(), options.private_pool_pages);
+      pool->set_prefetch_enabled(prefetch_);
+      eval.pool = pool.get();
     } else {
-      eval.pool = pool_.get();
+      eval.pool = img.pool.get();
     }
   }
+  eval.snapshot_epoch = snap->epoch();
+  if (snap->edited()) {
+    eval.overlay = snap->overlay();
+    // The lambda pins the snapshot: the materialized merged table stays
+    // valid for as long as any evaluator still holds these options.
+    eval.overlay_doc = [snap]() { return snap->MergedDoc(); };
+  }
+  *private_pool = std::move(pool);
+  return eval;
+}
+
+Result<Session> Database::CreateSession(SessionOptions options) const {
+  std::shared_ptr<const DatabaseSnapshot> snap = CurrentSnapshot();
+  std::unique_ptr<storage::BufferPool> private_pool;
+  SJ_ASSIGN_OR_RETURN(xpath::EvalOptions eval,
+                      MakeEvalOptions(snap, options, &private_pool));
   {
     MutexLock lock(stats_mu_);
     ++stats_.sessions_created;
+    ++stats_.snapshots_pinned;
   }
-  return Session(this, std::move(options), std::move(private_pool), eval);
+  return Session(this, std::move(options), std::move(snap),
+                 std::move(private_pool), eval);
+}
+
+EditTxn Database::BeginEdit() {
+  return EditTxn(this, CurrentSnapshot());
+}
+
+Status Database::Compact() {
+  MutexLock edit_lock(edit_mu_);
+  std::shared_ptr<const DatabaseSnapshot> cur = CurrentSnapshot();
+  if (!cur->edited()) return Status::OK();
+  SJ_ASSIGN_OR_RETURN(
+      std::unique_ptr<DocTable> merged,
+      delta::MaterializeMerged(*cur->images().doc, *cur->overlay(),
+                               options_.build));
+  auto images = std::make_unique<DatabaseImages>();
+  images->doc = std::move(merged);
+  // The merged table's pre ranks ARE the old snapshot's logical ranks,
+  // so the logical document roots carry over verbatim as base roots.
+  images->base_document_roots = cur->document_roots();
+  SJ_ASSIGN_OR_RETURN(
+      std::shared_ptr<const DatabaseImages> built,
+      BuildImages(std::move(images), options_, /*build_missing=*/true));
+  PublishSnapshot(std::make_shared<DatabaseSnapshot>(
+                      cur->epoch() + 1, std::move(built), /*overlay=*/nullptr,
+                      cur->document_roots(), options_.build),
+                  /*compaction=*/true);
+  return Status::OK();
+}
+
+void Database::PublishSnapshot(std::shared_ptr<const DatabaseSnapshot> next,
+                               bool compaction) {
+  const uint64_t delta_nodes = next->delta_nodes();
+  {
+    MutexLock lock(snapshot_mu_);
+    snapshot_ = std::move(next);
+  }
+  MutexLock lock(stats_mu_);
+  if (compaction) {
+    ++stats_.compactions;
+  } else {
+    ++stats_.edits_committed;
+  }
+  stats_.delta_nodes = delta_nodes;
+}
+
+EditTxn::EditTxn(Database* db, std::shared_ptr<const DatabaseSnapshot> snap)
+    : db_(db),
+      snap_(std::move(snap)),
+      builder_(std::make_unique<delta::OverlayBuilder>(
+          *snap_->images().doc, snap_->images().tag_index.get(),
+          snap_->overlay_ptr())) {}
+
+Status EditTxn::InsertLastChild(NodeId parent, std::string_view fragment_xml) {
+  if (builder_ == nullptr) {
+    return Status::InvalidArgument("edit on a committed transaction");
+  }
+  return builder_->InsertLastChild(parent, fragment_xml);
+}
+
+Status EditTxn::DeleteSubtree(NodeId v) {
+  if (builder_ == nullptr) {
+    return Status::InvalidArgument("edit on a committed transaction");
+  }
+  return builder_->DeleteSubtree(v);
+}
+
+Status EditTxn::ReplaceSubtree(NodeId v, std::string_view fragment_xml) {
+  if (builder_ == nullptr) {
+    return Status::InvalidArgument("edit on a committed transaction");
+  }
+  return builder_->ReplaceSubtree(v, fragment_xml);
+}
+
+uint64_t EditTxn::logical_size() const {
+  return builder_ != nullptr ? builder_->logical_size()
+                             : snap_->logical_size();
+}
+
+uint64_t EditTxn::ops_applied() const {
+  return builder_ != nullptr ? builder_->ops_applied() : 0;
+}
+
+Status EditTxn::Commit() {
+  if (builder_ == nullptr) {
+    return Status::InvalidArgument("commit on a committed transaction");
+  }
+  if (builder_->ops_applied() == 0) {
+    // Nothing to publish; spend the transaction without an epoch bump.
+    builder_.reset();
+    return Status::OK();
+  }
+  MutexLock edit_lock(db_->edit_mu_);
+  std::shared_ptr<const DatabaseSnapshot> cur = db_->CurrentSnapshot();
+  if (cur->epoch() != snap_->epoch()) {
+    // Optimistic conflict: the transaction applied its edits against a
+    // snapshot that is no longer current. (There is no first-updater
+    // block to wait out -- the winner already committed -- so the only
+    // correct continuation is to re-apply the script on a fresh edit.)
+    return Status::InvalidArgument(
+        "snapshot conflict: another edit committed epoch " +
+        std::to_string(cur->epoch()) + " after this transaction began at " +
+        std::to_string(snap_->epoch()) + "; begin a fresh edit and retry");
+  }
+  SJ_ASSIGN_OR_RETURN(std::shared_ptr<const delta::Overlay> overlay,
+                      builder_->Finish());
+  builder_.reset();
+  // Surviving document roots, remapped into the new logical rank space
+  // (a deleted document vanishes from the collection's root list).
+  NodeSequence roots;
+  roots.reserve(snap_->images().base_document_roots.size());
+  for (NodeId r : snap_->images().base_document_roots) {
+    if (std::optional<uint64_t> l = overlay->TryBasePreToLogical(r)) {
+      roots.push_back(static_cast<NodeId>(*l));
+    }
+  }
+  db_->PublishSnapshot(
+      std::make_shared<DatabaseSnapshot>(cur->epoch() + 1,
+                                         snap_->images_ptr(),
+                                         std::move(overlay), std::move(roots),
+                                         db_->options_.build),
+      /*compaction=*/false);
+  return Status::OK();
 }
 
 DatabaseStats Database::TotalStats() const {
@@ -361,6 +528,11 @@ void Database::RecordQuery(bool ok, uint64_t result_nodes) const {
   } else {
     ++stats_.queries_failed;
   }
+}
+
+void Database::RecordSnapshotPinned() const {
+  MutexLock lock(stats_mu_);
+  ++stats_.snapshots_pinned;
 }
 
 }  // namespace sj

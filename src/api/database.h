@@ -1,6 +1,6 @@
-// Database: the coherent, immutable, thread-safe set of backend images
-// for one document (or collection), opened once and shared by any number
-// of Sessions.
+// Database: the coherent, thread-safe set of backend images for one
+// document (or collection), opened once and shared by any number of
+// Sessions.
 //
 // Opening a database builds (or adopts) the resident DocTable, the
 // resident tag fragments (TagIndex), and -- unless disabled -- the paged
@@ -8,9 +8,16 @@
 // sharded BufferPool. The column/fragment digests are validated HERE, at
 // open time: a stale or mismatched paged image is rejected with a Status
 // naming the failing column set, instead of surfacing lazily on some
-// thread's first paged query. After construction the database is
-// immutable (the buffer pool is internally synchronized), so sessions on
-// different threads share it freely.
+// thread's first paged query.
+//
+// The images themselves stay immutable forever; what varies is WHICH
+// images-plus-overlay a query sees. The database publishes epoch-stamped
+// DatabaseSnapshots (api/snapshot.h): BeginEdit() opens a transaction
+// against the current snapshot, its Commit() publishes the same images
+// with a grown delta overlay as epoch+1, and Compact() folds the overlay
+// into freshly rebuilt (and re-digested) images. Sessions pin a snapshot
+// per Run, so readers on other threads are never blocked or invalidated
+// by writers (snapshot isolation; see api/snapshot.h).
 
 #ifndef STAIRJOIN_API_DATABASE_H_
 #define STAIRJOIN_API_DATABASE_H_
@@ -22,7 +29,9 @@
 
 #include "api/plan_cache.h"
 #include "api/session.h"
+#include "api/snapshot.h"
 #include "core/tag_view.h"
+#include "delta/overlay.h"
 #include "encoding/builder.h"
 #include "encoding/doc_table.h"
 #include "storage/buffer_pool.h"
@@ -35,6 +44,8 @@
 #include "xmlgen/xmark.h"
 
 namespace sj {
+
+class Database;
 
 /// \brief Open-time configuration: which backend images to build.
 struct DatabaseOptions {
@@ -79,9 +90,67 @@ struct DatabaseStats {
   uint64_t plan_cache_hits = 0;       ///< queries served a cached plan
   uint64_t plan_cache_misses = 0;     ///< queries that parsed + planned
   uint64_t plan_cache_evictions = 0;  ///< plans displaced by capacity
+  uint64_t edits_committed = 0;   ///< EditTxn::Commit calls that published
+  uint64_t delta_nodes = 0;       ///< resident delta nodes, current snapshot
+  uint64_t compactions = 0;       ///< Compact calls that folded a delta
+  uint64_t snapshots_pinned = 0;  ///< session snapshot binds + rebinds
 };
 
-/// \brief An immutable, thread-safe set of backend images over one
+/// \brief One edit transaction against a pinned snapshot.
+///
+/// Created by Database::BeginEdit(); single-threaded, like a Session.
+/// Edit coordinates are LOGICAL pre ranks of the transaction's working
+/// state: ops compose, each seeing the document as left by the previous
+/// one. Nothing is visible to queries until Commit() publishes the new
+/// snapshot; dropping the transaction uncommitted discards it. The
+/// transaction holds no lock while open -- concurrency control is
+/// optimistic: Commit fails (and the transaction stays discardable) when
+/// another edit published since BeginEdit, so retrying means re-running
+/// the edit script against a fresh BeginEdit.
+class EditTxn {
+ public:
+  EditTxn(EditTxn&&) = default;
+  EditTxn& operator=(EditTxn&&) = default;
+  EditTxn(const EditTxn&) = delete;
+  EditTxn& operator=(const EditTxn&) = delete;
+
+  /// Parses `fragment_xml` (one element) and appends it as the last
+  /// child of element `parent` (after its attributes and children).
+  Status InsertLastChild(NodeId parent, std::string_view fragment_xml);
+
+  /// Removes the subtree rooted at `v` (attributes included). The
+  /// document root (logical 0) is not deletable.
+  Status DeleteSubtree(NodeId v);
+
+  /// Replaces the subtree rooted at `v` with a parsed fragment, keeping
+  /// its position among siblings. `v` must not be an attribute.
+  Status ReplaceSubtree(NodeId v, std::string_view fragment_xml);
+
+  /// Node count of the transaction's working document.
+  uint64_t logical_size() const;
+
+  /// Edit ops successfully applied so far.
+  uint64_t ops_applied() const;
+
+  /// Publishes the edits as the next snapshot epoch. A transaction with
+  /// no applied ops commits as a no-op (no epoch bump). Fails with
+  /// kInvalidArgument when another transaction committed since
+  /// BeginEdit (optimistic conflict: epochs only grow, so the only
+  /// continuation is to begin a fresh edit and re-apply the script).
+  /// Success spends the transaction.
+  Status Commit();
+
+ private:
+  friend class Database;
+
+  EditTxn(Database* db, std::shared_ptr<const DatabaseSnapshot> snap);
+
+  Database* db_;
+  std::shared_ptr<const DatabaseSnapshot> snap_;
+  std::unique_ptr<delta::OverlayBuilder> builder_;
+};
+
+/// \brief A thread-safe set of backend images + snapshots over one
 /// document; the factory for Sessions.
 class Database {
  public:
@@ -136,48 +205,89 @@ class Database {
 
   /// Creates a query session. Cheap (no digest passes, no allocation
   /// beyond the evaluator); fails when the options name a backend the
-  /// database was not opened with.
+  /// database was not opened with. The session binds the current
+  /// snapshot and follows later commits/compactions on its next Run.
   Result<Session> CreateSession(SessionOptions options = {}) const;
 
-  /// The encoded document (collection).
-  const DocTable& doc() const { return *doc_; }
+  /// Opens an edit transaction against the current snapshot (see
+  /// EditTxn). Any number may be open concurrently; the first to Commit
+  /// wins, later ones fail their optimistic check.
+  EditTxn BeginEdit();
+
+  /// Folds the current snapshot's delta overlay into freshly rebuilt
+  /// paged + compressed images (same DatabaseOptions as the open) and
+  /// publishes them as the next epoch with no overlay. A no-op (OK,
+  /// no epoch bump, no counter) when the current snapshot carries no
+  /// edits. Queries over the compacted snapshot are node-identical to
+  /// the overlay they replaced; sessions pinning older epochs keep
+  /// their images alive and drain on their own schedule.
+  Status Compact() SJ_EXCLUDES(edit_mu_);
+
+  /// The current snapshot (pinned; never null). The cheap, always-safe
+  /// way to hold a consistent view across edits and compactions.
+  std::shared_ptr<const DatabaseSnapshot> CurrentSnapshot() const
+      SJ_EXCLUDES(snapshot_mu_);
+
+  /// The encoded document (collection) of the CURRENT snapshot -- the
+  /// base table under any uncompacted edits. Borrowed: stable until a
+  /// Compact replaces the images; hold CurrentSnapshot() across
+  /// compactions instead.
+  const DocTable& doc() const { return *CurrentSnapshot()->images().doc; }
 
   /// True when sessions may choose StorageBackend::kPaged.
-  bool has_paged_backend() const { return paged_doc_ != nullptr; }
+  bool has_paged_backend() const {
+    return CurrentSnapshot()->images().paged_doc != nullptr;
+  }
   /// True when sessions may choose StorageBackend::kCompressed.
-  bool has_compressed_backend() const { return compressed_doc_ != nullptr; }
+  bool has_compressed_backend() const {
+    return CurrentSnapshot()->images().compressed_doc != nullptr;
+  }
 
-  /// Resident tag fragments; null when disabled at open time.
-  const TagIndex* tag_index() const { return tag_index_.get(); }
+  /// Resident tag fragments; null when disabled at open time. Borrowed
+  /// from the current snapshot, like doc().
+  const TagIndex* tag_index() const {
+    return CurrentSnapshot()->images().tag_index.get();
+  }
   /// Paged doc columns; null without a paged image.
-  const storage::PagedDocTable* paged_doc() const { return paged_doc_.get(); }
+  const storage::PagedDocTable* paged_doc() const {
+    return CurrentSnapshot()->images().paged_doc.get();
+  }
   /// Paged tag fragments; null without a paged image.
   const storage::PagedTagIndex* paged_tags() const {
-    return paged_tags_.get();
+    return CurrentSnapshot()->images().paged_tags.get();
   }
   /// Compressed doc columns; null without a compressed image.
   const storage::CompressedDocTable* compressed_doc() const {
-    return compressed_doc_.get();
+    return CurrentSnapshot()->images().compressed_doc.get();
   }
   /// Compressed tag fragments; null without a compressed image.
   const storage::CompressedTagIndex* compressed_tags() const {
-    return compressed_tags_.get();
+    return CurrentSnapshot()->images().compressed_tags.get();
   }
   /// The shared buffer pool (internally synchronized); null without a
   /// paged image. Exposed for experiment control (cold starts, fault
   /// accounting).
-  storage::BufferPool* buffer_pool() const { return pool_.get(); }
+  storage::BufferPool* buffer_pool() const {
+    return CurrentSnapshot()->images().pool.get();
+  }
   /// The disk image behind the paged backend; null without one.
-  storage::SimulatedDisk* disk() const { return disk_.get(); }
+  storage::SimulatedDisk* disk() const {
+    return CurrentSnapshot()->images().disk.get();
+  }
 
-  /// DocColumnsDigest of doc(), captured once at open time; absent on a
-  /// database opened without any pool-backed image (nothing to validate
-  /// -- the resident columns ARE the document).
-  std::optional<uint64_t> doc_digest() const { return doc_digest_; }
+  /// DocColumnsDigest of doc(), captured once per image build; absent on
+  /// a database opened without any pool-backed image (nothing to
+  /// validate -- the resident columns ARE the document).
+  std::optional<uint64_t> doc_digest() const {
+    return CurrentSnapshot()->images().doc_digest;
+  }
 
-  /// Pre ranks of the gathered document elements when the database was
-  /// opened over a directory; empty otherwise.
-  const NodeSequence& document_roots() const { return document_roots_; }
+  /// Logical pre ranks of the gathered document elements when the
+  /// database was opened over a directory; empty otherwise. Tracks
+  /// deletes across epochs.
+  const NodeSequence& document_roots() const {
+    return CurrentSnapshot()->document_roots();
+  }
 
   /// A consistent snapshot of the lifetime counters (taken under the
   /// stats mutex; safe to call concurrently with running sessions). The
@@ -194,6 +304,7 @@ class Database {
 
  private:
   friend class Session;  // reports query completion into stats_
+  friend class EditTxn;  // publishes snapshots under edit_mu_
 
   Database() = default;
 
@@ -201,31 +312,53 @@ class Database {
   void RecordQuery(bool ok, uint64_t result_nodes) const
       SJ_EXCLUDES(stats_mu_);
 
+  /// Called per session snapshot bind/rebind.
+  void RecordSnapshotPinned() const SJ_EXCLUDES(stats_mu_);
+
+  /// Session wiring against one pinned snapshot: evaluator options (and
+  /// the private pool, when requested) resolved from the snapshot's
+  /// images + overlay. Shared by CreateSession and Session's rebind.
+  Result<xpath::EvalOptions> MakeEvalOptions(
+      const std::shared_ptr<const DatabaseSnapshot>& snap,
+      const SessionOptions& options,
+      std::unique_ptr<storage::BufferPool>* private_pool) const;
+
   /// Builds the missing images per `options`, digest-validates whatever
-  /// paged images are present, and opens the pool.
-  static Result<std::unique_ptr<Database>> Finish(
-      std::unique_ptr<Database> db, const DatabaseOptions& options,
+  /// pool-backed images are present, and opens the pool. The shared
+  /// image factory of open and Compact.
+  static Result<std::shared_ptr<const DatabaseImages>> BuildImages(
+      std::unique_ptr<DatabaseImages> images, const DatabaseOptions& options,
       bool build_missing);
 
-  std::unique_ptr<DocTable> doc_;
-  std::unique_ptr<TagIndex> tag_index_;
-  std::unique_ptr<storage::SimulatedDisk> disk_;
-  std::unique_ptr<storage::PagedDocTable> paged_doc_;
-  std::unique_ptr<storage::PagedTagIndex> paged_tags_;
-  std::unique_ptr<storage::CompressedDocTable> compressed_doc_;
-  std::unique_ptr<storage::CompressedTagIndex> compressed_tags_;
-  std::unique_ptr<storage::BufferPool> pool_;
+  /// BuildImages + database assembly: publishes epoch 0.
+  static Result<std::unique_ptr<Database>> Finish(
+      std::unique_ptr<DatabaseImages> images, DatabaseOptions options,
+      bool build_missing, NodeSequence document_roots);
+
+  /// Swaps in the next snapshot and updates the edit counters.
+  /// `compaction` picks which counter the publish increments.
+  void PublishSnapshot(std::shared_ptr<const DatabaseSnapshot> next,
+                       bool compaction)
+      SJ_EXCLUDES(snapshot_mu_, stats_mu_);
+
+  /// Open-time configuration, kept for Compact's image rebuild and the
+  /// sessions' private pools.
+  DatabaseOptions options_;
   /// Internally synchronized, like the pool; null when disabled.
   std::unique_ptr<PlanCache> plan_cache_;
   bool prefetch_ = false;
-  std::optional<uint64_t> doc_digest_;
-  std::optional<uint64_t> frag_digest_;
-  NodeSequence document_roots_;
 
-  /// The one mutable part of an open Database. Everything above is
-  /// immutable after open (or internally synchronized, like the pool);
-  /// these counters are written by every session's Run, so they take the
-  /// stats latch -- compile-time enforced, like the BufferPool shards.
+  /// Serializes Commit and Compact (writers); never held while queries
+  /// run. Ordered before snapshot_mu_ and stats_mu_.
+  Mutex edit_mu_;
+
+  /// The published snapshot chain's head. Readers copy the shared_ptr
+  /// under the latch and go; writers swap under edit_mu_ + this.
+  mutable Mutex snapshot_mu_;
+  std::shared_ptr<const DatabaseSnapshot> snapshot_
+      SJ_GUARDED_BY(snapshot_mu_);
+
+  /// Lifetime counters, written by every session's Run (any thread).
   mutable Mutex stats_mu_;
   mutable DatabaseStats stats_ SJ_GUARDED_BY(stats_mu_);
 };

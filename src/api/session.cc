@@ -13,6 +13,14 @@ namespace sj {
 
 std::string QueryResult::Explain() const {
   std::string out;
+  if (snapshot_epoch > 0) {
+    out += xpath::explain::kSnapshotOpen;
+    out += std::to_string(snapshot_epoch);
+    out += xpath::explain::kSnapshotDeltaOpen;
+    out += std::to_string(snapshot_delta_nodes);
+    out += xpath::explain::kSnapshotDeltaClose;
+    out += "\n";
+  }
   if (plan_cached) {
     out += xpath::explain::kPlanCachedOpen;
     out += std::to_string(plan_cache_hits);
@@ -24,13 +32,33 @@ std::string QueryResult::Explain() const {
 }
 
 Session::Session(const Database* db, SessionOptions options,
+                 std::shared_ptr<const DatabaseSnapshot> snap,
                  std::unique_ptr<storage::BufferPool> private_pool,
                  const xpath::EvalOptions& eval_options)
     : db_(db),
       options_(std::move(options)),
+      snap_(std::move(snap)),
       private_pool_(std::move(private_pool)),
       eval_options_(eval_options),
-      engine_(std::make_unique<xpath::Evaluator>(db->doc(), eval_options)) {}
+      engine_(std::make_unique<xpath::Evaluator>(*snap_->images().doc,
+                                                 eval_options)) {}
+
+Status Session::EnsureCurrentSnapshot() {
+  std::shared_ptr<const DatabaseSnapshot> current = db_->CurrentSnapshot();
+  if (current.get() == snap_.get()) return Status::OK();
+  std::unique_ptr<storage::BufferPool> private_pool;
+  SJ_ASSIGN_OR_RETURN(xpath::EvalOptions eval,
+                      db_->MakeEvalOptions(current, options_, &private_pool));
+  engine_ = std::make_unique<xpath::Evaluator>(*current->images().doc, eval);
+  eval_options_ = std::move(eval);
+  private_pool_ = std::move(private_pool);
+  snap_ = std::move(current);
+  // The memo's keys carry the superseded epoch; entries can never be
+  // served again (PlanKey changed), so drop them wholesale.
+  plan_memo_.clear();
+  db_->RecordSnapshotPinned();
+  return Status::OK();
+}
 
 std::string Session::PlanKey(std::string_view xpath) const {
   // '\x1f' (unit separator) cannot appear in a parseable query, so the
@@ -50,6 +78,13 @@ std::string Session::PlanKey(std::string_view xpath) const {
   key += std::to_string(static_cast<int>(options_.twig));
   key += '\x1f';
   key += selectivity;
+  // The snapshot epoch: planning reads the merged tag dictionary and
+  // fragment counts, which change per published edit. Keying on the
+  // epoch retires every stale plan at once -- a commit between two runs
+  // of the same query recompiles instead of serving the old epoch's tag
+  // ids against the new snapshot.
+  key += '\x1f';
+  key += std::to_string(snap_->epoch());
   return key;
 }
 
@@ -71,6 +106,10 @@ Result<QueryResult> Session::Run(std::string_view xpath) {
 Result<QueryResult> Session::Run(std::string_view xpath,
                                  const NodeSequence& context) {
   Timer timer;
+  // Pin the snapshot FIRST: everything below -- the plan key's epoch,
+  // the planner's tag interning, the overlay the joins read -- must
+  // agree on one snapshot for the whole run.
+  SJ_RETURN_NOT_OK(EnsureCurrentSnapshot());
   // The serving hot path: a hot query's parse + planning collapses into
   // one cache lookup. The compiled plan is shared (shared_ptr) so an
   // eviction mid-query cannot pull it out from under us, and it is keyed
@@ -124,6 +163,8 @@ Result<QueryResult> Session::Run(std::string_view xpath,
   result.trace = engine_->last_trace();
   result.plan_cached = plan_cached;
   result.plan_cache_hits = plan_cache_hits;
+  result.snapshot_epoch = snap_->epoch();
+  result.snapshot_delta_nodes = snap_->delta_nodes();
   for (const StepTrace& step : result.trace) {
     result.totals.MergeFrom(step.stats);
     result.totals.workers = std::max(result.totals.workers,

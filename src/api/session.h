@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "api/snapshot.h"
 #include "core/stats.h"
 #include "storage/buffer_pool.h"
 #include "util/result.h"
@@ -96,10 +97,17 @@ struct QueryResult {
   /// How often the cached plan has been served, this run included;
   /// 0 when the query compiled its plan afresh.
   uint64_t plan_cache_hits = 0;
+  /// Epoch of the snapshot this query ran over (0: the pristine open).
+  uint64_t snapshot_epoch = 0;
+  /// Resident delta nodes of that snapshot (0 when pristine/compacted).
+  uint64_t snapshot_delta_nodes = 0;
 
-  /// Renders the trace as a readable multi-line EXPLAIN. A cache-served
-  /// query leads with one "plan: cached (hits=N)" line; everything after
-  /// it is byte-identical to the uncached run's report.
+  /// Renders the trace as a readable multi-line EXPLAIN. A query over an
+  /// edited database leads with one "snapshot: epoch N (delta: M nodes)"
+  /// line (epoch 0 emits none -- pristine reports stay byte-identical);
+  /// a cache-served query leads with one "plan: cached (hits=N)" line;
+  /// everything after them is byte-identical to the uncached run's
+  /// report.
   std::string Explain() const;
 };
 
@@ -135,14 +143,23 @@ class Session {
   friend class Database;
 
   Session(const Database* db, SessionOptions options,
+          std::shared_ptr<const DatabaseSnapshot> snap,
           std::unique_ptr<storage::BufferPool> private_pool,
           const xpath::EvalOptions& eval_options);
 
+  /// Pins the database's current snapshot: when the epoch moved since
+  /// the last Run (a commit or compaction published), the evaluator,
+  /// wiring and private pool are rebuilt against the new snapshot and
+  /// the session-local plan memo is dropped (its keys carry the old
+  /// epoch). Sessions thus follow the snapshot chain one Run at a time;
+  /// a Run in flight keeps its pinned snapshot to the end.
+  Status EnsureCurrentSnapshot();
+
   /// The plan-cache key of `xpath` under this session's SEMANTIC options
   /// -- exactly the fields Evaluator::Compile's decisions depend on
-  /// (engine, backend, pushdown, twig, pushdown_selectivity), so two
-  /// sessions share a plan iff the plan is valid for both. Execution-only
-  /// options (staircase skips, num_threads, private pools) are excluded.
+  /// (engine, backend, pushdown, twig, pushdown_selectivity), PLUS the
+  /// pinned snapshot's epoch: a plan compiled over one epoch's merged
+  /// dictionary and fragment counts must never drive another epoch.
   std::string PlanKey(std::string_view xpath) const;
 
   /// Records a plan in the session-local memo (see plan_memo_), with
@@ -162,6 +179,9 @@ class Session {
 
   const Database* db_;
   SessionOptions options_;
+  /// The snapshot this session is bound to (never null); refreshed by
+  /// EnsureCurrentSnapshot at the top of every Run.
+  std::shared_ptr<const DatabaseSnapshot> snap_;
   /// Plans this session already obtained from the database's shared
   /// PlanCache (or compiled and inserted itself), served on repeat runs
   /// without touching the shared latch: sessions are single-threaded,

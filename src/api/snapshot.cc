@@ -1,0 +1,19 @@
+#include "api/snapshot.h"
+
+namespace sj {
+
+Result<const DocTable*> DatabaseSnapshot::MergedDoc() const {
+  if (!edited()) return images_->doc.get();
+  std::call_once(merged_once_, [this]() {
+    auto merged = delta::MaterializeMerged(*images_->doc, *overlay_, build_);
+    if (merged.ok()) {
+      merged_ = std::move(merged).value();
+    } else {
+      merged_status_ = merged.status();
+    }
+  });
+  if (!merged_status_.ok()) return merged_status_;
+  return merged_.get();
+}
+
+}  // namespace sj

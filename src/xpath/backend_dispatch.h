@@ -16,10 +16,18 @@
 #ifndef STAIRJOIN_XPATH_BACKEND_DISPATCH_H_
 #define STAIRJOIN_XPATH_BACKEND_DISPATCH_H_
 
+#include <memory>
 #include <optional>
 #include <vector>
 
+#include "core/axis_impl.h"
 #include "core/axis_step.h"
+#include "core/fragment_impl.h"
+#include "core/staircase_impl.h"
+#include "core/twig_impl.h"
+#include "delta/delta_accessor.h"
+#include "storage/compressed_accessor.h"
+#include "storage/paged_accessor.h"
 #include "xpath/evaluator.h"
 #include "xpath/explain_strings.h"
 
@@ -80,15 +88,25 @@ class BackendDispatch {
     return Status::Internal("unreachable");
   }
 
-  /// EXPLAIN label prefix of the backend ("", "paged ", "compressed ").
+  /// True when the session's snapshot carries a non-empty delta overlay:
+  /// every join then runs over the merged document via the delta cursors
+  /// (base reads still charge the pool; delta reads are resident).
+  bool Overlaid() const {
+    return opt_.overlay != nullptr && !opt_.overlay->empty();
+  }
+
+  /// EXPLAIN label prefix of the backend ("", "paged ", "compressed ";
+  /// overlay variants when a delta overlay is active).
   const char* Label() const {
     switch (opt_.backend) {
       case StorageBackend::kMemory:
-        return explain::kLabelMemory;
+        return Overlaid() ? explain::kLabelOverlayMemory
+                          : explain::kLabelMemory;
       case StorageBackend::kPaged:
-        return explain::kLabelPaged;
+        return Overlaid() ? explain::kLabelOverlayPaged : explain::kLabelPaged;
       case StorageBackend::kCompressed:
-        return explain::kLabelCompressed;
+        return Overlaid() ? explain::kLabelOverlayCompressed
+                          : explain::kLabelCompressed;
     }
     return explain::kLabelMemory;
   }
@@ -184,6 +202,9 @@ class BackendDispatch {
   /// its own fragment image -- a memory-resident TagIndex would silently
   /// bypass the buffer pool and charge no faults.
   bool HasFragments() const {
+    // Under an overlay the merged per-tag fragments must exist too (they
+    // are built from the resident TagIndex at commit time).
+    if (Overlaid() && !opt_.overlay->has_fragments()) return false;
     switch (opt_.backend) {
       case StorageBackend::kMemory:
         return opt_.tag_index != nullptr;
@@ -198,6 +219,8 @@ class BackendDispatch {
   /// Fragment size of `tag` (the pushdown cost model's selectivity);
   /// requires HasFragments().
   uint64_t TagCount(TagId tag) const {
+    // Merged count: base survivors plus delta elements of the tag.
+    if (Overlaid()) return opt_.overlay->tag_count(tag);
     switch (opt_.backend) {
       case StorageBackend::kMemory:
         return opt_.tag_index->tag_count(tag);
@@ -210,8 +233,34 @@ class BackendDispatch {
   }
 
   /// Staircase join over the whole document (parallel when configured).
+  /// Overlaid snapshots run the same generic kernels over the merging
+  /// accessors -- serially: the partitioned parallel driver's chunk math
+  /// is pristine-image-specific, and the delta is expected to be small
+  /// until compaction folds it (EXPLAIN drops the parallel prefix).
   Result<NodeSequence> Staircase(const NodeSequence& context, Axis axis,
                                  JoinStats* stats) const {
+    if (Overlaid()) {
+      switch (opt_.backend) {
+        case StorageBackend::kMemory: {
+          delta::DeltaDocAccessor<MemoryDocAccessor> acc(*opt_.overlay, doc_);
+          return internal::StaircaseJoinOver(acc, context, axis,
+                                             opt_.staircase, stats);
+        }
+        case StorageBackend::kPaged: {
+          delta::DeltaDocAccessor<storage::PagedDocAccessor> acc(
+              *opt_.overlay, *opt_.paged_doc, opt_.pool);
+          return internal::StaircaseJoinOver(acc, context, axis,
+                                             opt_.staircase, stats);
+        }
+        case StorageBackend::kCompressed: {
+          delta::DeltaDocAccessor<storage::CompressedDocAccessor> acc(
+              *opt_.overlay, *opt_.compressed_doc, opt_.pool);
+          return internal::StaircaseJoinOver(acc, context, axis,
+                                             opt_.staircase, stats);
+        }
+      }
+      return Status::Internal("unreachable");
+    }
     const bool parallel = opt_.num_threads > 1;
     switch (opt_.backend) {
       case StorageBackend::kMemory:
@@ -241,6 +290,35 @@ class BackendDispatch {
   /// Name-test pushdown: staircase join over one tag fragment.
   Result<NodeSequence> PushdownView(TagId tag, const NodeSequence& context,
                                     Axis axis, JoinStats* stats) const {
+    if (Overlaid()) {
+      switch (opt_.backend) {
+        case StorageBackend::kMemory: {
+          delta::DeltaFragmentCursor<MemoryFragmentCursor> frag(
+              *opt_.overlay, tag, opt_.tag_index->view(tag));
+          delta::DeltaDocAccessor<MemoryDocAccessor> acc(*opt_.overlay, doc_);
+          return internal::FragmentStaircaseJoinOver(frag, acc, context, axis,
+                                                     opt_.staircase, stats);
+        }
+        case StorageBackend::kPaged: {
+          delta::DeltaFragmentCursor<storage::PagedFragmentCursor> frag(
+              *opt_.overlay, tag, opt_.paged_tags->fragment(tag), opt_.pool);
+          delta::DeltaDocAccessor<storage::PagedDocAccessor> acc(
+              *opt_.overlay, *opt_.paged_doc, opt_.pool);
+          return internal::FragmentStaircaseJoinOver(frag, acc, context, axis,
+                                                     opt_.staircase, stats);
+        }
+        case StorageBackend::kCompressed: {
+          delta::DeltaFragmentCursor<storage::CompressedFragmentCursor> frag(
+              *opt_.overlay, tag, opt_.compressed_tags->fragment(tag),
+              opt_.pool);
+          delta::DeltaDocAccessor<storage::CompressedDocAccessor> acc(
+              *opt_.overlay, *opt_.compressed_doc, opt_.pool);
+          return internal::FragmentStaircaseJoinOver(frag, acc, context, axis,
+                                                     opt_.staircase, stats);
+        }
+      }
+      return Status::Internal("unreachable");
+    }
     switch (opt_.backend) {
       case StorageBackend::kMemory:
         return StaircaseJoinView(doc_, opt_.tag_index->view(tag), context,
@@ -262,6 +340,25 @@ class BackendDispatch {
   Result<NodeSequence> AxisCursor(const NodeSequence& context, Axis axis,
                                   const AxisNodeTest& test,
                                   JoinStats* stats) const {
+    if (Overlaid()) {
+      switch (opt_.backend) {
+        case StorageBackend::kMemory: {
+          delta::DeltaDocAccessor<MemoryDocAccessor> acc(*opt_.overlay, doc_);
+          return internal::AxisStepOver(acc, context, axis, test, stats);
+        }
+        case StorageBackend::kPaged: {
+          delta::DeltaDocAccessor<storage::PagedDocAccessor> acc(
+              *opt_.overlay, *opt_.paged_doc, opt_.pool);
+          return internal::AxisStepOver(acc, context, axis, test, stats);
+        }
+        case StorageBackend::kCompressed: {
+          delta::DeltaDocAccessor<storage::CompressedDocAccessor> acc(
+              *opt_.overlay, *opt_.compressed_doc, opt_.pool);
+          return internal::AxisStepOver(acc, context, axis, test, stats);
+        }
+      }
+      return Status::Internal("unreachable");
+    }
     switch (opt_.backend) {
       case StorageBackend::kMemory:
         return AxisCursorStep(doc_, context, axis, test, stats);
@@ -280,6 +377,31 @@ class BackendDispatch {
   /// charged to the step's backend, like every other read).
   Result<NodeSequence> Filter(const NodeSequence& nodes,
                               const AxisNodeTest& test) const {
+    if (Overlaid()) {
+      switch (opt_.backend) {
+        case StorageBackend::kMemory: {
+          delta::DeltaDocAccessor<MemoryDocAccessor> acc(*opt_.overlay, doc_);
+          NodeSequence out = internal::FilterSequenceOver(acc, nodes, test);
+          if (!acc.ok()) return acc.status();
+          return out;
+        }
+        case StorageBackend::kPaged: {
+          delta::DeltaDocAccessor<storage::PagedDocAccessor> acc(
+              *opt_.overlay, *opt_.paged_doc, opt_.pool);
+          NodeSequence out = internal::FilterSequenceOver(acc, nodes, test);
+          if (!acc.ok()) return acc.status();
+          return out;
+        }
+        case StorageBackend::kCompressed: {
+          delta::DeltaDocAccessor<storage::CompressedDocAccessor> acc(
+              *opt_.overlay, *opt_.compressed_doc, opt_.pool);
+          NodeSequence out = internal::FilterSequenceOver(acc, nodes, test);
+          if (!acc.ok()) return acc.status();
+          return out;
+        }
+      }
+      return Status::Internal("unreachable");
+    }
     switch (opt_.backend) {
       case StorageBackend::kMemory:
         return FilterByTestSequence(doc_, nodes, test);
@@ -299,6 +421,42 @@ class BackendDispatch {
                             const std::vector<TwigLevel>& levels,
                             JoinStats* stats,
                             std::vector<TwigLevelStats>* level_stats) const {
+    if (Overlaid()) {
+      switch (opt_.backend) {
+        case StorageBackend::kMemory: {
+          delta::DeltaDocAccessor<MemoryDocAccessor> acc(*opt_.overlay, doc_);
+          return OverlayTwig<MemoryFragmentCursor>(
+              acc, context, levels, stats, level_stats, [this](TagId tag) {
+                return std::make_unique<
+                    delta::DeltaFragmentCursor<MemoryFragmentCursor>>(
+                    *opt_.overlay, tag, opt_.tag_index->view(tag));
+              });
+        }
+        case StorageBackend::kPaged: {
+          delta::DeltaDocAccessor<storage::PagedDocAccessor> acc(
+              *opt_.overlay, *opt_.paged_doc, opt_.pool);
+          return OverlayTwig<storage::PagedFragmentCursor>(
+              acc, context, levels, stats, level_stats, [this](TagId tag) {
+                return std::make_unique<
+                    delta::DeltaFragmentCursor<storage::PagedFragmentCursor>>(
+                    *opt_.overlay, tag, opt_.paged_tags->fragment(tag),
+                    opt_.pool);
+              });
+        }
+        case StorageBackend::kCompressed: {
+          delta::DeltaDocAccessor<storage::CompressedDocAccessor> acc(
+              *opt_.overlay, *opt_.compressed_doc, opt_.pool);
+          return OverlayTwig<storage::CompressedFragmentCursor>(
+              acc, context, levels, stats, level_stats, [this](TagId tag) {
+                return std::make_unique<delta::DeltaFragmentCursor<
+                    storage::CompressedFragmentCursor>>(
+                    *opt_.overlay, tag, opt_.compressed_tags->fragment(tag),
+                    opt_.pool);
+              });
+        }
+      }
+      return Status::Internal("unreachable");
+    }
     switch (opt_.backend) {
       case StorageBackend::kMemory:
         return TwigJoin(doc_, *opt_.tag_index, context, levels,
@@ -317,6 +475,27 @@ class BackendDispatch {
   }
 
  private:
+  /// Twig body shared by the three overlay branches: builds one delta
+  /// fragment cursor per level (heap-allocated -- paged cursors own
+  /// non-movable PageGuards) and runs the generic k-way join.
+  template <typename BaseCursor, typename Acc, typename MakeCursor>
+  Result<NodeSequence> OverlayTwig(
+      Acc& acc, const NodeSequence& context,
+      const std::vector<TwigLevel>& levels, JoinStats* stats,
+      std::vector<TwigLevelStats>* level_stats, MakeCursor make_cursor) const {
+    using Cursor = delta::DeltaFragmentCursor<BaseCursor>;
+    std::vector<std::unique_ptr<Cursor>> owned;
+    std::vector<Cursor*> cursors;
+    owned.reserve(levels.size());
+    cursors.reserve(levels.size());
+    for (const TwigLevel& level : levels) {
+      owned.push_back(make_cursor(level.tag));
+      cursors.push_back(owned.back().get());
+    }
+    return internal::TwigJoinOver(cursors, acc, context, levels,
+                                  opt_.staircase, stats, level_stats);
+  }
+
   const DocTable& doc_;
   const EvalOptions& opt_;
 };

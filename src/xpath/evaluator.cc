@@ -72,6 +72,28 @@ Result<NodeSequence> Evaluator::Evaluate(const LocationPath& path,
   return EvaluateKeepTrace(path, context);
 }
 
+bool Evaluator::Overlaid() const {
+  return options_.overlay != nullptr && !options_.overlay->empty();
+}
+
+size_t Evaluator::LogicalSize() const {
+  return Overlaid() ? options_.overlay->logical_size() : doc_.size();
+}
+
+std::optional<TagId> Evaluator::LookupTag(std::string_view name) const {
+  if (Overlaid()) return options_.overlay->LookupTag(doc_.tags(), name);
+  return doc_.tags().Lookup(name);
+}
+
+Result<const DocTable*> Evaluator::EffectiveDoc() {
+  if (!Overlaid()) return &doc_;
+  if (!options_.overlay_doc) {
+    return Status::InvalidArgument(
+        "overlay evaluation requires EvalOptions::overlay_doc");
+  }
+  return options_.overlay_doc();
+}
+
 Status Evaluator::CheckImageDigests(size_t image_size,
                                     uint64_t image_doc_digest,
                                     std::optional<uint64_t> image_frag_digest,
@@ -117,7 +139,11 @@ Result<NodeSequence> Evaluator::EvaluateKeepTrace(const LocationPath& path,
     return Status::InvalidArgument(
         "context must be duplicate-free and in document order");
   }
-  if (!start.empty() && start.back() >= doc_.size()) {
+  // Logical size: under a delta overlay the context addresses the merged
+  // document's dense logical pre ranks. (The logical root is always 0 --
+  // base nodes are never reordered and the root is undeletable -- so the
+  // absolute-path start above needs no mapping.)
+  if (!start.empty() && start.back() >= LogicalSize()) {
     return Status::InvalidArgument("context node out of range");
   }
   return EvalSteps(path.steps, 0, std::move(start), /*top_level=*/true,
@@ -285,7 +311,7 @@ PlannedStep Evaluator::MatchTwigRun(const std::vector<Step>& steps,
     // A never-interned name keeps its level: the empty kNoTag fragment
     // makes the whole twig empty in O(k), matching the single-step
     // unknown-tag short-circuit.
-    level.tag = doc_.tags().Lookup(plan.twig_names.back()).value_or(kNoTag);
+    level.tag = LookupTag(plan.twig_names.back()).value_or(kNoTag);
     plan.twig_levels.push_back(level);
     i += used;
   }
@@ -308,7 +334,7 @@ PlannedStep Evaluator::PlanStep(const Step& step) const {
   plan.needs_tag = step.test.kind == NodeTestKind::kName ||
                    (step.test.kind == NodeTestKind::kPi &&
                     !step.test.name.empty());
-  if (plan.needs_tag) plan.tag = doc_.tags().Lookup(step.test.name);
+  if (plan.needs_tag) plan.tag = LookupTag(step.test.name);
   plan.pushdown = !plan.positional && step.test.kind == NodeTestKind::kName &&
                   plan.tag.has_value() && ShouldPushdown(step, *plan.tag);
   return plan;
@@ -385,18 +411,19 @@ bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
       // (Section 4.4). The fragment size is the exact selectivity; every
       // index keeps it resident.
       return static_cast<double>(dispatch.TagCount(tag)) <=
-             options_.pushdown_selectivity * static_cast<double>(doc_.size());
+             options_.pushdown_selectivity *
+                 static_cast<double>(LogicalSize());
   }
   return false;
 }
 
-NodeSequence Evaluator::FilterByTest(const Step& step,
+NodeSequence Evaluator::FilterByTest(const DocTable& doc, const Step& step,
                                      const NodeSequence& nodes) const {
   NodeSequence out;
   out.reserve(nodes.size());
   const NodeKind principal = PrincipalKind(step.axis);
   for (NodeId v : nodes) {
-    const NodeKind kind = doc_.kind(v);
+    const NodeKind kind = doc.kind(v);
     bool keep = false;
     switch (step.test.kind) {
       case NodeTestKind::kAnyNode:
@@ -407,8 +434,8 @@ NodeSequence Evaluator::FilterByTest(const Step& step,
         break;
       case NodeTestKind::kName:
         keep = kind == principal &&
-               doc_.tag(v) != kNoTag &&
-               doc_.tags().Name(doc_.tag(v)) == step.test.name;
+               doc.tag(v) != kNoTag &&
+               doc.tags().Name(doc.tag(v)) == step.test.name;
         break;
       case NodeTestKind::kText:
         keep = kind == NodeKind::kText;
@@ -419,7 +446,7 @@ NodeSequence Evaluator::FilterByTest(const Step& step,
       case NodeTestKind::kPi:
         keep = kind == NodeKind::kProcessingInstruction &&
                (step.test.name.empty() ||
-                doc_.tags().Name(doc_.tag(v)) == step.test.name);
+                doc.tags().Name(doc.tag(v)) == step.test.name);
         break;
     }
     if (keep) out.push_back(v);
@@ -489,14 +516,18 @@ static bool IsReverseAxis(Axis axis) {
 Result<NodeSequence> Evaluator::EvalStepPositional(
     const Step& step, const NodeSequence& context) {
   NodeSequence collected;
+  // Per-context evaluation reads whole nodes, not columns: under an
+  // overlay it runs on the materialized merged table (resident, like the
+  // pristine per-context path).
+  SJ_ASSIGN_OR_RETURN(const DocTable* edoc, EffectiveDoc());
   // Absolute existence predicates are context-invariant; memoize the
   // verdict once per step instead of re-evaluating per context node.
   std::vector<std::optional<bool>> absolute_verdict(step.predicates.size());
   for (NodeId c : context) {
     JoinStats ignored;
     SJ_ASSIGN_OR_RETURN(NodeSequence axis_nodes,
-                        NaiveAxisStep(doc_, {c}, step.axis, &ignored));
-    axis_nodes = FilterByTest(step, axis_nodes);
+                        NaiveAxisStep(*edoc, {c}, step.axis, &ignored));
+    axis_nodes = FilterByTest(*edoc, step, axis_nodes);
     if (IsReverseAxis(step.axis)) {
       std::reverse(axis_nodes.begin(), axis_nodes.end());
     }
@@ -575,11 +606,12 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
   if (options_.engine != EngineMode::kStaircase) {
     // Naive engine: per-context evaluation with sort + unique (the
     // "standard RDBMS join algorithms" route of [8]), per-node filter.
-    SJ_ASSIGN_OR_RETURN(result, NaiveAxisStep(doc_, context, step.axis,
+    SJ_ASSIGN_OR_RETURN(const DocTable* edoc, EffectiveDoc());
+    SJ_ASSIGN_OR_RETURN(result, NaiveAxisStep(*edoc, context, step.axis,
                                               &stats));
     trace.description = ToString(step) + explain::kPerContext;
     if (step.test.kind != NodeTestKind::kAnyNode) {
-      result = FilterByTest(step, result);
+      result = FilterByTest(*edoc, step, result);
     }
   } else if (plan.needs_tag && !tag.has_value()) {
     trace.description = ToString(step) + explain::kEmptyUnknownTag;

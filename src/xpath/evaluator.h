@@ -15,6 +15,7 @@
 #ifndef STAIRJOIN_XPATH_EVALUATOR_H_
 #define STAIRJOIN_XPATH_EVALUATOR_H_
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -24,6 +25,7 @@
 #include "core/staircase_join.h"
 #include "core/tag_view.h"
 #include "core/twig_join.h"
+#include "delta/overlay.h"
 #include "encoding/doc_table.h"
 #include "storage/compressed_doc.h"
 #include "storage/compressed_tags.h"
@@ -116,6 +118,20 @@ struct EvalOptions {
   /// passes, so creating a session stays cheap.
   std::optional<uint64_t> doc_digest;
   std::optional<uint64_t> frag_digest;
+  /// Snapshot overlay (updatable documents). When set and non-empty,
+  /// every join runs over the merged (base + delta) document in dense
+  /// logical pre ranks: base reads keep charging the backend's pool,
+  /// delta reads are resident (`delta/delta_accessor.h`). Null or empty
+  /// means the pristine document -- plans and traces are byte-identical
+  /// to a database that was never edited.
+  const delta::Overlay* overlay = nullptr;
+  /// Lazily materializes the merged document as a resident DocTable for
+  /// the per-context paths (naive engine, positional predicates, name
+  /// filtering on the naive path). Required when `overlay` is set.
+  std::function<Result<const DocTable*>()> overlay_doc;
+  /// Snapshot identity for EXPLAIN ("snapshot: epoch N (delta: M
+  /// nodes)"); epoch 0 = pristine, no line emitted.
+  uint64_t snapshot_epoch = 0;
 };
 
 /// Per-step diagnostics (an EXPLAIN of the executed plan).
@@ -220,8 +236,22 @@ class Evaluator {
                                           const NodeSequence& context);
   Result<NodeSequence> ApplyPredicates(const Step& step, NodeSequence nodes);
   Result<bool> PredicateHolds(const Predicate& pred, NodeId node);
-  NodeSequence FilterByTest(const Step& step, const NodeSequence& nodes) const;
+  /// `doc` is EffectiveDoc(): the bound table, or the materialized merged
+  /// table when a delta overlay is active.
+  NodeSequence FilterByTest(const DocTable& doc, const Step& step,
+                            const NodeSequence& nodes) const;
   bool ShouldPushdown(const Step& step, TagId tag) const;
+  /// True when options_ carry a non-empty delta overlay.
+  bool Overlaid() const;
+  /// Merged document size (doc_.size() when pristine).
+  size_t LogicalSize() const;
+  /// Tag lookup against the merged dictionary (base dictionary when
+  /// pristine); nullopt for never-interned names, as before.
+  std::optional<TagId> LookupTag(std::string_view name) const;
+  /// The table the per-context paths (naive engine, positional
+  /// predicates) read: doc_ when pristine, the overlay's lazily
+  /// materialized merged table otherwise.
+  Result<const DocTable*> EffectiveDoc();
 
   const DocTable& doc_;
   EvalOptions options_;

@@ -56,6 +56,19 @@ inline constexpr const char kStepSep[] = "/";
 inline constexpr const char kSubsumedByTwigOpen[] =
     " -> subsumed by twig join (step ";
 
+// --- snapshot overlay (updatable documents) ---------------------------------
+/// Backend labels of joins running over a delta overlay (the merged
+/// base + delta document; base reads still charge the pool).
+inline constexpr const char kLabelOverlayMemory[] = "overlay ";
+inline constexpr const char kLabelOverlayPaged[] = "overlay paged ";
+inline constexpr const char kLabelOverlayCompressed[] = "overlay compressed ";
+/// Leading line of an edited snapshot's EXPLAIN:
+/// "snapshot: epoch N (delta: M nodes)". Pristine databases (epoch 0)
+/// emit no line, keeping their traces byte-identical to pre-delta runs.
+inline constexpr const char kSnapshotOpen[] = "snapshot: epoch ";
+inline constexpr const char kSnapshotDeltaOpen[] = " (delta: ";
+inline constexpr const char kSnapshotDeltaClose[] = " nodes)";
+
 // --- plan cache (sj::QueryResult::Explain) ----------------------------------
 /// Leading line of a cache-served query's EXPLAIN; closed by kCloseParen.
 /// The rest of the report stays byte-identical to the uncached run.

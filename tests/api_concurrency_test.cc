@@ -218,6 +218,13 @@ TEST_F(ApiConcurrencyTest, TotalStatsCountConcurrentQueries) {
             static_cast<uint64_t>(kThreads));
   EXPECT_EQ(after.result_nodes - before.result_nodes,
             expected_nodes.load(std::memory_order_relaxed));
+  // The MVCC counters: every session pinned the (pristine) snapshot at
+  // creation, and a read-only workload never moves the edit counters.
+  EXPECT_EQ(after.snapshots_pinned - before.snapshots_pinned,
+            static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(after.edits_committed, 0u);
+  EXPECT_EQ(after.delta_nodes, 0u);
+  EXPECT_EQ(after.compactions, 0u);
 }
 
 TEST_F(ApiConcurrencyTest, ConcurrentPlanCacheHitsServeTheUncachedResult) {

@@ -1,0 +1,24 @@
+// sj-lint fixture: MUST fail rule delta-mutation when linted as a file
+// under src/ outside the encoding layer, src/delta/ and src/xmlgen/
+// (see sj_lint_test.py). Rebuilding a DocTable -- or casting away its
+// const -- behind published snapshots breaks snapshot isolation: a
+// pinned reader would observe the half-rewritten image.
+
+#include "encoding/builder.h"
+#include "encoding/doc_table.h"
+
+namespace sj {
+
+DocTable RogueRebuild(const DocTable& doc) {
+  DocTableBuilder builder;  // violation: image construction outside the
+                            // encoding/delta layers
+  (void)doc;
+  return std::move(builder).Finish().value();
+}
+
+void RoguePatch(const DocTable& doc) {
+  auto* mutable_doc = const_cast<DocTable*>(&doc);  // violation
+  (void)mutable_doc;
+}
+
+}  // namespace sj

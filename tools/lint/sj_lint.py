@@ -28,6 +28,13 @@ enforces. This pass makes them hard failures in CI:
                     trailing skipped/result fields silently gates on
                     zeros. Records must set all seven fields (or assign
                     .skipped/.result by name).
+  delta-mutation    Column images are immutable once published: updates
+                    go through the delta overlay (src/delta/) and are
+                    folded by Database::Compact. Constructing a
+                    DocTableBuilder -- or const_cast-ing a DocTable --
+                    outside the encoding layer, src/delta/ and the
+                    generators mutates (or rebuilds) an image behind the
+                    snapshots' backs, breaking snapshot isolation.
 
 Suppress a finding with a trailing or preceding comment carrying a
 justification:  // sj-lint: allow(rule-id) -- <why>
@@ -174,6 +181,7 @@ _EXPLAIN_PHRASES = (
     " workers)",
     " via ",
     "plan: cached",
+    "snapshot: epoch",
 )
 
 _STRINGS_FILE = "src/xpath/explain_strings.h"
@@ -320,12 +328,35 @@ def check_bench_json(rel, code, _literals, allows, findings):
                     ".skipped/.result by name)")
 
 
+_MUTATION_RE = re.compile(r"\bDocTableBuilder\b|const_cast\s*<\s*DocTable\b")
+
+# The layers that legitimately build or rework column images: the
+# encoding layer (builders, loaders, collections), the delta store
+# (overlay materialization / compaction), and the document generators.
+_MUTATION_ALLOWED = ("src/encoding/", "src/delta/", "src/xmlgen/")
+
+
+def check_delta_mutation(rel, code, _literals, allows, findings):
+    if not rel.startswith("src/"):
+        return
+    if rel.startswith(_MUTATION_ALLOWED):
+        return
+    for m in _MUTATION_RE.finditer(code):
+        _report(findings, allows, rel, line_of(code, m.start()),
+                "delta-mutation",
+                "column images are immutable behind published snapshots; "
+                "route updates through the delta overlay (src/delta/) and "
+                "Database::Compact instead of rebuilding or casting away "
+                "const here")
+
+
 _RULES = (
     check_pool_bypass,
     check_backend_dispatch,
     check_explain_literal,
     check_stats_on_advance,
     check_bench_json,
+    check_delta_mutation,
 )
 
 # ---------------------------------------------------------------------------

@@ -23,6 +23,7 @@ CASES = {
     "stats_free_kernel.h": ("src/core/kernels.h", "stats-on-advance"),
     "bench_missing_fields.cc": ("bench/bench_evil.cc", "bench-json"),
     "bench_missing_percentiles.cc": ("bench/bench_evil.cc", "bench-json"),
+    "rogue_image_mutation.cc": ("src/api/evil.cc", "delta-mutation"),
 }
 
 # The same fixtures linted at exempt locations must be clean: the rules
@@ -34,6 +35,7 @@ EXEMPT = {
     "stats_free_kernel.h": "src/core/doc_accessor.h",
     "bench_missing_fields.cc": "tests/evil_test.cc",
     "bench_missing_percentiles.cc": "tests/evil_test.cc",
+    "rogue_image_mutation.cc": "src/delta/evil.cc",
 }
 
 
