@@ -84,12 +84,12 @@ void Run() {
 
     SessionOptions paged_opt;
     paged_opt.backend = StorageBackend::kPaged;
-    paged_opt.pushdown = PushdownMode::kNever;
+    paged_opt.hints.pushdown = PushdownMode::kNever;
     // Step-at-a-time on purpose: this bench compares the raw column scans
     // of the two storage formats; the twig join would collapse the chain
     // queries to a handful of fragment pages on both backends
     // (bench_twig_paths.cc measures that effect).
-    paged_opt.twig = TwigMode::kNever;
+    paged_opt.hints.twig = TwigMode::kNever;
     paged_opt.private_pool_pages = kPoolPages;  // cold pool per backend
     SessionOptions zip_opt = paged_opt;
     zip_opt.backend = StorageBackend::kCompressed;

@@ -40,11 +40,11 @@ void Run() {
                       ModeRow{"estimated", SkipMode::kEstimated}}) {
       SessionOptions opt;
       opt.backend = StorageBackend::kPaged;
-      opt.pushdown = PushdownMode::kNever;  // measure the document scan
+      opt.hints.pushdown = PushdownMode::kNever;  // measure the document scan
       // Step-at-a-time on purpose: this bench contrasts the staircase
       // join's skip modes; the twig join would collapse the chain and
       // equalize the rows (bench_twig_paths.cc measures the twig).
-      opt.twig = TwigMode::kNever;
+      opt.hints.twig = TwigMode::kNever;
       opt.staircase.skip_mode = m.mode;
       opt.private_pool_pages = pool_pages;  // cold pool per configuration
       auto session = db->CreateSession(opt);

@@ -43,11 +43,11 @@ void Run() {
     auto db = MakeDatabase(mb, open);
 
     SessionOptions mem_opt;
-    mem_opt.pushdown = PushdownMode::kNever;
+    mem_opt.hints.pushdown = PushdownMode::kNever;
     // Step-at-a-time on purpose: this bench measures the per-step axis
     // kernels through the pool; the twig join would collapse the child
     // chains (bench_twig_paths.cc measures that effect).
-    mem_opt.twig = TwigMode::kNever;
+    mem_opt.hints.twig = TwigMode::kNever;
     auto mem = db->CreateSession(mem_opt).value();
 
     SessionOptions io_opt = mem_opt;

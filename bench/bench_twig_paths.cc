@@ -133,7 +133,7 @@ void Run() {
     twig_opt.backend = StorageBackend::kPaged;
     twig_opt.private_pool_pages = kPoolPages;  // cold pool per plan shape
     SessionOptions step_opt = twig_opt;
-    step_opt.twig = TwigMode::kNever;
+    step_opt.hints.twig = TwigMode::kNever;
     auto twig = db->CreateSession(twig_opt);
     auto step = db->CreateSession(step_opt);
     if (!twig.ok() || !step.ok()) {

@@ -48,7 +48,8 @@ int main() {
 
   // 2. Create a session. Any number of sessions (one per thread) may
   //    share the database; this one keeps the defaults (in-memory
-  //    backend, automatic name-test pushdown).
+  //    backend, cost-based operator choice -- SessionOptions::hints
+  //    carries the PlanHints for pinning operators explicitly).
   auto session_result = db->CreateSession();
   if (!session_result.ok()) {
     std::fprintf(stderr, "session failed: %s\n",
@@ -97,5 +98,16 @@ int main() {
   // 4. EXPLAIN the last query plan. The trace travels inside the
   //    QueryResult -- nothing is read back from shared evaluator state.
   std::printf("plan of the last query:\n%s", last.Explain().c_str());
+
+  // 5. The same plan, structurally: operator chosen per step plus the
+  //    cost model's estimate vs the actual row count (and pool faults,
+  //    zero here on the in-memory backend).
+  std::printf("\nplan summary:\n");
+  for (const sj::PlanStepSummary& s : last.PlanSummary()) {
+    std::printf("  step %zu: %-12s est=%llu act=%llu faults=%llu\n", s.step,
+                s.op.c_str(), static_cast<unsigned long long>(s.estimated_rows),
+                static_cast<unsigned long long>(s.actual_rows),
+                static_cast<unsigned long long>(s.faults));
+  }
   return 0;
 }

@@ -46,23 +46,23 @@ int main(int argc, char** argv) {
   Strategy strategies[] = {
       {"staircase join", [] {
          sj::SessionOptions o;
-         o.pushdown = sj::PushdownMode::kNever;
+         o.hints.pushdown = sj::PushdownMode::kNever;
          return o;
        }()},
       {"scj + name-test pushdown", [] {
          sj::SessionOptions o;
-         o.pushdown = sj::PushdownMode::kAlways;
+         o.hints.pushdown = sj::PushdownMode::kAlways;
          return o;
        }()},
       {"scj parallel (4 workers)", [] {
          sj::SessionOptions o;
-         o.pushdown = sj::PushdownMode::kNever;
+         o.hints.pushdown = sj::PushdownMode::kNever;
          o.num_threads = 4;
          return o;
        }()},
       {"naive per-context", [] {
          sj::SessionOptions o;
-         o.engine = sj::EngineMode::kNaive;
+         o.hints.engine = sj::EngineMode::kNaive;
          return o;
        }()},
   };

@@ -198,6 +198,10 @@ Result<std::shared_ptr<const DatabaseImages>> Database::BuildImages(
         img->disk.get(), options.pool_pages, shards);
     img->pool->set_prefetch_enabled(options.prefetch);
   }
+  // Planner statistics: one O(doc) pass at image-build time (open and
+  // every compaction), shared read-only by all sessions on these images.
+  img->doc_stats = std::make_unique<xpath::DocStatistics>(
+      xpath::DocStatistics::Collect(doc));
   return std::shared_ptr<const DatabaseImages>(std::move(img));
 }
 
@@ -333,15 +337,19 @@ Result<xpath::EvalOptions> Database::MakeEvalOptions(
     std::unique_ptr<storage::BufferPool>* private_pool) const {
   const DatabaseImages& img = snap->images();
   xpath::EvalOptions eval;
-  eval.engine = options.engine;
+  eval.engine = options.hints.engine;
   eval.staircase = options.staircase;
-  eval.pushdown = options.pushdown;
-  eval.twig = options.twig;
-  eval.pushdown_selectivity = options.pushdown_selectivity;
+  eval.pushdown = options.hints.pushdown;
+  eval.twig = options.hints.twig;
+  eval.pushdown_selectivity = options.hints.pushdown_selectivity;
+  eval.cost_model = options.hints.cost_model;
   eval.num_threads = options.num_threads;
   eval.backend = options.backend;
   eval.tag_index = img.tag_index.get();
   eval.doc_digest = img.doc_digest;
+  // Planner statistics describe the BASE document; under an overlay the
+  // estimator layers merged per-tag counts on top (see MakeEstimator).
+  eval.doc_stats = img.doc_stats.get();
 
   std::unique_ptr<storage::BufferPool> pool;
   if (xpath::BackendDispatch::UsesPool(options.backend)) {

@@ -294,6 +294,16 @@ class Database {
   /// plan-cache counters are folded in from the cache's own latch.
   DatabaseStats TotalStats() const SJ_EXCLUDES(stats_mu_);
 
+  /// Planner statistics of the CURRENT snapshot's base document: size,
+  /// level histogram, per-tag fragment counts and level spreads --
+  /// exactly what feeds the cost model (xpath/cost_model.h). Borrowed
+  /// from the current snapshot (rebuilt by compaction); never null.
+  /// Describes the BASE images: uncompacted edits are layered on top by
+  /// the planner through the snapshot's merged tag dictionary.
+  const DocStatistics& Statistics() const {
+    return *CurrentSnapshot()->images().doc_stats;
+  }
+
   /// The plan cache; null when disabled (plan_cache_entries == 0).
   /// Exposed for tests (entry counts); sessions go through Run.
   PlanCache* plan_cache() const { return plan_cache_.get(); }

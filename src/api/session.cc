@@ -31,6 +31,50 @@ std::string QueryResult::Explain() const {
   return out;
 }
 
+namespace {
+
+/// The PlanStepSummary::op token of a StepOperator. Deliberately not in
+/// explain_strings.h: these are structural API tokens, not EXPLAIN text.
+const char* StepOperatorToken(xpath::StepOperator op) {
+  switch (op) {
+    case xpath::StepOperator::kStaircase:
+      return "staircase";
+    case xpath::StepOperator::kPushdown:
+      return "pushdown";
+    case xpath::StepOperator::kAxisCursor:
+      return "axis-cursor";
+    case xpath::StepOperator::kTwig:
+      return "twig";
+    case xpath::StepOperator::kTwigSubsumed:
+      return "twig-subsumed";
+    case xpath::StepOperator::kPositional:
+      return "positional";
+    case xpath::StepOperator::kPerContext:
+      return "per-context";
+    case xpath::StepOperator::kEmpty:
+      return "empty";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::vector<PlanStepSummary> QueryResult::PlanSummary() const {
+  std::vector<PlanStepSummary> rows;
+  rows.reserve(trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    const StepTrace& step = trace[i];
+    PlanStepSummary row;
+    row.step = i + 1;
+    row.op = StepOperatorToken(step.op);
+    row.estimated_rows = step.estimated_rows;
+    row.actual_rows = step.stats.result_size;
+    row.faults = step.pool_faults;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 Session::Session(const Database* db, SessionOptions options,
                  std::shared_ptr<const DatabaseSnapshot> snap,
                  std::unique_ptr<storage::BufferPool> private_pool,
@@ -66,18 +110,23 @@ std::string Session::PlanKey(std::string_view xpath) const {
   // round-trippable form, not a truncated one.
   char selectivity[32];
   std::snprintf(selectivity, sizeof(selectivity), "%.17g",
-                options_.pushdown_selectivity);
+                options_.hints.pushdown_selectivity);
   std::string key(xpath);
   key += '\x1f';
-  key += std::to_string(static_cast<int>(options_.engine));
+  key += std::to_string(static_cast<int>(options_.hints.engine));
   key += '\x1f';
   key += std::to_string(static_cast<int>(options_.backend));
   key += '\x1f';
-  key += std::to_string(static_cast<int>(options_.pushdown));
+  key += std::to_string(static_cast<int>(options_.hints.pushdown));
   key += '\x1f';
-  key += std::to_string(static_cast<int>(options_.twig));
+  key += std::to_string(static_cast<int>(options_.hints.twig));
   key += '\x1f';
   key += selectivity;
+  // The cost-model mode participates too: a kAuto plan's estimate-driven
+  // operator choices must never be served to a kOff session (or vice
+  // versa) even when every hint matches.
+  key += '\x1f';
+  key += std::to_string(static_cast<int>(options_.hints.cost_model));
   // The snapshot epoch: planning reads the merged tag dictionary and
   // fragment counts, which change per published edit. Keying on the
   // epoch retires every stale plan at once -- a commit between two runs

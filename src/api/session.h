@@ -38,32 +38,54 @@ class Database;
 
 // The semantic query knobs, re-exported so facade callers need not spell
 // the internal engine namespace.
+using xpath::CostModelMode;
+using xpath::DocStatistics;
 using xpath::EngineMode;
 using xpath::PushdownMode;
+using xpath::StepOperator;
 using xpath::StepTrace;
 using xpath::StorageBackend;
 using xpath::TwigMode;
 
-/// \brief Per-session configuration: semantic knobs only.
+/// \brief Planner hints: the *semantic intent* knobs that pin or free
+/// the planner's operator choices. All defaults mean "let the cost
+/// model decide"; a pinned hint always wins over the estimates.
 ///
-/// Backend *wiring* (which tables, pools and fragment images serve a
-/// query) is resolved by the Database; a session merely chooses between
-/// the backends the database was opened with. Adding a storage backend is
-/// therefore an internal change -- no caller wires pointers.
-struct SessionOptions {
+/// Plans are shared (database plan cache) only between sessions whose
+/// PlanHints -- and cost_model mode -- are identical: a hint-pinned
+/// session never serves or receives a kAuto session's plan.
+struct PlanHints {
   /// Which join engine evaluates the staircase axes.
   EngineMode engine = EngineMode::kStaircase;
-  /// Skip mode / attribute handling of the staircase join itself.
-  StaircaseOptions staircase;
-  /// Whether name tests are pushed down onto tag fragments.
+  /// Whether name tests are pushed down onto tag fragments. kAuto
+  /// defers to the cost model (or, under cost_model kOff, the static
+  /// pushdown_selectivity threshold); kAlways/kNever pin the choice.
   PushdownMode pushdown = PushdownMode::kAuto;
   /// Whether runs of consecutive predicate-free name-test
   /// child/descendant steps collapse into the holistic twig join
   /// (core/twig_join.h). kNever forces step-at-a-time evaluation (the
   /// Fig. 11-style comparison baseline).
   TwigMode twig = TwigMode::kAuto;
-  /// kAuto pushdown threshold: fragment size / document size.
+  /// kAuto pushdown threshold (fragment size / document size) -- only
+  /// consulted when cost_model is kOff.
   double pushdown_selectivity = 0.125;
+  /// Estimate-driven operator choice (statistics-fed page-cost
+  /// comparison, xpath/cost_model.h). kOff restores the static
+  /// threshold planner. Either way EXPLAIN prints est=N act=M.
+  CostModelMode cost_model = CostModelMode::kAuto;
+};
+
+/// \brief Per-session configuration: execution knobs plus PlanHints.
+///
+/// Backend *wiring* (which tables, pools and fragment images serve a
+/// query) is resolved by the Database; a session merely chooses between
+/// the backends the database was opened with. Adding a storage backend is
+/// therefore an internal change -- no caller wires pointers.
+struct SessionOptions {
+  /// Planner hints (semantic intent); default = fully planner-decided.
+  PlanHints hints;
+  /// Skip mode / attribute handling of the staircase join itself.
+  StaircaseOptions staircase;
   /// >1 runs the partitioned parallel staircase join with this many
   /// workers (per query -- independent of how many sessions exist).
   unsigned num_threads = 1;
@@ -78,6 +100,23 @@ struct SessionOptions {
   /// cold-cache / pool-size experiments that must not disturb or be
   /// disturbed by other sessions.
   size_t private_pool_pages = 0;
+};
+
+/// \brief One row of QueryResult::PlanSummary(): the planner's choice
+/// and its estimate vs what actually happened, per step.
+struct PlanStepSummary {
+  /// 1-based step number, matching EXPLAIN's "step N:" lines.
+  size_t step = 0;
+  /// Operator token: "staircase", "pushdown", "axis-cursor", "twig",
+  /// "twig-subsumed", "positional", "per-context" or "empty".
+  std::string op;
+  /// The cost model's output-cardinality estimate (EXPLAIN "est=N").
+  uint64_t estimated_rows = 0;
+  /// Rows the step actually produced (EXPLAIN "act=M").
+  uint64_t actual_rows = 0;
+  /// Buffer-pool faults charged while the step ran (0 on the memory
+  /// backend; approximate under a shared pool -- see StepTrace).
+  uint64_t faults = 0;
 };
 
 /// \brief One query's complete, self-contained answer.
@@ -109,6 +148,12 @@ struct QueryResult {
   /// everything after them is byte-identical to the uncached run's
   /// report.
   std::string Explain() const;
+
+  /// The executed plan, structurally: one row per step with the chosen
+  /// operator, estimated vs actual rows, and per-step pool faults --
+  /// the same numbers EXPLAIN renders as text, for programmatic plan
+  /// inspection (regression gates, dashboards).
+  std::vector<PlanStepSummary> PlanSummary() const;
 };
 
 /// \brief A per-thread query handle over a shared Database.
@@ -155,11 +200,13 @@ class Session {
   /// a Run in flight keeps its pinned snapshot to the end.
   Status EnsureCurrentSnapshot();
 
-  /// The plan-cache key of `xpath` under this session's SEMANTIC options
-  /// -- exactly the fields Evaluator::Compile's decisions depend on
-  /// (engine, backend, pushdown, twig, pushdown_selectivity), PLUS the
-  /// pinned snapshot's epoch: a plan compiled over one epoch's merged
-  /// dictionary and fragment counts must never drive another epoch.
+  /// The plan-cache key of `xpath` under this session's PlanHints --
+  /// exactly the fields Evaluator::Compile's decisions depend on
+  /// (engine, backend, pushdown, twig, pushdown_selectivity,
+  /// cost_model), PLUS the pinned snapshot's epoch: a plan compiled
+  /// over one epoch's merged dictionary and fragment counts must never
+  /// drive another epoch, and a hint-pinned session never shares a
+  /// cached plan with a kAuto session.
   std::string PlanKey(std::string_view xpath) const;
 
   /// Records a plan in the session-local memo (see plan_memo_), with

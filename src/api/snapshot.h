@@ -34,6 +34,7 @@
 #include "storage/paged_doc.h"
 #include "storage/paged_tags.h"
 #include "util/result.h"
+#include "xpath/cost_model.h"
 
 namespace sj {
 
@@ -52,6 +53,11 @@ struct DatabaseImages {
   std::unique_ptr<storage::BufferPool> pool;
   std::optional<uint64_t> doc_digest;
   std::optional<uint64_t> frag_digest;
+  /// Planner statistics of `doc` (level histogram, per-tag counts and
+  /// level spreads), collected in one O(doc) pass at image-build time.
+  /// Shared read-only by every session; rebuilt by compaction together
+  /// with the images, so it always describes `doc` exactly.
+  std::unique_ptr<xpath::DocStatistics> doc_stats;
   /// Pre ranks (in `doc`) of the gathered document elements when the
   /// images encode a directory collection; empty otherwise.
   NodeSequence base_document_roots;

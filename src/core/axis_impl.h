@@ -329,6 +329,189 @@ Result<NodeSequence> AxisStepOver(A& acc, const NodeSequence& context,
   return result;
 }
 
+/// Per-context-node output of the positional axis step: `nodes` holds
+/// group k's matches in document order at
+/// [offsets[k], offsets[k+1]); offsets.size() == context.size() + 1.
+/// Groups may overlap in content (two context nodes can share
+/// descendants) -- positional ranking is per context node, which is
+/// exactly why covered-context pruning must NOT apply here.
+struct PositionalGroups {
+  NodeSequence nodes;
+  std::vector<size_t> offsets;
+};
+
+/// \brief The set-at-a-time positional axis step: one cursor pass per
+/// context frame with the node test folded in, producing the per-context
+/// groups a positional predicate ranks within. Replaces the per-context
+/// naive fallback (which bypassed the buffer pool) -- every candidate
+/// read below is charged to the backend, subtree jumps announce SkipTo.
+///
+/// Group contents reproduce baselines/naive.cc AppendPerContext
+/// semantics exactly (it is the oracle the tests compare against):
+/// self/or-self emit the context node itself subject only to the node
+/// test; descendant/following/preceding exclude attribute nodes; child
+/// and the sibling axes step over attribute ranks and jump whole
+/// sibling subtrees; ancestors come out root-first (document order).
+/// Reverse-axis rank reordering is the caller's job.
+template <DocAccessor A>
+Result<PositionalGroups> PositionalAxisStepOver(A& acc,
+                                                const NodeSequence& context,
+                                                Axis axis,
+                                                const AxisNodeTest& test,
+                                                JoinStats* stats) {
+  SJ_RETURN_NOT_OK(ValidateContext(acc, context));
+  PositionalGroups groups;
+  groups.offsets.reserve(context.size() + 1);
+  groups.offsets.push_back(0);
+  JoinStats local;
+  local.context_size = context.size();
+  // Every frame scans: positions are per context node, so no frame is
+  // covered by another.
+  local.pruned_context_size = context.size();
+  const uint64_t n = acc.size();
+  AxisNodeTest t = test;  // Matches() is non-const (tag reads)
+
+  // One candidate visit: kind read + folded test.
+  auto emit = [&](uint64_t v, bool allow_attr) {
+    ++local.nodes_scanned;
+    const uint8_t kind = acc.Kind(v);
+    if (!allow_attr && kind == kAttrKind) return false;
+    if (t.Matches(acc, v, kind)) {
+      groups.nodes.push_back(static_cast<NodeId>(v));
+      return true;
+    }
+    return false;
+  };
+
+  for (NodeId c : context) {
+    switch (axis) {
+      case Axis::kSelf: {
+        emit(c, true);
+        break;
+      }
+      case Axis::kChild: {
+        const uint64_t end = SubtreeEndOver(acc, c);
+        uint64_t v = static_cast<uint64_t>(c) + 1;
+        while (v <= end && v < n) {
+          ++local.nodes_scanned;
+          const uint8_t kind = acc.Kind(v);
+          if (kind == kAttrKind) {
+            ++v;
+            continue;
+          }
+          if (t.Matches(acc, v, kind)) {
+            groups.nodes.push_back(static_cast<NodeId>(v));
+          }
+          const uint64_t vend = SubtreeEndOver(acc, v);
+          const uint64_t next = std::max(v + 1, vend + 1);
+          if (vend > v) {
+            local.nodes_skipped += vend - v;
+            acc.SkipTo(next);
+          }
+          v = next;
+        }
+        break;
+      }
+      case Axis::kAttribute: {
+        for (uint64_t v = static_cast<uint64_t>(c) + 1; v < n; ++v) {
+          ++local.nodes_scanned;
+          if (acc.Kind(v) != kAttrKind || acc.Parent(v) != c) break;
+          if (t.Matches(acc, v, kAttrKind)) {
+            groups.nodes.push_back(static_cast<NodeId>(v));
+          }
+        }
+        break;
+      }
+      case Axis::kParent: {
+        const NodeId p = acc.Parent(c);
+        if (p != kNilNode) emit(p, true);
+        break;
+      }
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        // Parent chain runs leaf-to-root; document order is root-first.
+        std::vector<NodeId> chain;
+        for (NodeId p = acc.Parent(c); p != kNilNode; p = acc.Parent(p)) {
+          ++local.nodes_scanned;
+          if (t.Matches(acc, p, acc.Kind(p))) chain.push_back(p);
+        }
+        std::reverse(chain.begin(), chain.end());
+        groups.nodes.insert(groups.nodes.end(), chain.begin(), chain.end());
+        if (axis == Axis::kAncestorOrSelf) emit(c, true);
+        break;
+      }
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        if (axis == Axis::kDescendantOrSelf) emit(c, true);
+        const uint64_t end = SubtreeEndOver(acc, c);
+        for (uint64_t v = static_cast<uint64_t>(c) + 1; v <= end && v < n;
+             ++v) {
+          emit(v, false);
+        }
+        break;
+      }
+      case Axis::kFollowing: {
+        const uint64_t start = SubtreeEndOver(acc, c) + 1;
+        for (uint64_t v = start; v < n; ++v) emit(v, false);
+        break;
+      }
+      case Axis::kPreceding: {
+        const auto post_c = acc.Post(c);
+        for (uint64_t v = 0; v < static_cast<uint64_t>(c); ++v) {
+          ++local.nodes_scanned;
+          const uint8_t kind = acc.Kind(v);
+          if (kind == kAttrKind) continue;
+          if (acc.Post(v) >= post_c) continue;  // ancestor, not preceding
+          if (t.Matches(acc, v, kind)) {
+            groups.nodes.push_back(static_cast<NodeId>(v));
+          }
+        }
+        break;
+      }
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling: {
+        if (acc.Kind(c) == kAttrKind) break;
+        const NodeId p = acc.Parent(c);
+        if (p == kNilNode) break;
+        uint64_t v;
+        uint64_t end;
+        if (axis == Axis::kFollowingSibling) {
+          v = SubtreeEndOver(acc, c) + 1;
+          end = SubtreeEndOver(acc, p);
+        } else {
+          v = static_cast<uint64_t>(p) + 1;
+          end = static_cast<uint64_t>(c) - 1;  // context node excluded
+        }
+        while (v < n && v <= end) {
+          ++local.nodes_scanned;
+          const uint8_t kind = acc.Kind(v);
+          if (kind == kAttrKind) {
+            ++v;
+            continue;
+          }
+          if (t.Matches(acc, v, kind)) {
+            groups.nodes.push_back(static_cast<NodeId>(v));
+          }
+          const uint64_t vend = SubtreeEndOver(acc, v);
+          const uint64_t next = std::max(v + 1, vend + 1);
+          if (vend > v) {
+            local.nodes_skipped += vend - v;
+            acc.SkipTo(next);
+          }
+          v = next;
+        }
+        break;
+      }
+    }
+    groups.offsets.push_back(groups.nodes.size());
+  }
+
+  if (!acc.ok()) return acc.status();
+  local.result_size = groups.nodes.size();
+  if (stats != nullptr) *stats = local;
+  return groups;
+}
+
 }  // namespace sj::internal
 
 #endif  // STAIRJOIN_CORE_AXIS_IMPL_H_

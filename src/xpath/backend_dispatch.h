@@ -373,6 +373,68 @@ class BackendDispatch {
     return Status::Internal("unreachable");
   }
 
+  /// Set-at-a-time positional axis step: per-context groups for rank
+  /// predicates, every read charged to the backend (the replacement for
+  /// the per-context fallback that bypassed the pool).
+  Result<internal::PositionalGroups> PositionalAxis(
+      const NodeSequence& context, Axis axis, const AxisNodeTest& test,
+      JoinStats* stats) const {
+    if (Overlaid()) {
+      switch (opt_.backend) {
+        case StorageBackend::kMemory: {
+          delta::DeltaDocAccessor<MemoryDocAccessor> acc(*opt_.overlay, doc_);
+          return internal::PositionalAxisStepOver(acc, context, axis, test,
+                                                  stats);
+        }
+        case StorageBackend::kPaged: {
+          delta::DeltaDocAccessor<storage::PagedDocAccessor> acc(
+              *opt_.overlay, *opt_.paged_doc, opt_.pool);
+          return internal::PositionalAxisStepOver(acc, context, axis, test,
+                                                  stats);
+        }
+        case StorageBackend::kCompressed: {
+          delta::DeltaDocAccessor<storage::CompressedDocAccessor> acc(
+              *opt_.overlay, *opt_.compressed_doc, opt_.pool);
+          return internal::PositionalAxisStepOver(acc, context, axis, test,
+                                                  stats);
+        }
+      }
+      return Status::Internal("unreachable");
+    }
+    switch (opt_.backend) {
+      case StorageBackend::kMemory: {
+        MemoryDocAccessor acc(doc_);
+        return internal::PositionalAxisStepOver(acc, context, axis, test,
+                                                stats);
+      }
+      case StorageBackend::kPaged: {
+        storage::PagedDocAccessor acc(*opt_.paged_doc, opt_.pool);
+        return internal::PositionalAxisStepOver(acc, context, axis, test,
+                                                stats);
+      }
+      case StorageBackend::kCompressed: {
+        storage::CompressedDocAccessor acc(*opt_.compressed_doc, opt_.pool);
+        return internal::PositionalAxisStepOver(acc, context, axis, test,
+                                                stats);
+      }
+    }
+    return Status::Internal("unreachable");
+  }
+
+  /// The cost model's per-page unit of the active backend (cost_model.h
+  /// constants; the backend switch lives here, not in the estimator).
+  double PageCostUnit() const {
+    switch (opt_.backend) {
+      case StorageBackend::kMemory:
+        return kMemoryPageCost;
+      case StorageBackend::kPaged:
+        return kPagedPageCost;
+      case StorageBackend::kCompressed:
+        return kCompressedPageCost;
+    }
+    return kPagedPageCost;
+  }
+
   /// Node-test filter pass over a join result (kind/tag reads are
   /// charged to the step's backend, like every other read).
   Result<NodeSequence> Filter(const NodeSequence& nodes,

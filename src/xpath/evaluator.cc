@@ -201,21 +201,63 @@ CompiledPlan Evaluator::Compile(UnionExpr expr) const {
   plan.expr = std::move(expr);
   plan.branches.reserve(plan.expr.branches.size());
   for (const LocationPath& branch : plan.expr.branches) {
-    // The same walk EvalSteps performs at execution time: a twig match
-    // consumes its whole run, every other step is planned individually.
-    // (Steps inside a consumed run keep defaulted, never-read slots.)
-    PlannedPath planned;
-    planned.steps.resize(branch.steps.size());
-    for (size_t i = 0; i < branch.steps.size();) {
-      PlannedStep step = MatchTwigRun(branch.steps, i);
-      if (step.twig_consumed == 0) step = PlanStep(branch.steps[i]);
-      const size_t consumed = std::max<size_t>(step.twig_consumed, 1);
-      planned.steps[i] = std::move(step);
-      i += consumed;
-    }
-    plan.branches.push_back(std::move(planned));
+    plan.branches.push_back(PlanPath(branch.steps));
   }
   return plan;
+}
+
+CardinalityEstimator Evaluator::MakeEstimator() const {
+  const BackendDispatch dispatch(doc_, options_);
+  const bool has_fragments = dispatch.HasFragments();
+  const DocStatistics* stats = options_.doc_stats;
+  const uint64_t logical = LogicalSize();
+  auto tag_count = [this, has_fragments, stats, logical](TagId tag) {
+    if (tag == kNoTag) return uint64_t{0};
+    if (has_fragments) {
+      // The active fragment index's count -- under an overlay this is
+      // the MERGED count (base survivors + delta nodes), which is what
+      // gives tags first introduced by an edit their real sizes.
+      return BackendDispatch(doc_, options_).TagCount(tag);
+    }
+    if (stats != nullptr && tag < stats->tag_counts.size() && !Overlaid()) {
+      return stats->tag_counts[tag];
+    }
+    return logical;  // unknown selectivity: assume non-selective
+  };
+  return CardinalityEstimator(stats, logical, dispatch.PageCostUnit(),
+                              std::move(tag_count));
+}
+
+PlannedPath Evaluator::PlanPath(const std::vector<Step>& steps) const {
+  // The same walk EvalSteps performs at execution time: a twig match
+  // consumes its whole run, every other step is planned individually.
+  // ContextEstimates chain from the root -- like Compile-time planning,
+  // per-run context sizes must not influence decisions, or cached and
+  // uncached plans (and their traces) would diverge.
+  PlannedPath planned;
+  planned.steps.resize(steps.size());
+  const CardinalityEstimator est = MakeEstimator();
+  ContextEstimate ctx = est.Root();
+  for (size_t i = 0; i < steps.size();) {
+    PlannedStep step = MatchTwigRun(steps, i);
+    if (step.twig_consumed > 0) {
+      step.op = StepOperator::kTwig;
+      for (const TwigLevel& level : step.twig_levels) {
+        ctx = est.EstimateStep(ctx, level.axis, level.tag);
+      }
+      step.estimated_rows = RoundedEstimate(ctx.rows);
+      const size_t consumed = step.twig_consumed;
+      planned.steps[i] = std::move(step);
+      for (size_t s = 1; s < consumed; ++s) {
+        planned.steps[i + s].op = StepOperator::kTwigSubsumed;
+      }
+      i += consumed;
+      continue;
+    }
+    planned.steps[i] = PlanStep(steps[i], est, &ctx);
+    ++i;
+  }
+  return planned;
 }
 
 Result<NodeSequence> Evaluator::EvaluateUnionString(std::string_view xpath) {
@@ -229,6 +271,15 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
                                           bool top_level,
                                           const PlannedPath* planned) {
   NodeSequence current = std::move(context);
+  // Planned and unplanned execution share every line below this one: a
+  // compiled plan supplies the PlannedPath; otherwise PlanPath derives
+  // it here, exactly as Compile would have -- same decisions, same
+  // estimates, same traces.
+  PlannedPath local;
+  if (planned == nullptr) {
+    local = PlanPath(steps);
+    planned = &local;
+  }
   for (size_t i = first; i < steps.size();) {
     if (current.empty()) {
       // The remaining steps cannot produce anything, but EXPLAIN must
@@ -239,23 +290,14 @@ Result<NodeSequence> Evaluator::EvalSteps(const std::vector<Step>& steps,
           StepTrace skipped;
           skipped.description =
               ToString(steps[k]) + explain::kEmptyShortCircuited;
+          skipped.op = planned->steps[k].op;
+          skipped.estimated_rows = planned->steps[k].estimated_rows;
           trace_.push_back(std::move(skipped));
         }
       }
       return NodeSequence{};
     }
-    // Planned and unplanned execution share every line below this one:
-    // a compiled plan just supplies the PlannedStep; otherwise it is
-    // derived here, per step, exactly as Compile would have.
-    PlannedStep dynamic;
-    const PlannedStep* plan;
-    if (planned != nullptr) {
-      plan = &planned->steps[i];
-    } else {
-      dynamic = MatchTwigRun(steps, i);
-      if (dynamic.twig_consumed == 0) dynamic = PlanStep(steps[i]);
-      plan = &dynamic;
-    }
+    const PlannedStep* plan = &planned->steps[i];
     if (plan->twig_consumed > 0) {
       SJ_ASSIGN_OR_RETURN(current,
                           EvalTwigRun(steps, i, *plan, current, top_level));
@@ -322,7 +364,9 @@ PlannedStep Evaluator::MatchTwigRun(const std::vector<Step>& steps,
   return plan;
 }
 
-PlannedStep Evaluator::PlanStep(const Step& step) const {
+PlannedStep Evaluator::PlanStep(const Step& step,
+                                const CardinalityEstimator& est,
+                                ContextEstimate* ctx) const {
   PlannedStep plan;
   for (const Predicate& pred : step.predicates) {
     plan.positional = plan.positional || pred.kind != Predicate::Kind::kExists;
@@ -336,7 +380,36 @@ PlannedStep Evaluator::PlanStep(const Step& step) const {
                     !step.test.name.empty());
   if (plan.needs_tag) plan.tag = LookupTag(step.test.name);
   plan.pushdown = !plan.positional && step.test.kind == NodeTestKind::kName &&
-                  plan.tag.has_value() && ShouldPushdown(step, *plan.tag);
+                  plan.tag.has_value() &&
+                  ShouldPushdown(step, *plan.tag, est, *ctx);
+
+  // Cardinality: chain the context estimate through the step, then the
+  // predicate chain (positional predicates clamp to one row per context
+  // node; existence predicates halve).
+  ContextEstimate out =
+      est.EstimateStep(*ctx, step.axis,
+                       plan.needs_tag ? plan.tag.value_or(kNoTag) : kNoTag);
+  if (plan.needs_tag && !plan.tag.has_value()) out.rows = 0.0;
+  for (const Predicate& pred : step.predicates) {
+    out.rows = est.EstimatePredicate(
+        out.rows, ctx->rows, pred.kind != Predicate::Kind::kExists);
+  }
+  plan.estimated_rows = RoundedEstimate(out.rows);
+  *ctx = out;
+
+  // The operator EvalStep will route this plan through.
+  if (options_.engine != EngineMode::kStaircase) {
+    plan.op = StepOperator::kPerContext;
+  } else if (plan.needs_tag && !plan.tag.has_value()) {
+    plan.op = StepOperator::kEmpty;
+  } else if (plan.positional) {
+    plan.op = StepOperator::kPositional;
+  } else if (IsStaircaseAxis(step.axis)) {
+    plan.op = plan.pushdown ? StepOperator::kPushdown
+                            : StepOperator::kStaircase;
+  } else {
+    plan.op = StepOperator::kAxisCursor;
+  }
   return plan;
 }
 
@@ -349,6 +422,9 @@ Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
   JoinStats stats;
   std::vector<TwigLevelStats> level_stats;
   const BackendDispatch dispatch(doc_, options_);
+  const bool count_faults = dispatch.Pooled() && options_.pool != nullptr;
+  const uint64_t faults_before =
+      count_faults ? options_.pool->stats().faults : 0;
   SJ_ASSIGN_OR_RETURN(NodeSequence result,
                       dispatch.Twig(context, plan.twig_levels, &stats,
                                     &level_stats));
@@ -382,6 +458,11 @@ Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
     stats.result_size = result.size();
     trace.stats = stats;
     trace.millis = timer.ElapsedMillis();
+    trace.op = StepOperator::kTwig;
+    trace.estimated_rows = plan.estimated_rows;
+    if (count_faults) {
+      trace.pool_faults = options_.pool->stats().faults - faults_before;
+    }
     trace_.push_back(std::move(trace));
     for (size_t s = 1; s < plan.twig_consumed; ++s) {
       StepTrace subsumed;
@@ -389,13 +470,16 @@ Result<NodeSequence> Evaluator::EvalTwigRun(const std::vector<Step>& steps,
                              explain::kSubsumedByTwigOpen +
                              std::to_string(twig_entry) +
                              explain::kCloseParen;
+      subsumed.op = StepOperator::kTwigSubsumed;
       trace_.push_back(std::move(subsumed));
     }
   }
   return result;
 }
 
-bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
+bool Evaluator::ShouldPushdown(const Step& step, TagId tag,
+                               const CardinalityEstimator& est,
+                               const ContextEstimate& in) const {
   if (options_.engine != EngineMode::kStaircase) return false;
   const BackendDispatch dispatch(doc_, options_);
   if (!dispatch.HasFragments()) return false;
@@ -407,12 +491,20 @@ bool Evaluator::ShouldPushdown(const Step& step, TagId tag) const {
     case PushdownMode::kAlways:
       return true;
     case PushdownMode::kAuto:
-      // "...obviously makes sense for selective name tests only"
-      // (Section 4.4). The fragment size is the exact selectivity; every
-      // index keeps it resident.
-      return static_cast<double>(dispatch.TagCount(tag)) <=
-             options_.pushdown_selectivity *
-                 static_cast<double>(LogicalSize());
+      if (options_.cost_model == CostModelMode::kOff) {
+        // Legacy static threshold: "...obviously makes sense for
+        // selective name tests only" (Section 4.4). The fragment size is
+        // the exact selectivity; every index keeps it resident.
+        return static_cast<double>(dispatch.TagCount(tag)) <=
+               options_.pushdown_selectivity *
+                   static_cast<double>(LogicalSize());
+      }
+      // Estimate-driven: the fragment join reads far fewer pages but
+      // pays a fence probe per context node; the doc-scan staircase
+      // join amortizes one pass across the whole context. Strict less:
+      // ties keep the doc scan.
+      return est.PushdownCost(in, tag) <
+             est.StaircaseCost(in, step.axis, /*name_filter=*/true);
   }
   return false;
 }
@@ -508,11 +600,53 @@ static bool IsReverseAxis(Axis axis) {
   }
 }
 
-/// Positional predicates are inherently per-context-node: [2] means "the
-/// second node this step selects *from one context node*, in axis order".
-/// The step therefore falls back to per-context evaluation (this is why
-/// the paper's set-at-a-time staircase join handles name tests, not
-/// positions).
+/// Positional predicates rank within ONE context node's axis output:
+/// [2] means "the second node this step selects *from one context
+/// node*, in axis order". RankWithinGroup applies a step's predicate
+/// chain to one such group (already reversed for reverse axes);
+/// predicates apply in order, each positional predicate indexing the
+/// list surviving the previous ones.
+Result<NodeSequence> Evaluator::RankWithinGroup(
+    const Step& step, NodeSequence axis_nodes,
+    std::vector<std::optional<bool>>* absolute_verdict) {
+  for (size_t p = 0; p < step.predicates.size(); ++p) {
+    const Predicate& pred = step.predicates[p];
+    if (axis_nodes.empty()) break;
+    NodeSequence kept;
+    switch (pred.kind) {
+      case Predicate::Kind::kPosition:
+        if (pred.position <= axis_nodes.size()) {
+          kept.push_back(axis_nodes[pred.position - 1]);
+        }
+        break;
+      case Predicate::Kind::kLast:
+        kept.push_back(axis_nodes.back());
+        break;
+      case Predicate::Kind::kExists:
+        if (pred.path != nullptr && pred.path->absolute) {
+          // Context-invariant: memoized once per step.
+          if (!(*absolute_verdict)[p].has_value()) {
+            SJ_ASSIGN_OR_RETURN(bool holds,
+                                PredicateHolds(pred, axis_nodes.front()));
+            (*absolute_verdict)[p] = holds;
+          }
+          if (*(*absolute_verdict)[p]) kept = std::move(axis_nodes);
+          break;
+        }
+        for (NodeId v : axis_nodes) {
+          SJ_ASSIGN_OR_RETURN(bool holds, PredicateHolds(pred, v));
+          if (holds) kept.push_back(v);
+        }
+        break;
+    }
+    axis_nodes = std::move(kept);
+  }
+  return axis_nodes;
+}
+
+/// Naive-engine fallback: per-context evaluation over the resident
+/// (merged) table. The staircase engine routes positional steps through
+/// the set-at-a-time rank join in EvalStep instead.
 Result<NodeSequence> Evaluator::EvalStepPositional(
     const Step& step, const NodeSequence& context) {
   NodeSequence collected;
@@ -520,8 +654,6 @@ Result<NodeSequence> Evaluator::EvalStepPositional(
   // overlay it runs on the materialized merged table (resident, like the
   // pristine per-context path).
   SJ_ASSIGN_OR_RETURN(const DocTable* edoc, EffectiveDoc());
-  // Absolute existence predicates are context-invariant; memoize the
-  // verdict once per step instead of re-evaluating per context node.
   std::vector<std::optional<bool>> absolute_verdict(step.predicates.size());
   for (NodeId c : context) {
     JoinStats ignored;
@@ -531,39 +663,9 @@ Result<NodeSequence> Evaluator::EvalStepPositional(
     if (IsReverseAxis(step.axis)) {
       std::reverse(axis_nodes.begin(), axis_nodes.end());
     }
-    // Predicates apply in order; each positional predicate indexes the
-    // list surviving the previous ones.
-    for (size_t p = 0; p < step.predicates.size(); ++p) {
-      const Predicate& pred = step.predicates[p];
-      if (axis_nodes.empty()) break;
-      NodeSequence kept;
-      switch (pred.kind) {
-        case Predicate::Kind::kPosition:
-          if (pred.position <= axis_nodes.size()) {
-            kept.push_back(axis_nodes[pred.position - 1]);
-          }
-          break;
-        case Predicate::Kind::kLast:
-          kept.push_back(axis_nodes.back());
-          break;
-        case Predicate::Kind::kExists:
-          if (pred.path != nullptr && pred.path->absolute) {
-            if (!absolute_verdict[p].has_value()) {
-              SJ_ASSIGN_OR_RETURN(bool holds,
-                                  PredicateHolds(pred, axis_nodes.front()));
-              absolute_verdict[p] = holds;
-            }
-            if (*absolute_verdict[p]) kept = std::move(axis_nodes);
-            break;
-          }
-          for (NodeId v : axis_nodes) {
-            SJ_ASSIGN_OR_RETURN(bool holds, PredicateHolds(pred, v));
-            if (holds) kept.push_back(v);
-          }
-          break;
-      }
-      axis_nodes = std::move(kept);
-    }
+    SJ_ASSIGN_OR_RETURN(
+        axis_nodes,
+        RankWithinGroup(step, std::move(axis_nodes), &absolute_verdict));
     collected.insert(collected.end(), axis_nodes.begin(), axis_nodes.end());
   }
   std::sort(collected.begin(), collected.end());
@@ -582,19 +684,26 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
   NodeSequence result;
 
   const BackendDispatch dispatch(doc_, options_);
-  if (plan.positional) {
+  const bool count_faults = dispatch.Pooled() && options_.pool != nullptr;
+  const uint64_t faults_before =
+      count_faults ? options_.pool->stats().faults : 0;
+
+  if (plan.positional && options_.engine != EngineMode::kStaircase) {
+    // Naive engine: the per-context oracle path, whole-node reads over
+    // the resident (merged) table.
     SJ_ASSIGN_OR_RETURN(result, EvalStepPositional(step, context));
     if (top_level) {
       trace.description = ToString(step) + explain::kPositionalSuffix;
       if (dispatch.Pooled()) {
-        // Until positional steps are set-at-a-time they read the
-        // resident columns; disk experiments must not mistake them for
-        // IO-charged steps.
+        // The naive engine reads resident columns; disk experiments
+        // must not mistake its steps for IO-charged ones.
         trace.description += explain::kBypassesPoolSuffix;
       }
       trace.stats.context_size = context.size();
       trace.stats.result_size = result.size();
       trace.millis = timer.ElapsedMillis();
+      trace.op = plan.op;
+      trace.estimated_rows = plan.estimated_rows;
       trace_.push_back(std::move(trace));
     }
     return result;
@@ -614,8 +723,52 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
       result = FilterByTest(*edoc, step, result);
     }
   } else if (plan.needs_tag && !tag.has_value()) {
+    // Before any evaluation, positional or not: a never-interned name
+    // is statically empty.
     trace.description = ToString(step) + explain::kEmptyUnknownTag;
     result.clear();
+  } else if (plan.positional) {
+    // Set-at-a-time positional rank join: one backend cursor pass
+    // builds every context node's group (core/axis_impl.h), predicates
+    // rank within each group. Every candidate read is charged to the
+    // backend -- this retired the per-context bypass.
+    SJ_ASSIGN_OR_RETURN(
+        internal::PositionalGroups groups,
+        dispatch.PositionalAxis(context, step.axis,
+                                MakeAxisNodeTest(step, tag), &stats));
+    std::vector<std::optional<bool>> absolute_verdict(step.predicates.size());
+    NodeSequence collected;
+    for (size_t g = 0; g + 1 < groups.offsets.size(); ++g) {
+      NodeSequence axis_nodes(groups.nodes.begin() + groups.offsets[g],
+                              groups.nodes.begin() + groups.offsets[g + 1]);
+      if (IsReverseAxis(step.axis)) {
+        std::reverse(axis_nodes.begin(), axis_nodes.end());
+      }
+      SJ_ASSIGN_OR_RETURN(
+          axis_nodes,
+          RankWithinGroup(step, std::move(axis_nodes), &absolute_verdict));
+      collected.insert(collected.end(), axis_nodes.begin(), axis_nodes.end());
+    }
+    std::sort(collected.begin(), collected.end());
+    collected.erase(std::unique(collected.begin(), collected.end()),
+                    collected.end());
+    result = std::move(collected);
+    trace.description = ToString(step) + explain::kVia + dispatch.Label() +
+                        std::string(AxisName(step.axis)) +
+                        explain::kPositionalRankJoin +
+                        (dispatch.Pooled() ? explain::kBufferPoolSuffix : "");
+    stats.result_size = result.size();
+    if (top_level) {
+      trace.stats = stats;
+      trace.millis = timer.ElapsedMillis();
+      trace.op = plan.op;
+      trace.estimated_rows = plan.estimated_rows;
+      if (count_faults) {
+        trace.pool_faults = options_.pool->stats().faults - faults_before;
+      }
+      trace_.push_back(std::move(trace));
+    }
+    return result;
   } else if (staircase_axis) {
     if (plan.pushdown) {
       // The unified fragment join over the backend's cursor: the
@@ -671,6 +824,11 @@ Result<NodeSequence> Evaluator::EvalStep(const Step& step,
     stats.result_size = result.size();
     trace.stats = stats;
     trace.millis = timer.ElapsedMillis();
+    trace.op = plan.op;
+    trace.estimated_rows = plan.estimated_rows;
+    if (count_faults) {
+      trace.pool_faults = options_.pool->stats().faults - faults_before;
+    }
     trace_.push_back(std::move(trace));
   }
   return result;
@@ -688,6 +846,8 @@ std::string ExplainTrace(const std::vector<StepTrace>& trace) {
            explain::kStatCopied + std::to_string(t.stats.nodes_copied) +
            explain::kStatSkipped + std::to_string(t.stats.nodes_skipped) +
            explain::kStatResult + std::to_string(t.stats.result_size) +
+           explain::kStatEst + std::to_string(t.estimated_rows) +
+           explain::kStatAct + std::to_string(t.stats.result_size) +
            explain::kStatMillisOpen + std::to_string(t.millis) +
            explain::kStatMillisClose + "\n";
   }

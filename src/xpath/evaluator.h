@@ -8,9 +8,12 @@
 // set-at-a-time axis cursor kernels (core/axis_step.h) over the same
 // DocAccessor backends, with the step's node test folded into the scan --
 // so on the paged backend *every* step of a query charges its column
-// reads to the buffer pool. A fully naive engine is provided as the
-// tree-unaware comparator and as an independent correctness oracle;
-// positional predicates still force per-context evaluation.
+// reads to the buffer pool -- including positional predicates, which
+// run as a set-at-a-time rank join within per-context groups. Operator
+// choice (pushdown vs staircase vs axis cursor) is estimate-driven via
+// xpath/cost_model.h unless a hint pins it. A fully naive engine is
+// provided as the tree-unaware comparator and as an independent
+// correctness oracle.
 
 #ifndef STAIRJOIN_XPATH_EVALUATOR_H_
 #define STAIRJOIN_XPATH_EVALUATOR_H_
@@ -33,6 +36,7 @@
 #include "storage/paged_tags.h"
 #include "util/result.h"
 #include "xpath/ast.h"
+#include "xpath/cost_model.h"
 #include "xpath/parser.h"
 #include "xpath/plan.h"
 
@@ -82,17 +86,26 @@ struct EvalOptions {
   /// fragment would silently bypass the buffer pool; see `paged_tags`.
   const TagIndex* tag_index = nullptr;
   /// kAuto pushes a name test down iff the tag's node count is below this
-  /// fraction of the document size ("selective name tests only").
+  /// fraction of the document size ("selective name tests only"). Only
+  /// consulted when `cost_model` is kOff -- under kAuto the estimator's
+  /// page-cost comparison replaces the static threshold.
   double pushdown_selectivity = 0.125;
+  /// Estimate-driven operator choice (xpath/cost_model.h). kAuto lets
+  /// the CardinalityEstimator pick pushdown-vs-staircase by comparing
+  /// page costs; kOff restores the static pushdown_selectivity
+  /// threshold. Either way EXPLAIN prints est=N act=M per step.
+  CostModelMode cost_model = CostModelMode::kAuto;
+  /// Level histogram + per-tag level spread of the bound document,
+  /// collected at Database open (null: the estimator falls back to
+  /// coarse document-size bounds; decisions stay deterministic).
+  const DocStatistics* doc_stats = nullptr;
   /// >1 runs the partitioned parallel staircase join with this many workers.
   unsigned num_threads = 1;
   /// Storage backend for the axis-step joins. With kPaged, every step --
-  /// staircase joins, the non-staircase axis cursors AND the node-test
-  /// filters -- reads post/kind/level/parent/tag through `pool`;
-  /// `paged_doc` and `pool` are then required and must image the same
-  /// document the evaluator is bound to. Only positional-predicate
-  /// steps still run per-context over the resident columns (EXPLAIN
-  /// flags them as bypassing the pool).
+  /// staircase joins, the non-staircase axis cursors, positional rank
+  /// joins AND the node-test filters -- reads post/kind/level/parent/tag
+  /// through `pool`; `paged_doc` and `pool` are then required and must
+  /// image the same document the evaluator is bound to.
   StorageBackend backend = StorageBackend::kMemory;
   const storage::PagedDocTable* paged_doc = nullptr;
   storage::BufferPool* pool = nullptr;
@@ -139,6 +152,17 @@ struct StepTrace {
   std::string description;
   JoinStats stats;
   double millis = 0.0;
+  /// The operator the planner chose (sj::QueryResult::PlanSummary()).
+  StepOperator op = StepOperator::kStaircase;
+  /// The cost model's output-cardinality estimate; EXPLAIN prints it as
+  /// "est=N" next to the actual row count ("act=M").
+  uint64_t estimated_rows = 0;
+  /// Buffer-pool faults charged while this step ran (0 on the memory
+  /// backend). Measured as the pool's fault-counter delta around the
+  /// step, so nested predicate evaluation and concurrent sessions on a
+  /// shared pool can inflate a step's number -- exact per-step
+  /// attribution needs a session-private pool.
+  uint64_t pool_faults = 0;
 };
 
 /// Renders a step trace as a readable multi-line EXPLAIN (the formatting
@@ -222,9 +246,24 @@ class Evaluator {
   /// for one kDescendant level). twig_consumed == 0 when the
   /// engine/backend gates or the steps disqualify a collapse.
   PlannedStep MatchTwigRun(const std::vector<Step>& steps, size_t first) const;
+  /// The cost model instance of this evaluator's statistics wiring:
+  /// DocStatistics (when the facade collected them), the merged logical
+  /// size, the backend's page-cost unit, and per-tag counts read through
+  /// BackendDispatch::TagCount -- on an edited snapshot that is the
+  /// overlay's MERGED dictionary, so fresh delta tags estimate from
+  /// their real fragment sizes.
+  CardinalityEstimator MakeEstimator() const;
+  /// Plans a whole location path: the same walk Compile freezes per
+  /// branch, chaining ContextEstimates from the root so every step
+  /// carries estimated_rows and a cost-chosen operator. EvalSteps calls
+  /// this when handed no compiled plan -- one shared derivation, so
+  /// cached and uncached runs decide (and trace) identically.
+  PlannedPath PlanPath(const std::vector<Step>& steps) const;
   /// The per-step planning decisions of one non-twig step (positional
-  /// detection, tag interning, pushdown choice).
-  PlannedStep PlanStep(const Step& step) const;
+  /// detection, tag interning, operator choice by cost); advances `ctx`
+  /// to the step's output estimate.
+  PlannedStep PlanStep(const Step& step, const CardinalityEstimator& est,
+                       ContextEstimate* ctx) const;
   /// Evaluates a matched run as one twig join and records its trace:
   /// one twig entry plus a "subsumed" marker per remaining step, so
   /// EXPLAIN still lists one entry per query step.
@@ -232,15 +271,30 @@ class Evaluator {
                                    size_t first, const PlannedStep& plan,
                                    const NodeSequence& context,
                                    bool top_level);
+  /// Naive-engine fallback: per-context evaluation over the resident
+  /// (merged) table. The staircase engine routes positional steps
+  /// through the set-at-a-time rank join instead (EvalStep).
   Result<NodeSequence> EvalStepPositional(const Step& step,
                                           const NodeSequence& context);
+  /// Applies a positional step's predicate chain to one context node's
+  /// axis output (already reversed for reverse axes): positions index
+  /// the list surviving the previous predicates. `absolute_verdict`
+  /// memoizes context-invariant absolute predicate paths per step.
+  Result<NodeSequence> RankWithinGroup(
+      const Step& step, NodeSequence axis_nodes,
+      std::vector<std::optional<bool>>* absolute_verdict);
   Result<NodeSequence> ApplyPredicates(const Step& step, NodeSequence nodes);
   Result<bool> PredicateHolds(const Predicate& pred, NodeId node);
   /// `doc` is EffectiveDoc(): the bound table, or the materialized merged
   /// table when a delta overlay is active.
   NodeSequence FilterByTest(const DocTable& doc, const Step& step,
                             const NodeSequence& nodes) const;
-  bool ShouldPushdown(const Step& step, TagId tag) const;
+  /// The pushdown decision: hint pins (kAlways/kNever) win; kAuto defers
+  /// to the estimator's page-cost comparison (cost_model kAuto) or the
+  /// legacy static selectivity threshold (cost_model kOff).
+  bool ShouldPushdown(const Step& step, TagId tag,
+                      const CardinalityEstimator& est,
+                      const ContextEstimate& in) const;
   /// True when options_ carry a non-empty delta overlay.
   bool Overlaid() const;
   /// Merged document size (doc_.size() when pristine).

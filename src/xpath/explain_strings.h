@@ -40,6 +40,11 @@ inline constexpr const char kPushdownClose[] = "' (name-test pushdown)";
 // --- axis cursors -----------------------------------------------------------
 /// Suffix after the axis name: "<axis>-axis cursor join".
 inline constexpr const char kAxisCursorJoin[] = "-axis cursor join";
+/// Suffix after the axis name of the set-at-a-time positional step:
+/// "<axis>-axis positional rank join". Replaced the per-context
+/// positional-predicate fallback (which bypassed the buffer pool).
+inline constexpr const char kPositionalRankJoin[] =
+    "-axis positional rank join";
 
 // --- twig join --------------------------------------------------------------
 inline constexpr const char kTwigJoinOverFragments[] =
@@ -95,6 +100,11 @@ inline constexpr const char kStatScanned[] = " scanned=";
 inline constexpr const char kStatCopied[] = " copied=";
 inline constexpr const char kStatSkipped[] = " skipped=";
 inline constexpr const char kStatResult[] = " result=";
+/// Planner estimate vs actual rows: " est=N act=M" after the result
+/// count. Estimates are deterministic in (statistics, options), so
+/// cached and uncached traces stay byte-identical.
+inline constexpr const char kStatEst[] = " est=";
+inline constexpr const char kStatAct[] = " act=";
 inline constexpr const char kStatMillisOpen[] = "  (";
 inline constexpr const char kStatMillisClose[] = " ms)";
 

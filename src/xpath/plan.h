@@ -30,6 +30,19 @@
 
 namespace sj::xpath {
 
+/// The operator the planner chose for one step (frozen into the plan,
+/// surfaced structurally through sj::QueryResult::PlanSummary()).
+enum class StepOperator : uint8_t {
+  kStaircase,     ///< doc-scan staircase join (+ node-test filter)
+  kPushdown,      ///< staircase join over the tag fragment
+  kAxisCursor,    ///< non-staircase axis kernel (core/axis_impl.h)
+  kTwig,          ///< holistic k-way twig join (starts a run)
+  kTwigSubsumed,  ///< consumed by the preceding twig run
+  kPositional,    ///< set-at-a-time positional rank join
+  kPerContext,    ///< naive-engine per-context evaluation
+  kEmpty,         ///< statically empty (unknown tag)
+};
+
 /// The analyzed form of one location step.
 struct PlannedStep {
   /// >0: this step starts a twig run -- `twig_consumed` consecutive
@@ -51,6 +64,12 @@ struct PlannedStep {
   /// Staircase name-test steps only: evaluate over the tag fragment
   /// (the cost model's call at compile time).
   bool pushdown = false;
+
+  /// The operator the cost model chose (EXPLAIN / PlanSummary token).
+  StepOperator op = StepOperator::kStaircase;
+  /// The estimator's output-cardinality guess for this step, rounded.
+  /// EXPLAIN prints it as "est=N" next to the actual row count.
+  uint64_t estimated_rows = 0;
 };
 
 /// Planned steps of one union branch, index-parallel to

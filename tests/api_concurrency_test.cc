@@ -41,13 +41,13 @@ std::vector<SessionOptions> Configs() {
                                   PushdownMode::kNever}) {
       SessionOptions o;
       o.backend = backend;
-      o.pushdown = pushdown;
+      o.hints.pushdown = pushdown;
       configs.push_back(o);
     }
   }
   SessionOptions parallel;
   parallel.num_threads = 2;
-  parallel.pushdown = PushdownMode::kNever;
+  parallel.hints.pushdown = PushdownMode::kNever;
   configs.push_back(parallel);
   return configs;
 }

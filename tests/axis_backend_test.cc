@@ -385,11 +385,11 @@ TEST(PagedEvaluatorAxisTest, MixedAxisQueriesMatchMemoryAndChargeThePool) {
   ASSERT_GT(db->doc().size(), 10000u);
   SessionOptions io_opt;
   io_opt.backend = StorageBackend::kPaged;
-  io_opt.pushdown = PushdownMode::kNever;  // faults come from the doc scan
+  io_opt.hints.pushdown = PushdownMode::kNever;  // faults come from the doc scan
   // This test pins the per-step axis-cursor paths; eligible name-test
   // runs would otherwise collapse into the twig join
   // (twig_join_test.cc covers that plan shape).
-  io_opt.twig = TwigMode::kNever;
+  io_opt.hints.twig = TwigMode::kNever;
   SessionOptions zip_opt = io_opt;
   zip_opt.backend = StorageBackend::kCompressed;
   Session mem = std::move(db->CreateSession()).value();
@@ -449,7 +449,7 @@ TEST(EvaluatorTraceTest, ShortCircuitedStepsStayInExplain) {
   // Short-circuit tracing is a step-at-a-time behavior; under kAuto the
   // all-child query below would collapse into one twig join instead.
   SessionOptions opt;
-  opt.twig = TwigMode::kNever;
+  opt.hints.twig = TwigMode::kNever;
   Session session = std::move(db->CreateSession(opt)).value();
   // b(c) has no grandchildren: step 3 runs on an empty context and step
   // 4 onwards must still be listed.
@@ -464,24 +464,43 @@ TEST(EvaluatorTraceTest, ShortCircuitedStepsStayInExplain) {
   EXPECT_NE(result.Explain().find("step 4"), std::string::npos);
 }
 
-TEST(EvaluatorTraceTest, PositionalStepsAreFlaggedOnPagedBackend) {
+TEST(EvaluatorTraceTest, PositionalStepsRunSetAtATimeOnPagedBackend) {
   auto db = Database::FromTable(LoadPaperExample()).value();
   SessionOptions io_opt;
   io_opt.backend = StorageBackend::kPaged;
   Session io = std::move(db->CreateSession(io_opt)).value();
   auto r = io.Run("/child::e/child::f[1]");
   ASSERT_TRUE(r.ok());
-  EXPECT_NE(r.value().Explain().find(
-                "(memory-resident -- bypasses buffer pool)"),
-            std::string::npos)
-      << r.value().Explain();
+  const std::string explain = r.value().Explain();
+  // The positional rank join reads through the pool like every other
+  // operator: no per-context evaluation, no memory-resident bypass.
+  EXPECT_NE(explain.find("positional rank join"), std::string::npos)
+      << explain;
+  EXPECT_NE(explain.find("(buffer pool)"), std::string::npos) << explain;
+  EXPECT_EQ(explain.find("bypasses buffer pool"), std::string::npos)
+      << explain;
+  EXPECT_EQ(explain.find("per-context evaluation"), std::string::npos)
+      << explain;
+
+  // And a cold pool actually faults for it.
+  storage::BufferPool* pool = db->buffer_pool();
+  pool->FlushAll();
+  pool->ResetStats();
+  auto rf = io.Run("/child::e/child::f[1]");
+  ASSERT_TRUE(rf.ok());
+  EXPECT_GT(pool->stats().faults, 0u) << rf.value().Explain();
 
   Session mem = std::move(db->CreateSession()).value();
   auto rm = mem.Run("/child::e/child::f[1]");
   ASSERT_TRUE(rm.ok());
+  EXPECT_NE(rm.value().Explain().find("positional rank join"),
+            std::string::npos)
+      << rm.value().Explain();
   EXPECT_EQ(rm.value().Explain().find("bypasses buffer pool"),
             std::string::npos)
       << rm.value().Explain();
+  // Node-identical across backends.
+  EXPECT_EQ(rm.value().nodes, r.value().nodes);
 }
 
 }  // namespace

@@ -70,7 +70,7 @@ std::vector<Config> Configs() {
 std::vector<NodeSequence> RunAll(const Database& db, const Config& config) {
   SessionOptions options;
   options.backend = config.backend;
-  options.pushdown = config.pushdown;
+  options.hints.pushdown = config.pushdown;
   auto session = db.CreateSession(options);
   EXPECT_TRUE(session.ok()) << session.status();
   std::vector<NodeSequence> results;

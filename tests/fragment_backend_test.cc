@@ -309,10 +309,10 @@ TEST(PagedPushdownTest, PushdownChargesThePoolAndMatchesMemory) {
   // not fall back to (or silently prefer) the resident fragments.
   ASSERT_NE(db->tag_index(), nullptr);
   SessionOptions mem_opt;
-  mem_opt.pushdown = PushdownMode::kAlways;
+  mem_opt.hints.pushdown = PushdownMode::kAlways;
   // Pins the per-step fragment-pushdown path; the twig join would
   // otherwise collapse the descendant chains (twig_join_test.cc).
-  mem_opt.twig = TwigMode::kNever;
+  mem_opt.hints.twig = TwigMode::kNever;
   Session mem = std::move(db->CreateSession(mem_opt)).value();
 
   SessionOptions io_opt = mem_opt;
@@ -412,7 +412,7 @@ TEST(PagedPushdownTest, MemoryTagIndexDoesNotBypassThePool) {
 
   SessionOptions io_opt;
   io_opt.backend = StorageBackend::kPaged;
-  io_opt.pushdown = PushdownMode::kAlways;
+  io_opt.hints.pushdown = PushdownMode::kAlways;
   Session io = std::move(db->CreateSession(io_opt)).value();
   auto r = io.Run("/descendant::t0");
   ASSERT_TRUE(r.ok()) << r.status();
@@ -456,7 +456,7 @@ TEST(PagedPushdownTest, DigestMismatchIsRejectedAtOpenTime) {
   ASSERT_TRUE(genuine.ok()) << genuine.status();
   SessionOptions opt;
   opt.backend = StorageBackend::kPaged;
-  opt.pushdown = PushdownMode::kAlways;
+  opt.hints.pushdown = PushdownMode::kAlways;
   auto r = std::move(genuine.value()->CreateSession(opt)).value()
                .Run("/descendant::b");
   ASSERT_TRUE(r.ok()) << r.status();

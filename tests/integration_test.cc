@@ -53,11 +53,11 @@ const TagIndex* XMarkPipelineTest::index_ = nullptr;
 
 TEST_F(XMarkPipelineTest, Q1AllStrategiesAgree) {
   SessionOptions pushdown;
-  pushdown.pushdown = PushdownMode::kAlways;
+  pushdown.hints.pushdown = PushdownMode::kAlways;
   SessionOptions no_pushdown;
-  no_pushdown.pushdown = PushdownMode::kNever;
+  no_pushdown.hints.pushdown = PushdownMode::kNever;
   SessionOptions naive;
-  naive.engine = EngineMode::kNaive;
+  naive.hints.engine = EngineMode::kNaive;
   SessionOptions parallel = no_pushdown;
   parallel.num_threads = 4;
   SessionOptions paged;
@@ -75,7 +75,7 @@ TEST_F(XMarkPipelineTest, Q2AllStrategiesAgreeIncludingRewrite) {
   EXPECT_GT(q2.size(), 0u);
   EXPECT_EQ(Run(xmlgen::kQ2Rewrite), q2);
   SessionOptions naive;
-  naive.engine = EngineMode::kNaive;
+  naive.hints.engine = EngineMode::kNaive;
   EXPECT_EQ(Run(xmlgen::kQ2, naive), q2);
   SessionOptions paged;
   paged.backend = StorageBackend::kPaged;

@@ -344,11 +344,11 @@ TEST(PagedEvaluatorTest, SkippingSavesFaultsOnMultiStepQuery) {
   auto faults_with = [&](SkipMode mode) {
     SessionOptions opt;
     opt.backend = StorageBackend::kPaged;
-    opt.pushdown = PushdownMode::kNever;
+    opt.hints.pushdown = PushdownMode::kNever;
     // Step-at-a-time on purpose: this experiment isolates the staircase
     // join's skip machinery; the twig join reads so few doc pages that
     // the two skip modes tie.
-    opt.twig = TwigMode::kNever;
+    opt.hints.twig = TwigMode::kNever;
     opt.staircase.skip_mode = mode;
     opt.private_pool_pages = 8;
     Session io = std::move(db->CreateSession(opt)).value();
@@ -373,7 +373,7 @@ TEST(CompressedEvaluatorTest, FaultsStrictlyFewerPagesThanPagedBackend) {
   auto faults_with = [&](StorageBackend backend) {
     SessionOptions opt;
     opt.backend = backend;
-    opt.pushdown = PushdownMode::kNever;
+    opt.hints.pushdown = PushdownMode::kNever;
     opt.private_pool_pages = 64;
     Session s = std::move(db->CreateSession(opt)).value();
     auto r = s.Run("/descendant::t0/descendant::t1");

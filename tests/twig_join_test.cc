@@ -43,8 +43,8 @@ Session MakeSession(Database& db, StorageBackend backend, TwigMode twig,
                     EngineMode engine = EngineMode::kStaircase) {
   SessionOptions opt;
   opt.backend = backend;
-  opt.twig = twig;
-  opt.engine = engine;
+  opt.hints.twig = twig;
+  opt.hints.engine = engine;
   auto s = db.CreateSession(opt);
   EXPECT_TRUE(s.ok()) << s.status();
   return std::move(s).value();
@@ -245,7 +245,7 @@ TEST(TwigJoinTest, ColdPoolTwigFaultsAtMostStepAtATime) {
       auto faults_with = [&](TwigMode twig) {
         SessionOptions opt;
         opt.backend = backend;
-        opt.twig = twig;
+        opt.hints.twig = twig;
         opt.private_pool_pages = 64;
         Session io = std::move(db->CreateSession(opt)).value();
         auto r = io.Run(q);

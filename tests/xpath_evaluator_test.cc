@@ -167,21 +167,21 @@ TEST_F(XPathEvaluatorTest, PushdownModesAgree) {
        {"/descendant::education", "/descendant::increase/ancestor::bidder",
         "/descendant::person/descendant::name"}) {
     SessionOptions never, always;
-    never.pushdown = PushdownMode::kNever;
-    always.pushdown = PushdownMode::kAlways;
+    never.hints.pushdown = PushdownMode::kNever;
+    always.hints.pushdown = PushdownMode::kAlways;
     EXPECT_EQ(Eval(q, never), Eval(q, always)) << q;
   }
 }
 
 TEST_F(XPathEvaluatorTest, TraceRecordsStrategy) {
   SessionOptions opts;
-  opts.pushdown = PushdownMode::kAlways;
+  opts.hints.pushdown = PushdownMode::kAlways;
   QueryResult r = RunQuery("/descendant::education", opts);
   ASSERT_EQ(r.trace.size(), 1u);
   EXPECT_NE(r.trace[0].description.find("pushdown"), std::string::npos);
   EXPECT_NE(r.Explain().find("step 1"), std::string::npos);
   EXPECT_EQ(r.totals.result_size, r.nodes.size());
-  opts.pushdown = PushdownMode::kNever;
+  opts.hints.pushdown = PushdownMode::kNever;
   QueryResult r2 = RunQuery("/descendant::education", opts);
   ASSERT_EQ(r2.trace.size(), 1u);
   EXPECT_EQ(r2.trace[0].description.find("pushdown"), std::string::npos);
@@ -206,7 +206,7 @@ TEST_F(XPathEvaluatorTest, EngineModesAgreeOnSmallDoc) {
         "/descendant::person/following::increase",
         "/child::people/descendant-or-self::*"}) {
     SessionOptions naive;
-    naive.engine = EngineMode::kNaive;
+    naive.hints.engine = EngineMode::kNaive;
     EXPECT_EQ(Eval(q), Eval(q, naive)) << q;
   }
 }
@@ -259,10 +259,10 @@ TEST_P(XPathEnginePropertyTest, StaircaseEqualsNaiveEngine) {
   for (int trial = 0; trial < 25; ++trial) {
     std::string q = RandomQuery(rng);
     SessionOptions fast;
-    fast.pushdown =
+    fast.hints.pushdown =
         trial % 2 == 0 ? PushdownMode::kAlways : PushdownMode::kNever;
     SessionOptions naive;
-    naive.engine = EngineMode::kNaive;
+    naive.hints.engine = EngineMode::kNaive;
     auto a = std::move(db->CreateSession(fast)).value().Run(q);
     auto b = std::move(db->CreateSession(naive)).value().Run(q);
     ASSERT_TRUE(a.ok()) << q << a.status();

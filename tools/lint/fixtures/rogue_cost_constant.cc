@@ -1,0 +1,20 @@
+// Seeded violation for sj-lint rule cost-literal: planner cost
+// constants defined outside src/xpath/cost_model.h. Linted via
+// --treat-as src/xpath/evil.cc by sj_lint_test.py; the same file
+// treated as cost_model.h itself must pass.
+
+namespace sj::xpath {
+
+// A "local recalibration" forking the planner's arithmetic -- both the
+// conventional double knob and an integer page-math constant.
+inline constexpr double kRogueProbeCost = 0.0078125;
+inline constexpr unsigned kCostRanksPerPageLocal = 1024;
+
+// Not cost constants: selectivity knobs and plain locals don't carry
+// the k...Cost... name shape and may live with the options they tune.
+inline constexpr double kDefaultPushdownSelectivity = 0.125;
+inline constexpr int kMaxLevel = 255;
+
+double Use() { return kRogueProbeCost * kCostRanksPerPageLocal; }
+
+}  // namespace sj::xpath

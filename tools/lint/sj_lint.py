@@ -28,6 +28,12 @@ enforces. This pass makes them hard failures in CI:
                     trailing skipped/result fields silently gates on
                     zeros. Records must set all seven fields (or assign
                     .skipped/.result by name).
+  cost-literal      The planner's cost constants (k...Cost...) live in
+                    src/xpath/cost_model.h and nowhere else. A constant
+                    defined in another src/xpath/ file forks the
+                    planner's arithmetic: compiled plans, EXPLAIN's
+                    est= numbers and the bench_cost_model gate all pin
+                    the one table.
   delta-mutation    Column images are immutable once published: updates
                     go through the delta overlay (src/delta/) and are
                     folded by Database::Compact. Constructing a
@@ -182,6 +188,9 @@ _EXPLAIN_PHRASES = (
     " via ",
     "plan: cached",
     "snapshot: epoch",
+    "positional rank join",
+    " est=",
+    " act=",
 )
 
 _STRINGS_FILE = "src/xpath/explain_strings.h"
@@ -328,6 +337,28 @@ def check_bench_json(rel, code, _literals, allows, findings):
                     ".skipped/.result by name)")
 
 
+# A cost-constant *definition*: an identifier whose name carries the
+# cost-model naming convention (k...Cost...) initialized with a numeric
+# literal. Usage sites (kPushdownProbeCost * rows) carry no "=" and are
+# fine anywhere; knobs like pushdown_selectivity = 0.125 don't match the
+# name shape and stay a session-option concern.
+_COST_CONST_RE = re.compile(
+    r"\bk\w*Cost\w*\s*=\s*[-+]?(?:\d+(?:\.\d*)?|\.\d+)(?:[eE][-+]?\d+)?")
+
+_COST_FILE = "src/xpath/cost_model.h"
+
+
+def check_cost_literal(rel, code, _literals, allows, findings):
+    if not rel.startswith("src/xpath/") or rel == _COST_FILE:
+        return
+    for m in _COST_CONST_RE.finditer(code):
+        _report(findings, allows, rel, line_of(code, m.start()),
+                "cost-literal",
+                "cost constant defined outside " + _COST_FILE + "; the "
+                "planner's arithmetic must not fork -- move the constant "
+                "there (plans and EXPLAIN estimates are pinned to it)")
+
+
 _MUTATION_RE = re.compile(r"\bDocTableBuilder\b|const_cast\s*<\s*DocTable\b")
 
 # The layers that legitimately build or rework column images: the
@@ -356,6 +387,7 @@ _RULES = (
     check_explain_literal,
     check_stats_on_advance,
     check_bench_json,
+    check_cost_literal,
     check_delta_mutation,
 )
 

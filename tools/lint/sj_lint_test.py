@@ -24,6 +24,7 @@ CASES = {
     "bench_missing_fields.cc": ("bench/bench_evil.cc", "bench-json"),
     "bench_missing_percentiles.cc": ("bench/bench_evil.cc", "bench-json"),
     "rogue_image_mutation.cc": ("src/api/evil.cc", "delta-mutation"),
+    "rogue_cost_constant.cc": ("src/xpath/evil.cc", "cost-literal"),
 }
 
 # The same fixtures linted at exempt locations must be clean: the rules
@@ -36,6 +37,7 @@ EXEMPT = {
     "bench_missing_fields.cc": "tests/evil_test.cc",
     "bench_missing_percentiles.cc": "tests/evil_test.cc",
     "rogue_image_mutation.cc": "src/delta/evil.cc",
+    "rogue_cost_constant.cc": "src/xpath/cost_model.h",
 }
 
 
